@@ -1,0 +1,13 @@
+"""Benchmark configuration: each benchmark regenerates one table or
+figure of the paper's evaluation chapter and prints the rows."""
+
+import pytest
+
+from repro.eval import Scope
+
+
+@pytest.fixture(scope="session")
+def paper_scope() -> Scope:
+    """The verification scope used for headline numbers."""
+    return Scope(objects=("a", "b", "c"), values=("x", "y"),
+                 ints=(-2, -1, 0, 1, 2), max_seq_len=3)

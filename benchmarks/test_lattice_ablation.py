@@ -1,0 +1,54 @@
+"""Ablation benchmark: the commutativity lattice (Chapter 6).
+
+Dropping clauses from a sound-and-complete condition keeps soundness but
+trades away completeness — i.e. concurrency.  We quantify the trade for
+the contains/add condition: the fraction of actually-commuting cases
+each lattice point still admits (its "concurrency recall")."""
+
+from __future__ import annotations
+
+from repro.commutativity import Kind, condition
+from repro.commutativity.bounded import (case_environment, commutes,
+                                         enumerate_cases)
+from repro.commutativity.lattice import lattice_of, soundness_is_preserved
+from repro.eval import EvalContext, Scope, evaluate
+from repro.specs import get_spec
+
+SCOPE = Scope(objects=("a", "b", "c"))
+
+
+def _recall(point, cond, spec):
+    """Fraction of commuting cases the weakened condition admits."""
+    ctx = EvalContext(observe=spec.observe)
+    admitted = total = 0
+    for case in enumerate_cases(spec, cond.op1, cond.op2, SCOPE):
+        if not commutes(spec, cond.op1, cond.op2, case):
+            continue
+        total += 1
+        env = case_environment(cond.op1, cond.op2, case)
+        if evaluate(point.formula, env, ctx):
+            admitted += 1
+    return admitted / total if total else 1.0
+
+
+def _build_lattice():
+    cond = condition("Set", "contains", "add", Kind.BEFORE)
+    points = lattice_of(cond, SCOPE)
+    assert soundness_is_preserved(points)
+    return cond, points
+
+
+def test_lattice_soundness_and_recall(benchmark):
+    cond, points = benchmark(_build_lattice)
+    spec = get_spec("Set")
+    print("\n=== Commutativity lattice ablation (contains;add before) ===")
+    print(f"{'kept clauses':<30} {'sound':<6} {'complete':<9} recall")
+    for point in sorted(points, key=lambda p: len(p.kept)):
+        recall = _recall(point, cond, spec)
+        print(f"{point.text:<30} {str(point.sound):<6} "
+              f"{str(point.complete):<9} {recall:.2f}")
+        if point.complete:
+            assert recall == 1.0
+    # Dropping everything (condition 'false') admits no concurrency.
+    bottom = next(p for p in points if not p.kept)
+    assert _recall(bottom, cond, spec) == 0.0

@@ -1,0 +1,28 @@
+"""Benchmark for Table 5.9: proof-language commands for the 57 hard
+ArrayList testing methods.
+
+Checks the four category proof scripts of Section 5.2.1 against the
+layered prover and prints the command-count accounting next to the
+paper's (note=128, assuming=51, pickWitness=22, total=201)."""
+
+from __future__ import annotations
+
+from repro.proof import check_all_scripts, command_count_table, hard_methods
+from repro.reporting import table_5_09
+
+
+def _check_scripts():
+    outcomes = check_all_scripts(max_len=3)
+    assert all(o.ok for o in outcomes)
+    return outcomes
+
+
+def test_proof_scripts_check(benchmark):
+    outcomes = benchmark(_check_scripts)
+    print("\n=== Table 5.9 ===")
+    print(f"hard methods: {len(hard_methods())} (paper: 57)")
+    for outcome in outcomes:
+        print(" ", outcome.summary())
+    print(table_5_09())
+    counts = command_count_table()
+    assert counts["total"] > 0

@@ -1,0 +1,90 @@
+"""Domain scenario: a parallel document indexer over shared linked data
+structures.
+
+This is the workload shape the paper's introduction motivates (irregular
+parallel computations over shared sets/maps [29, 30, 31]): worker
+transactions tokenize documents and update a shared HashTable index
+(token -> document id) and a shared HashSet of seen tokens.  Most
+operations touch different keys, so they *semantically* commute — but
+every insertion rewrites linked structure, so read/write conflict
+detection serializes the whole thing.
+
+The speculative executor uses the verified between conditions for
+admission and the verified inverses for rollback, and we compare the
+abort counts of the three gatekeeper policies.
+
+Run:  python examples/speculative_index.py
+"""
+
+import random
+
+from repro.runtime import SpeculativeExecutor
+
+DOCUMENTS = {
+    "d1": "the quick brown fox jumps over the lazy dog",
+    "d2": "a stitch in time saves nine",
+    "d3": "the early bird catches the worm",
+    "d4": "brown bears fish in the quick river",
+    "d5": "time and tide wait for no one",
+    "d6": "every dog has its day",
+}
+
+
+def build_transactions(seed: int = 11):
+    """One transaction per document: record unseen tokens."""
+    rng = random.Random(seed)
+    programs = []
+    for doc_id, text in DOCUMENTS.items():
+        tokens = list(dict.fromkeys(text.split()))
+        rng.shuffle(tokens)
+        ops = []
+        for token in tokens[:6]:
+            ops.append(("contains", (token,)))
+            ops.append(("add", (token,)))
+        programs.append(ops)
+    return programs
+
+
+def build_map_transactions(seed: int = 13):
+    """Presence index: mark tokens as seen.  ``put`` operations with the
+    same key commute exactly when their values agree (Table 5.4), so
+    idempotent marking commutes across documents."""
+    rng = random.Random(seed)
+    programs = []
+    for doc_id, text in DOCUMENTS.items():
+        tokens = list(dict.fromkeys(text.split()))
+        rng.shuffle(tokens)
+        # The discard variant put_ has the weaker commutativity
+        # condition k1 ~= k2 | v1 = v2 (Table 5.4): idempotent marking
+        # commutes even on shared tokens.
+        ops = [("put_", (token, "seen")) for token in tokens[:5]]
+        ops.append(("containsKey", (tokens[0],)))
+        programs.append(ops)
+    return programs
+
+
+def main() -> None:
+    print("=== shared token set (HashSet) ===")
+    programs = build_transactions()
+    for policy in ("commutativity", "read-write", "mutex"):
+        report = SpeculativeExecutor("HashSet", policy, seed=2,
+                                     max_rounds=100000).run(programs)
+        print(f"  {policy:<14} {report.summary()}")
+        assert report.serializable
+
+    print("\n=== shared index (HashTable) ===")
+    programs = build_map_transactions()
+    for policy in ("commutativity", "read-write", "mutex"):
+        report = SpeculativeExecutor("HashTable", policy, seed=2,
+                                     max_rounds=100000).run(programs)
+        print(f"  {policy:<14} {report.summary()}")
+        assert report.serializable
+
+    print("\nVerified commutativity conditions admit interleavings that "
+          "classical conflict detection rejects,\nwhile the verified "
+          "inverses keep every abort recoverable — and every run "
+          "serializable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro: a full reproduction of Kim & Rinard (PLDI 2011), "Verification
+of Semantic Commutativity Conditions and Inverse Operations on Linked
+Data Structures".
+
+Layout:
+
+- :mod:`repro.logic` — the Jahob-flavoured specification logic;
+- :mod:`repro.specs` — abstract data-structure specifications;
+- :mod:`repro.impls` — concrete linked implementations + abstraction
+  functions;
+- :mod:`repro.commutativity` — the 765-condition catalog, the testing
+  method generator, and the bounded verification backend;
+- :mod:`repro.solver` — SAT / congruence closure / the symbolic engine
+  (the stand-in for Jahob's integrated provers);
+- :mod:`repro.inverses` — the 8 verified inverse operations;
+- :mod:`repro.proof` — the Jahob proof language (note / assuming /
+  pickWitness);
+- :mod:`repro.runtime` — speculative parallel execution with gatekeeper
+  conflict detection and inverse-based rollback;
+- :mod:`repro.reporting` — the paper's evaluation tables.
+"""
+
+from .commutativity import (CommutativityCondition, Kind, check_condition,
+                            condition, conditions_for, generate_methods,
+                            total_condition_count, verify_all,
+                            verify_data_structure)
+from .eval import Scope
+from .impls import (Accumulator, ArrayList, AssociationList, HashSet,
+                    HashTable, ListSet)
+from .inverses import check_all_inverses, inverse_for
+from .runtime import SpeculativeExecutor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CommutativityCondition", "Kind", "check_condition", "condition",
+    "conditions_for", "generate_methods", "total_condition_count",
+    "verify_all", "verify_data_structure",
+    "Scope",
+    "Accumulator", "ArrayList", "AssociationList", "HashSet", "HashTable",
+    "ListSet",
+    "check_all_inverses", "inverse_for",
+    "SpeculativeExecutor",
+    "__version__",
+]

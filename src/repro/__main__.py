@@ -1,0 +1,122 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``verify [--name NAME] [--backend symbolic|bounded]`` — verify the
+  commutativity conditions of one data structure (or all six);
+- ``inverses`` — verify the eight inverse operations (Table 5.10);
+- ``tables [--table N]`` — print the paper's evaluation tables;
+- ``show --name NAME --m1 OP --m2 OP [--kind K]`` — print a condition
+  and its generated testing methods (Figure 2-2 style).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .commutativity import (Kind, condition, generate_methods,
+                            verify_all, verify_data_structure)
+from .eval import Scope
+from .inverses import check_all_inverses
+from .reporting.tables import TableIndex
+
+ALL_NAMES = ("Accumulator", "ListSet", "HashSet", "AssociationList",
+             "HashTable", "ArrayList")
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    scope = Scope(max_seq_len=args.max_seq_len)
+    failed = 0
+    if args.name:
+        reports = {args.name: verify_data_structure(
+            args.name, scope, backend=args.backend)}
+    else:
+        reports = verify_all(scope, backend=args.backend)
+    for report in reports.values():
+        print(report.summary())
+        for failure in report.failures():
+            failed += 1
+            print("  ", failure.summary())
+            for ce in failure.counterexamples:
+                print("    ", ce)
+    return 1 if failed else 0
+
+
+def _cmd_inverses(args: argparse.Namespace) -> int:
+    scope = Scope(max_seq_len=args.max_seq_len)
+    failed = 0
+    for result in check_all_inverses(scope):
+        print(result.summary())
+        if not result.verified:
+            failed += 1
+    return 1 if failed else 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    tables = TableIndex.all()
+    wanted = [args.table] if args.table else list(tables)
+    for table_id in wanted:
+        render = tables.get(table_id)
+        if render is None:
+            print(f"unknown table {table_id!r}; "
+                  f"choose from {', '.join(tables)}", file=sys.stderr)
+            return 2
+        print(f"=== Table {table_id} ===")
+        result = render()
+        if isinstance(result, tuple):  # table 5.8 returns (text, reports)
+            result = result[0]
+        print(result)
+        print()
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    kinds = [Kind(args.kind)] if args.kind else list(Kind)
+    for kind in kinds:
+        cond = condition(args.name, args.m1, args.m2, kind)
+        print(f"[{kind}] {cond.text}")
+        if args.methods:
+            for method in generate_methods([cond]):
+                print()
+                print(method.render_java())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify = sub.add_parser("verify", help="verify commutativity conditions")
+    verify.add_argument("--name", choices=ALL_NAMES)
+    verify.add_argument("--backend", default="symbolic",
+                        choices=("symbolic", "bounded"))
+    verify.add_argument("--max-seq-len", type=int, default=3)
+    verify.set_defaults(func=_cmd_verify)
+
+    inverses = sub.add_parser("inverses", help="verify inverse operations")
+    inverses.add_argument("--max-seq-len", type=int, default=3)
+    inverses.set_defaults(func=_cmd_inverses)
+
+    tables = sub.add_parser("tables", help="print the evaluation tables")
+    tables.add_argument("--table", help="e.g. 5.2 (default: all)")
+    tables.set_defaults(func=_cmd_tables)
+
+    show = sub.add_parser("show", help="print one condition + methods")
+    show.add_argument("--name", required=True)
+    show.add_argument("--m1", required=True)
+    show.add_argument("--m2", required=True)
+    show.add_argument("--kind", choices=[k.value for k in Kind])
+    show.add_argument("--methods", action="store_true")
+    show.set_defaults(func=_cmd_show)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""Semantic commutativity analysis (the paper's primary contribution)."""
+
+from .conditions import CommutativityCondition, Kind, VocabularyError
+from .bounded import (Case, CheckResult, Counterexample, check_condition,
+                      check_conditions, commutes, enumerate_cases,
+                      exact_condition_table)
+from .catalog import (all_conditions, condition, conditions_for,
+                      total_condition_count)
+from .generator import Direction, TestingMethod, generate_methods
+from .verifier import VerificationReport, verify_all, verify_data_structure
+
+__all__ = [
+    "CommutativityCondition", "Kind", "VocabularyError",
+    "Case", "CheckResult", "Counterexample", "check_condition",
+    "check_conditions", "commutes", "enumerate_cases",
+    "exact_condition_table",
+    "all_conditions", "condition", "conditions_for",
+    "total_condition_count",
+    "Direction", "TestingMethod", "generate_methods",
+    "VerificationReport", "verify_all", "verify_data_structure",
+]

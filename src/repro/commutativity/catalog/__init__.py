@@ -1,0 +1,56 @@
+"""The catalog of all 765 commutativity conditions (Chapter 5).
+
+Per the paper's counting: (3 * 2^2) + 2 * (3 * 6^2) + 2 * (3 * 7^2)
++ (3 * 9^2) = 12 + 216 + 294 + 243 = 765 conditions across the six data
+structures; ListSet/HashSet share the Set family conditions and
+AssociationList/HashTable share the Map family conditions.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ...specs.registry import SPEC_FAMILIES
+from ..conditions import CommutativityCondition, Kind
+from . import accumulator, arraylist_conditions, map_conditions, set_conditions
+
+_BUILDERS = {
+    "Accumulator": accumulator.build,
+    "Set": set_conditions.build,
+    "Map": map_conditions.build,
+    "ArrayList": arraylist_conditions.build,
+}
+
+
+@lru_cache(maxsize=None)
+def _family_conditions(family: str) -> tuple[CommutativityCondition, ...]:
+    return tuple(_BUILDERS[family]())
+
+
+def conditions_for(name: str) -> list[CommutativityCondition]:
+    """Conditions for a data structure or family name."""
+    family = SPEC_FAMILIES.get(name, name)
+    return list(_family_conditions(family))
+
+
+def condition(name: str, m1: str, m2: str,
+              kind: Kind) -> CommutativityCondition:
+    """Look up a single condition."""
+    for cond in conditions_for(name):
+        if cond.m1 == m1 and cond.m2 == m2 and cond.kind is kind:
+            return cond
+    raise KeyError(f"no {kind} condition for {name} {m1};{m2}")
+
+
+def all_conditions() -> dict[str, list[CommutativityCondition]]:
+    """Family name -> conditions."""
+    return {family: list(_family_conditions(family)) for family in _BUILDERS}
+
+
+def total_condition_count() -> int:
+    """The paper's headline count: 765 across the six data structures."""
+    per_family = {f: len(c) for f, c in all_conditions().items()}
+    return (per_family["Accumulator"]
+            + 2 * per_family["Set"]
+            + 2 * per_family["Map"]
+            + per_family["ArrayList"])

@@ -1,0 +1,32 @@
+"""Commutativity conditions for the Accumulator (Table 5.1).
+
+Two operations (``increase``, ``read``) give four ordered pairs and
+3 * 2^2 = 12 conditions.  ``increase`` operations always commute (integer
+addition is commutative); an ``increase(v)`` commutes with a ``read``
+exactly when ``v = 0``.
+"""
+
+from __future__ import annotations
+
+from ...specs import get_spec
+from ..conditions import CommutativityCondition, Kind
+
+#: (m1, m2) -> (before, between, after); None means ``true``.
+TABLE: dict[tuple[str, str], tuple[str | None, str | None, str | None]] = {
+    ("increase", "increase"): (None, None, None),
+    ("increase", "read"): ("v1 = 0", "v1 = 0", "v1 = 0"),
+    ("read", "increase"): ("v2 = 0", "v2 = 0", "v2 = 0"),
+    ("read", "read"): (None, None, None),
+}
+
+
+def build() -> list[CommutativityCondition]:
+    """All 12 Accumulator conditions."""
+    spec = get_spec("Accumulator")
+    conditions = []
+    for (m1, m2), texts in TABLE.items():
+        for kind, text in zip((Kind.BEFORE, Kind.BETWEEN, Kind.AFTER), texts):
+            conditions.append(CommutativityCondition(
+                family="Accumulator", m1=m1, m2=m2, kind=kind,
+                text=text if text is not None else "true", spec=spec))
+    return conditions

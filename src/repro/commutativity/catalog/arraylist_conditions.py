@@ -1,0 +1,273 @@
+"""Commutativity conditions for the ArrayList (Tables 5.6 and 5.7).
+
+Nine operations (``add_at``, ``get``, ``indexOf``, ``lastIndexOf``,
+``remove_at``, ``remove_at_``, ``set``, ``set_``, ``size``) give 81
+ordered pairs and 3 * 9^2 = 243 conditions.
+
+The thesis presents the ArrayList between/after conditions as expanded
+case analyses over index positions (Tables 5.6/5.7).  We state each
+condition in an equivalent *compact* form built from the sequence term
+constructors (``ins``/``del_``/``upd``) and observers (``at``/``idx``/
+``lidx``/``len``) applied to the initial state — e.g. the condition for
+``add_at(i1,v1); indexOf(v2)`` is literally "inserting v1 at i1 does not
+change the index of v2":
+
+    idx(ins(s1, i1, v1), v2) = idx(s1, v2)
+
+Because every condition here is machine-verified to be both sound and
+complete, it is logically equivalent to the paper's expanded form of the
+same kind (sound + complete conditions of one kind are unique up to
+equivalence; Section 4.1.2).  The expanded paper-style rendering of the
+Table 5.6/5.7 rows is reproduced by :mod:`repro.reporting.tables`.
+
+Structure of the formulas: a conjunction of (1) index-bound guards that
+capture *precondition preservation* in the reverse order (e.g. appending
+at ``i1 = size`` cannot commute with a ``remove_at``, because re-running
+``add_at`` after the removal would be out of bounds), (2) return-value
+agreement clauses, and (3) a final-state agreement clause.  Between/after
+variants replace initial-state queries by return values exactly as the
+paper does: ``r1`` is ``at(s1, i1)`` for ``get``/``remove_at``/``set``
+and ``idx(s1, v1)`` for ``indexOf``, etc.
+"""
+
+from __future__ import annotations
+
+from ...specs import get_spec
+from ..conditions import CommutativityCondition, Kind
+
+# -- shared clause fragments -------------------------------------------------
+
+_FALSE = "false"
+
+# State-agreement clauses (final abstract states equal in both orders).
+_ST_AA_AA = "ins(ins(s1, i1, v1), i2, v2) = ins(ins(s1, i2, v2), i1, v1)"
+_ST_AA_RA = "del_(ins(s1, i1, v1), i2) = ins(del_(s1, i2), i1, v1)"
+_ST_AA_SE = "upd(ins(s1, i1, v1), i2, v2) = ins(upd(s1, i2, v2), i1, v1)"
+_ST_RA_AA = "ins(del_(s1, i1), i2, v2) = del_(ins(s1, i2, v2), i1)"
+_ST_RA_RA = "del_(del_(s1, i1), i2) = del_(del_(s1, i2), i1)"
+_ST_RA_SE = "upd(del_(s1, i1), i2, v2) = del_(upd(s1, i2, v2), i1)"
+_ST_SE_AA = "ins(upd(s1, i1, v1), i2, v2) = upd(ins(s1, i2, v2), i1, v1)"
+_ST_SE_RA = "del_(upd(s1, i1, v1), i2) = upd(del_(s1, i2), i1, v1)"
+_ST_SE_SE = "upd(upd(s1, i1, v1), i2, v2) = upd(upd(s1, i2, v2), i1, v1)"
+
+# Index-bound guards for reverse-order preconditions.
+_G_I1_LT_LEN = "i1 < len(s1)"
+_G_I2_LT_LEN = "i2 < len(s1)"
+_G_I1_LT_LEN1 = "i1 < len(s1) - 1"
+
+
+def _conj(*clauses: str) -> str:
+    return " & ".join(clauses)
+
+
+#: (m1, m2) -> (before, between, after); None means ``true``.
+TABLE: dict[tuple[str, str], tuple[str | None, str | None, str | None]] = {}
+
+
+def _entry(m1: str, m2: str, before: str | None,
+           between: str | None = ..., after: str | None = ...) -> None:
+    if between is ...:
+        between = before
+    if after is ...:
+        after = between
+    TABLE[(m1, m2)] = (before, between, after)
+
+
+# -- reads commute with reads -------------------------------------------------
+_READS = ("get", "indexOf", "lastIndexOf", "size")
+for _m1 in _READS:
+    for _m2 in _READS:
+        _entry(_m1, _m2, None)
+
+# -- add_at as first operation -------------------------------------------------
+_entry("add_at", "add_at",
+       _conj(f"i2 <= len(s1)", _ST_AA_AA))
+_entry("add_at", "get",
+       _conj(_G_I2_LT_LEN, "at(ins(s1, i1, v1), i2) = at(s1, i2)"),
+       ...,
+       _conj(_G_I2_LT_LEN, "r2 = at(s1, i2)"))
+_entry("add_at", "indexOf",
+       "idx(ins(s1, i1, v1), v2) = idx(s1, v2)",
+       ...,
+       "r2 = idx(s1, v2)")
+_entry("add_at", "lastIndexOf",
+       "lidx(ins(s1, i1, v1), v2) = lidx(s1, v2)",
+       ...,
+       "r2 = lidx(s1, v2)")
+_entry("add_at", "remove_at",
+       _conj(_G_I1_LT_LEN, _G_I2_LT_LEN,
+             "at(ins(s1, i1, v1), i2) = at(s1, i2)", _ST_AA_RA),
+       ...,
+       _conj(_G_I1_LT_LEN, _G_I2_LT_LEN, "r2 = at(s1, i2)", _ST_AA_RA))
+_entry("add_at", "remove_at_",
+       _conj(_G_I1_LT_LEN, _G_I2_LT_LEN, _ST_AA_RA))
+_entry("add_at", "set",
+       _conj(_G_I2_LT_LEN,
+             "at(ins(s1, i1, v1), i2) = at(s1, i2)", _ST_AA_SE),
+       ...,
+       _conj(_G_I2_LT_LEN, "r2 = at(s1, i2)", _ST_AA_SE))
+_entry("add_at", "set_",
+       _conj(_G_I2_LT_LEN, _ST_AA_SE))
+_entry("add_at", "size", _FALSE)
+
+# -- get as first operation -----------------------------------------------------
+_entry("get", "add_at",
+       "at(ins(s1, i2, v2), i1) = at(s1, i1)",
+       "at(ins(s1, i2, v2), i1) = r1")
+_entry("get", "remove_at",
+       _conj(_G_I1_LT_LEN1, "at(del_(s1, i2), i1) = at(s1, i1)"),
+       _conj(_G_I1_LT_LEN1, "at(del_(s1, i2), i1) = r1"))
+_entry("get", "remove_at_",
+       _conj(_G_I1_LT_LEN1, "at(del_(s1, i2), i1) = at(s1, i1)"),
+       _conj(_G_I1_LT_LEN1, "at(del_(s1, i2), i1) = r1"))
+_entry("get", "set",
+       "at(upd(s1, i2, v2), i1) = at(s1, i1)",
+       "at(upd(s1, i2, v2), i1) = r1")
+_entry("get", "set_",
+       "at(upd(s1, i2, v2), i1) = at(s1, i1)",
+       "at(upd(s1, i2, v2), i1) = r1")
+
+# -- indexOf / lastIndexOf as first operation -----------------------------------
+for _name, _fn in (("indexOf", "idx"), ("lastIndexOf", "lidx")):
+    _entry(_name, "add_at",
+           f"{_fn}(ins(s1, i2, v2), v1) = {_fn}(s1, v1)",
+           f"{_fn}(ins(s1, i2, v2), v1) = r1")
+    for _m2 in ("remove_at", "remove_at_"):
+        _entry(_name, _m2,
+               f"{_fn}(del_(s1, i2), v1) = {_fn}(s1, v1)",
+               f"{_fn}(del_(s1, i2), v1) = r1")
+    for _m2 in ("set", "set_"):
+        _entry(_name, _m2,
+               f"{_fn}(upd(s1, i2, v2), v1) = {_fn}(s1, v1)",
+               f"{_fn}(upd(s1, i2, v2), v1) = r1")
+
+# -- remove_at as first operation -------------------------------------------------
+_entry("remove_at", "add_at",
+       _conj("at(ins(s1, i2, v2), i1) = at(s1, i1)", _ST_RA_AA),
+       _conj("at(ins(s1, i2, v2), i1) = r1", _ST_RA_AA))
+_entry("remove_at_", "add_at", _ST_RA_AA)
+_entry("remove_at", "get",
+       "at(del_(s1, i1), i2) = at(s1, i2)",
+       ...,
+       "r2 = at(s1, i2)")
+_entry("remove_at_", "get",
+       "at(del_(s1, i1), i2) = at(s1, i2)",
+       ...,
+       "r2 = at(s1, i2)")
+for _m1 in ("remove_at", "remove_at_"):
+    _entry(_m1, "indexOf",
+           "idx(del_(s1, i1), v2) = idx(s1, v2)",
+           ...,
+           "r2 = idx(s1, v2)")
+    _entry(_m1, "lastIndexOf",
+           "lidx(del_(s1, i1), v2) = lidx(s1, v2)",
+           ...,
+           "r2 = lidx(s1, v2)")
+_entry("remove_at", "remove_at",
+       _conj(_G_I1_LT_LEN1, "at(del_(s1, i2), i1) = at(s1, i1)",
+             "at(del_(s1, i1), i2) = at(s1, i2)", _ST_RA_RA),
+       _conj(_G_I1_LT_LEN1, "at(del_(s1, i2), i1) = r1",
+             "at(del_(s1, i1), i2) = at(s1, i2)", _ST_RA_RA),
+       _conj(_G_I1_LT_LEN1, "at(del_(s1, i2), i1) = r1",
+             "r2 = at(s1, i2)", _ST_RA_RA))
+_entry("remove_at", "remove_at_",
+       _conj(_G_I1_LT_LEN1, "at(del_(s1, i2), i1) = at(s1, i1)", _ST_RA_RA),
+       _conj(_G_I1_LT_LEN1, "at(del_(s1, i2), i1) = r1", _ST_RA_RA))
+_entry("remove_at_", "remove_at",
+       _conj(_G_I1_LT_LEN1, "at(del_(s1, i1), i2) = at(s1, i2)", _ST_RA_RA),
+       ...,
+       _conj(_G_I1_LT_LEN1, "r2 = at(s1, i2)", _ST_RA_RA))
+_entry("remove_at_", "remove_at_",
+       _conj(_G_I1_LT_LEN1, _ST_RA_RA))
+_entry("remove_at", "set",
+       _conj("at(upd(s1, i2, v2), i1) = at(s1, i1)",
+             "at(del_(s1, i1), i2) = at(s1, i2)", _ST_RA_SE),
+       _conj("at(upd(s1, i2, v2), i1) = r1",
+             "at(del_(s1, i1), i2) = at(s1, i2)", _ST_RA_SE),
+       _conj("at(upd(s1, i2, v2), i1) = r1", "r2 = at(s1, i2)", _ST_RA_SE))
+_entry("remove_at", "set_",
+       _conj("at(upd(s1, i2, v2), i1) = at(s1, i1)", _ST_RA_SE),
+       _conj("at(upd(s1, i2, v2), i1) = r1", _ST_RA_SE))
+_entry("remove_at_", "set",
+       _conj("at(del_(s1, i1), i2) = at(s1, i2)", _ST_RA_SE),
+       ...,
+       _conj("r2 = at(s1, i2)", _ST_RA_SE))
+_entry("remove_at_", "set_", _ST_RA_SE)
+_entry("remove_at", "size", _FALSE)
+_entry("remove_at_", "size", _FALSE)
+
+# -- set as first operation --------------------------------------------------------
+_entry("set", "add_at",
+       _conj("at(ins(s1, i2, v2), i1) = at(s1, i1)", _ST_SE_AA),
+       _conj("at(ins(s1, i2, v2), i1) = r1", _ST_SE_AA))
+_entry("set_", "add_at", _ST_SE_AA)
+_entry("set", "get",
+       "at(upd(s1, i1, v1), i2) = at(s1, i2)",
+       ...,
+       "r2 = at(s1, i2)")
+_entry("set_", "get",
+       "at(upd(s1, i1, v1), i2) = at(s1, i2)",
+       ...,
+       "r2 = at(s1, i2)")
+for _m1 in ("set", "set_"):
+    _entry(_m1, "indexOf",
+           "idx(upd(s1, i1, v1), v2) = idx(s1, v2)",
+           ...,
+           "r2 = idx(s1, v2)")
+    _entry(_m1, "lastIndexOf",
+           "lidx(upd(s1, i1, v1), v2) = lidx(s1, v2)",
+           ...,
+           "r2 = lidx(s1, v2)")
+_entry("set", "remove_at",
+       _conj(_G_I1_LT_LEN1, "at(del_(s1, i2), i1) = at(s1, i1)",
+             "at(upd(s1, i1, v1), i2) = at(s1, i2)", _ST_SE_RA),
+       _conj(_G_I1_LT_LEN1, "at(del_(s1, i2), i1) = r1",
+             "at(upd(s1, i1, v1), i2) = at(s1, i2)", _ST_SE_RA),
+       _conj(_G_I1_LT_LEN1, "at(del_(s1, i2), i1) = r1",
+             "r2 = at(s1, i2)", _ST_SE_RA))
+_entry("set", "remove_at_",
+       _conj(_G_I1_LT_LEN1, "at(del_(s1, i2), i1) = at(s1, i1)", _ST_SE_RA),
+       _conj(_G_I1_LT_LEN1, "at(del_(s1, i2), i1) = r1", _ST_SE_RA))
+_entry("set_", "remove_at",
+       _conj(_G_I1_LT_LEN1, "at(upd(s1, i1, v1), i2) = at(s1, i2)",
+             _ST_SE_RA),
+       ...,
+       _conj(_G_I1_LT_LEN1, "r2 = at(s1, i2)", _ST_SE_RA))
+_entry("set_", "remove_at_",
+       _conj(_G_I1_LT_LEN1, _ST_SE_RA))
+_entry("set", "set",
+       _conj("at(upd(s1, i2, v2), i1) = at(s1, i1)",
+             "at(upd(s1, i1, v1), i2) = at(s1, i2)", _ST_SE_SE),
+       _conj("at(upd(s1, i2, v2), i1) = r1",
+             "at(upd(s1, i1, v1), i2) = at(s1, i2)", _ST_SE_SE),
+       _conj("at(upd(s1, i2, v2), i1) = r1", "r2 = at(s1, i2)", _ST_SE_SE))
+_entry("set", "set_",
+       _conj("at(upd(s1, i2, v2), i1) = at(s1, i1)", _ST_SE_SE),
+       _conj("at(upd(s1, i2, v2), i1) = r1", _ST_SE_SE))
+_entry("set_", "set",
+       _conj("at(upd(s1, i1, v1), i2) = at(s1, i2)", _ST_SE_SE),
+       ...,
+       _conj("r2 = at(s1, i2)", _ST_SE_SE))
+_entry("set_", "set_", _ST_SE_SE)
+_entry("set", "size", None)
+_entry("set_", "size", None)
+
+# -- size as first operation ---------------------------------------------------------
+_entry("size", "add_at", _FALSE)
+_entry("size", "remove_at", _FALSE)
+_entry("size", "remove_at_", _FALSE)
+_entry("size", "set", None)
+_entry("size", "set_", None)
+
+
+def build() -> list[CommutativityCondition]:
+    """All 243 ArrayList conditions."""
+    spec = get_spec("ArrayList")
+    conditions = []
+    for (m1, m2), texts in TABLE.items():
+        for kind, text in zip((Kind.BEFORE, Kind.BETWEEN, Kind.AFTER), texts):
+            abstract = text if text is not None else "true"
+            conditions.append(CommutativityCondition(
+                family="ArrayList", m1=m1, m2=m2, kind=kind, text=abstract,
+                dynamic_text=abstract, spec=spec))
+    return conditions

@@ -1,0 +1,121 @@
+"""Commutativity conditions for the map interface (Tables 5.4 and 5.5).
+
+Shared by AssociationList and HashTable.  Seven operations
+(``containsKey``, ``get``, ``put``, ``put_``, ``remove``, ``remove_``,
+``size``) give 49 ordered pairs and 3 * 7^2 = 147 conditions per data
+structure.
+
+The abstract column of the paper writes ``(k1, v2) : s1`` for "s1 maps k1
+to v2"; we use the equivalent observer form ``s1.get(k1) = v2`` which
+doubles as the dynamically-checkable fourth column.  Between/after
+conditions use the first operation's return value where one exists —
+``put`` and ``remove`` return the *previous* value for the key (``null``
+when absent), so ``r1 = null`` is exactly "k1 was unmapped" (the pattern
+of Table 5.5).
+"""
+
+from __future__ import annotations
+
+from ...specs import get_spec
+from ..conditions import CommutativityCondition, Kind
+
+_D = "k1 ~= k2"
+_HK1 = "s1.containsKey(k1) = true"
+_NK1 = "s1.containsKey(k1) = false"
+_HK2 = "s1.containsKey(k2) = true"
+_NK2 = "s1.containsKey(k2) = false"
+_G1V1 = "s1.get(k1) = v1"
+_G1V2 = "s1.get(k1) = v2"
+_AGREE = f"{_D} | (v1 = v2 & {_G1V1})"
+_AGREE_R1 = f"{_D} | (v1 = v2 & r1 = v1)"
+
+#: (m1, m2) -> (before, between, after); None means ``true``.
+TABLE: dict[tuple[str, str], tuple[str | None, str | None, str | None]] = {
+    # -- reads commute with reads -----------------------------------------
+    ("containsKey", "containsKey"): (None, None, None),
+    ("containsKey", "get"): (None, None, None),
+    ("containsKey", "size"): (None, None, None),
+    ("get", "containsKey"): (None, None, None),
+    ("get", "get"): (None, None, None),
+    ("get", "size"): (None, None, None),
+    ("size", "containsKey"): (None, None, None),
+    ("size", "get"): (None, None, None),
+    ("size", "size"): (None, None, None),
+    # -- get vs put/remove (rows 1 of Tables 5.4/5.5) ----------------------
+    ("get", "put"): (f"{_D} | {_G1V2}", f"{_D} | r1 = v2",
+                     f"{_D} | r1 = v2"),
+    ("get", "put_"): (f"{_D} | {_G1V2}", f"{_D} | r1 = v2",
+                      f"{_D} | r1 = v2"),
+    ("get", "remove"): (f"{_D} | {_NK1}", f"{_D} | r1 = null",
+                        f"{_D} | r1 = null"),
+    ("get", "remove_"): (f"{_D} | {_NK1}", f"{_D} | r1 = null",
+                         f"{_D} | r1 = null"),
+    ("put", "get"): (f"{_D} | {_G1V1}", f"{_D} | r1 = v1",
+                     f"{_D} | r1 = v1"),
+    ("put_", "get"): (f"{_D} | {_G1V1}", f"{_D} | {_G1V1}",
+                      f"{_D} | {_G1V1}"),
+    ("remove", "get"): (f"{_D} | {_NK1}", f"{_D} | r1 = null",
+                        f"{_D} | r1 = null"),
+    ("remove_", "get"): (f"{_D} | {_NK1}", f"{_D} | {_NK1}",
+                         f"{_D} | {_NK1}"),
+    # -- containsKey vs put/remove -----------------------------------------
+    ("containsKey", "put"): (f"{_D} | {_HK1}", f"{_D} | r1", f"{_D} | r1"),
+    ("containsKey", "put_"): (f"{_D} | {_HK1}", f"{_D} | r1", f"{_D} | r1"),
+    ("containsKey", "remove"): (f"{_D} | {_NK1}", f"{_D} | ~r1",
+                                f"{_D} | ~r1"),
+    ("containsKey", "remove_"): (f"{_D} | {_NK1}", f"{_D} | ~r1",
+                                 f"{_D} | ~r1"),
+    ("put", "containsKey"): (f"{_D} | {_HK1}", f"{_D} | r1 ~= null",
+                             f"{_D} | r1 ~= null"),
+    ("put_", "containsKey"): (f"{_D} | {_HK1}", f"{_D} | {_HK1}",
+                              f"{_D} | {_HK1}"),
+    ("remove", "containsKey"): (f"{_D} | {_NK1}", f"{_D} | r1 = null",
+                                f"{_D} | r1 = null"),
+    ("remove_", "containsKey"): (f"{_D} | {_NK1}", f"{_D} | {_NK1}",
+                                 f"{_D} | {_NK1}"),
+    # -- put vs put (row 2 of Table 5.4, return-value variants) ------------
+    ("put", "put"): (_AGREE, _AGREE_R1, _AGREE_R1),
+    ("put", "put_"): (_AGREE, _AGREE_R1, _AGREE_R1),
+    ("put_", "put"): (_AGREE, _AGREE, _AGREE),
+    ("put_", "put_"): (f"{_D} | v1 = v2", f"{_D} | v1 = v2",
+                       f"{_D} | v1 = v2"),
+    # -- put vs remove: never commute on the same key ----------------------
+    ("put", "remove"): (_D, _D, _D),
+    ("put", "remove_"): (_D, _D, _D),
+    ("put_", "remove"): (_D, _D, _D),
+    ("put_", "remove_"): (_D, _D, _D),
+    ("remove", "put"): (_D, _D, _D),
+    ("remove", "put_"): (_D, _D, _D),
+    ("remove_", "put"): (_D, _D, _D),
+    ("remove_", "put_"): (_D, _D, _D),
+    # -- remove vs remove ---------------------------------------------------
+    ("remove", "remove"): (f"{_D} | {_NK1}", f"{_D} | r1 = null",
+                           f"{_D} | r1 = null"),
+    ("remove", "remove_"): (f"{_D} | {_NK1}", f"{_D} | r1 = null",
+                            f"{_D} | r1 = null"),
+    ("remove_", "remove"): (f"{_D} | {_NK1}", f"{_D} | {_NK1}",
+                            f"{_D} | {_NK1}"),
+    ("remove_", "remove_"): (None, None, None),
+    # -- updates vs size -----------------------------------------------------
+    ("put", "size"): (_HK1, "r1 ~= null", "r1 ~= null"),
+    ("put_", "size"): (_HK1, _HK1, _HK1),
+    ("size", "put"): (_HK2, _HK2, "r2 ~= null"),
+    ("size", "put_"): (_HK2, _HK2, _HK2),
+    ("remove", "size"): (_NK1, "r1 = null", "r1 = null"),
+    ("remove_", "size"): (_NK1, _NK1, _NK1),
+    ("size", "remove"): (_NK2, _NK2, "r2 = null"),
+    ("size", "remove_"): (_NK2, _NK2, _NK2),
+}
+
+
+def build() -> list[CommutativityCondition]:
+    """All 147 map-interface conditions."""
+    spec = get_spec("Map")
+    conditions = []
+    for (m1, m2), texts in TABLE.items():
+        for kind, text in zip((Kind.BEFORE, Kind.BETWEEN, Kind.AFTER), texts):
+            abstract = text if text is not None else "true"
+            conditions.append(CommutativityCondition(
+                family="Map", m1=m1, m2=m2, kind=kind, text=abstract,
+                dynamic_text=abstract, spec=spec))
+    return conditions

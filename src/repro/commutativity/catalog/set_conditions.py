@@ -1,0 +1,112 @@
+"""Commutativity conditions for the set interface (Tables 5.2 and 5.3).
+
+Shared by ListSet and HashSet.  Six operations (``add``, ``add_``,
+``contains``, ``remove``, ``remove_``, ``size``) give 36 ordered pairs
+and 3 * 6^2 = 108 conditions per data structure.
+
+Condition shapes follow the paper exactly:
+
+- before conditions are state queries over the initial state ``s1``
+  (``v1 : s1`` abbreviates ``v1 : s1.contents``);
+- between/after conditions replace initial-state membership queries with
+  the first operation's return value where one exists (the
+  ``v1 ~= v2 | r1`` pattern of Figure 2-2), and otherwise fall back to
+  the (saved) initial state as Section 4.1.2 permits.
+
+The ``dynamic`` column mirrors the fourth column of Tables 5.2/5.3:
+membership queries become ``contains`` observer calls that a run-time
+gatekeeper can execute against the concrete structure.
+"""
+
+from __future__ import annotations
+
+from ...specs import get_spec
+from ..conditions import CommutativityCondition, Kind
+
+_D = "v1 ~= v2"
+_IN1 = "v1 : s1"
+_OUT1 = "v1 ~: s1"
+_IN2 = "v2 : s1"
+_OUT2 = "v2 ~: s1"
+
+#: (m1, m2) -> (before, between, after); None means ``true``.
+TABLE: dict[tuple[str, str], tuple[str | None, str | None, str | None]] = {
+    # -- add as first operation ------------------------------------------
+    ("add", "add"): (f"{_D} | {_IN1}", f"{_D} | ~r1", f"{_D} | ~r1"),
+    ("add", "add_"): (f"{_D} | {_IN1}", f"{_D} | ~r1", f"{_D} | ~r1"),
+    ("add", "contains"): (f"{_D} | {_IN1}", f"{_D} | ~r1", f"{_D} | ~r1"),
+    ("add", "remove"): (_D, _D, _D),
+    ("add", "remove_"): (_D, _D, _D),
+    ("add", "size"): (_IN1, "~r1", "~r1"),
+    # -- add_ (discarded result) as first operation ----------------------
+    ("add_", "add"): (f"{_D} | {_IN1}", f"{_D} | {_IN1}", f"{_D} | {_IN1}"),
+    ("add_", "add_"): (None, None, None),
+    ("add_", "contains"): (f"{_D} | {_IN1}", f"{_D} | {_IN1}",
+                           f"{_D} | {_IN1}"),
+    ("add_", "remove"): (_D, _D, _D),
+    ("add_", "remove_"): (_D, _D, _D),
+    ("add_", "size"): (_IN1, _IN1, _IN1),
+    # -- contains as first operation --------------------------------------
+    ("contains", "add"): (f"{_D} | {_IN1}", f"{_D} | r1", f"{_D} | r1"),
+    ("contains", "add_"): (f"{_D} | {_IN1}", f"{_D} | r1", f"{_D} | r1"),
+    ("contains", "contains"): (None, None, None),
+    ("contains", "remove"): (f"{_D} | {_OUT1}", f"{_D} | ~r1",
+                             f"{_D} | ~r1"),
+    ("contains", "remove_"): (f"{_D} | {_OUT1}", f"{_D} | ~r1",
+                              f"{_D} | ~r1"),
+    ("contains", "size"): (None, None, None),
+    # -- remove as first operation ----------------------------------------
+    ("remove", "add"): (_D, _D, _D),
+    ("remove", "add_"): (_D, _D, _D),
+    ("remove", "contains"): (f"{_D} | {_OUT1}", f"{_D} | ~r1",
+                             f"{_D} | ~r1"),
+    ("remove", "remove"): (f"{_D} | {_OUT1}", f"{_D} | ~r1", f"{_D} | ~r1"),
+    ("remove", "remove_"): (f"{_D} | {_OUT1}", f"{_D} | ~r1",
+                            f"{_D} | ~r1"),
+    ("remove", "size"): (_OUT1, "~r1", "~r1"),
+    # -- remove_ (discarded result) as first operation --------------------
+    ("remove_", "add"): (_D, _D, _D),
+    ("remove_", "add_"): (_D, _D, _D),
+    ("remove_", "contains"): (f"{_D} | {_OUT1}", f"{_D} | {_OUT1}",
+                              f"{_D} | {_OUT1}"),
+    ("remove_", "remove"): (f"{_D} | {_OUT1}", f"{_D} | {_OUT1}",
+                            f"{_D} | {_OUT1}"),
+    ("remove_", "remove_"): (None, None, None),
+    ("remove_", "size"): (_OUT1, _OUT1, _OUT1),
+    # -- size as first operation ------------------------------------------
+    ("size", "add"): (_IN2, _IN2, "~r2"),
+    ("size", "add_"): (_IN2, _IN2, _IN2),
+    ("size", "contains"): (None, None, None),
+    ("size", "remove"): (_OUT2, _OUT2, "r2 = false"),
+    ("size", "remove_"): (_OUT2, _OUT2, _OUT2),
+    ("size", "size"): (None, None, None),
+}
+
+#: Translation of initial-state membership queries into observer calls,
+#: for the dynamically-checkable fourth column of Tables 5.2/5.3.
+_DYNAMIC_REWRITES = (
+    (_IN1, "s1.contains(v1) = true"),
+    (_OUT1, "s1.contains(v1) = false"),
+    (_IN2, "s1.contains(v2) = true"),
+    (_OUT2, "s1.contains(v2) = false"),
+)
+
+
+def dynamic_text(text: str) -> str:
+    """Rewrite abstract membership queries into observer calls."""
+    for abstract, concrete in _DYNAMIC_REWRITES:
+        text = text.replace(abstract, concrete)
+    return text
+
+
+def build() -> list[CommutativityCondition]:
+    """All 108 set-interface conditions."""
+    spec = get_spec("Set")
+    conditions = []
+    for (m1, m2), texts in TABLE.items():
+        for kind, text in zip((Kind.BEFORE, Kind.BETWEEN, Kind.AFTER), texts):
+            abstract = text if text is not None else "true"
+            conditions.append(CommutativityCondition(
+                family="Set", m1=m1, m2=m2, kind=kind, text=abstract,
+                dynamic_text=dynamic_text(abstract), spec=spec))
+    return conditions

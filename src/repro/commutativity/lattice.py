@@ -1,0 +1,104 @@
+"""The commutativity lattice: dropping clauses from sound-and-complete
+conditions (Chapter 6, after Kulkarni et al. [29]).
+
+"Our sound and complete commutativity conditions typically take the form
+of a disjunction of clauses.  Dropping clauses produces sound, simpler,
+but in general incomplete commutativity conditions. ... It is possible to
+start with a sound and complete commutativity condition and generate a
+lattice of sound commutativity conditions by dropping clauses (here the
+least upper bound is disjunction)."
+
+:func:`lattice_of` enumerates the lattice for one condition and checks
+each point's soundness (always preserved) and completeness (generally
+lost) with the bounded oracle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..eval.enumeration import Scope
+from ..logic import pretty
+from ..logic import terms as t
+from ..specs import get_spec
+from .bounded import check_condition
+from .conditions import CommutativityCondition
+
+
+def clauses_of(condition: CommutativityCondition) -> tuple[t.Term, ...]:
+    """The top-level disjuncts of the condition's formula."""
+    formula = condition.formula
+    if isinstance(formula, t.Or):
+        return formula.args
+    return (formula,)
+
+
+@dataclass(frozen=True)
+class LatticePoint:
+    """One condition in the lattice: a subset of the full disjunction."""
+
+    condition: CommutativityCondition
+    kept: tuple[int, ...]
+    formula: t.Term
+    sound: bool
+    complete: bool
+
+    @property
+    def text(self) -> str:
+        return pretty(self.formula)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tags = []
+        if self.sound:
+            tags.append("sound")
+        if self.complete:
+            tags.append("complete")
+        return f"{self.text}  [{', '.join(tags) or 'unsound'}]"
+
+
+def _point_condition(base: CommutativityCondition,
+                     formula: t.Term) -> CommutativityCondition:
+    return CommutativityCondition(
+        family=base.family, m1=base.m1, m2=base.m2, kind=base.kind,
+        text=pretty(formula), spec=base.spec)
+
+
+def lattice_of(condition: CommutativityCondition,
+               scope: Scope | None = None) -> list[LatticePoint]:
+    """All clause subsets of ``condition``, each classified by the
+    bounded oracle.  The bottom point (no clauses, i.e. ``false``) is the
+    maximally conservative sound condition; the top is the original."""
+    scope = scope or Scope()
+    spec = get_spec(condition.family)
+    disjuncts = clauses_of(condition)
+    points: list[LatticePoint] = []
+    for r in range(len(disjuncts) + 1):
+        for kept in itertools.combinations(range(len(disjuncts)), r):
+            formula = t.disj(*(disjuncts[i] for i in kept))
+            result = check_condition(
+                spec, _point_condition(condition, formula), scope)
+            sound = not any(c.direction == "soundness"
+                            for c in result.counterexamples)
+            complete = not any(c.direction == "completeness"
+                               for c in result.counterexamples)
+            points.append(LatticePoint(condition, kept, formula,
+                                       sound, complete))
+    return points
+
+
+def soundness_is_preserved(points: list[LatticePoint]) -> bool:
+    """The lattice theorem: every clause subset of a sound disjunctive
+    condition is sound (checked empirically by the oracle)."""
+    return all(p.sound for p in points)
+
+
+def completeness_frontier(points: list[LatticePoint]) -> list[LatticePoint]:
+    """The minimal complete points: no proper subset is still complete."""
+    complete = [p for p in points if p.complete]
+    frontier = []
+    for p in complete:
+        kept = set(p.kept)
+        if not any(set(q.kept) < kept for q in complete):
+            frontier.append(p)
+    return frontier

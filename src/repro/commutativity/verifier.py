@@ -1,0 +1,101 @@
+"""Verification orchestration: run every testing method for a data
+structure through a backend and record timings (Table 5.8).
+
+Backends:
+
+- ``"bounded"`` — the exhaustive finite-scope checker
+  (:mod:`repro.commutativity.bounded`);
+- ``"symbolic"`` — the unbounded-base-state symbolic engine
+  (:mod:`repro.solver.engine`), which mirrors the role Jahob's integrated
+  provers play in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..eval.enumeration import Scope
+from ..specs import get_spec
+from .bounded import CheckResult, check_conditions
+from .catalog import conditions_for
+from .conditions import CommutativityCondition
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying all conditions of one data structure."""
+
+    name: str
+    backend: str
+    results: list[CheckResult] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def condition_count(self) -> int:
+        return len(self.results)
+
+    @property
+    def method_count(self) -> int:
+        """Soundness + completeness testing methods (2 per condition)."""
+        return 2 * len(self.results)
+
+    @property
+    def verified_count(self) -> int:
+        return sum(1 for r in self.results if r.verified)
+
+    @property
+    def all_verified(self) -> bool:
+        return self.verified_count == self.condition_count
+
+    def failures(self) -> list[CheckResult]:
+        return [r for r in self.results if not r.verified]
+
+    def summary(self) -> str:
+        status = "all verified" if self.all_verified else (
+            f"{self.condition_count - self.verified_count} FAILED")
+        return (f"{self.name}: {self.condition_count} conditions "
+                f"({self.method_count} testing methods) via {self.backend} "
+                f"backend, {status}, {self.elapsed:.2f}s")
+
+
+def _group_by_pair(conditions: list[CommutativityCondition]) \
+        -> dict[tuple[str, str], list[CommutativityCondition]]:
+    groups: dict[tuple[str, str], list[CommutativityCondition]] = {}
+    for cond in conditions:
+        groups.setdefault((cond.m1, cond.m2), []).append(cond)
+    return groups
+
+
+def verify_data_structure(name: str, scope: Scope | None = None,
+                          backend: str = "bounded",
+                          use_dynamic: bool = False) -> VerificationReport:
+    """Verify every commutativity condition of one data structure."""
+    scope = scope or Scope()
+    spec = get_spec(name)
+    conditions = conditions_for(name)
+    report = VerificationReport(name=name, backend=backend)
+    start = time.perf_counter()
+    if backend == "bounded":
+        for group in _group_by_pair(conditions).values():
+            report.results.extend(
+                check_conditions(spec, group, scope, use_dynamic=use_dynamic))
+    elif backend == "symbolic":
+        from ..solver.engine import check_condition_symbolic
+        for cond in conditions:
+            report.results.append(
+                check_condition_symbolic(spec, cond, scope))
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    report.elapsed = time.perf_counter() - start
+    return report
+
+
+def verify_all(scope: Scope | None = None, backend: str = "bounded",
+               names: tuple[str, ...] = ("Accumulator", "ListSet", "HashSet",
+                                         "AssociationList", "HashTable",
+                                         "ArrayList")) \
+        -> dict[str, VerificationReport]:
+    """Verify the full catalog for all six data structures (Table 5.8)."""
+    return {name: verify_data_structure(name, scope, backend)
+            for name in names}

@@ -1,0 +1,15 @@
+"""Finite semantics: values, interpreter, and scope enumeration."""
+
+from .values import (FMap, Record, Obj, seq_index_of, seq_last_index_of,
+                     seq_insert, seq_remove, seq_update)
+from .interpreter import EvalContext, EvalError, evaluate
+from .enumeration import (Scope, subsets, partial_maps, sequences,
+                          argument_tuples)
+
+__all__ = [
+    "FMap", "Record", "Obj",
+    "seq_index_of", "seq_last_index_of", "seq_insert", "seq_remove",
+    "seq_update",
+    "EvalContext", "EvalError", "evaluate",
+    "Scope", "subsets", "partial_maps", "sequences", "argument_tuples",
+]

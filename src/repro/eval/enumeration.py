@@ -1,0 +1,62 @@
+"""Finite-scope enumeration of abstract states and operation arguments.
+
+The bounded verification backend checks Properties 1-3 of Chapter 4 by
+exhaustively executing the generated testing methods over every abstract
+state and argument tuple within a :class:`Scope`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from .values import FMap, Obj
+
+
+@dataclass(frozen=True)
+class Scope:
+    """Bounds of an exhaustive check.
+
+    ``objects`` are candidate set elements / map keys / sequence elements;
+    ``values`` are candidate map values; ``ints`` are candidate integer
+    arguments (Accumulator increments); ``max_seq_len`` bounds ArrayList
+    states.
+    """
+
+    objects: tuple[str, ...] = ("a", "b", "c")
+    values: tuple[str, ...] = ("x", "y")
+    ints: tuple[int, ...] = (-2, -1, 0, 1, 2)
+    max_seq_len: int = 3
+
+    def smaller(self) -> "Scope":
+        """A reduced scope for quick smoke checks."""
+        return Scope(objects=self.objects[:2], values=self.values[:2],
+                     ints=(-1, 0, 1), max_seq_len=2)
+
+
+def subsets(objects: tuple[str, ...]) -> Iterator[frozenset[str]]:
+    """All subsets of ``objects``."""
+    for r in range(len(objects) + 1):
+        for combo in itertools.combinations(objects, r):
+            yield frozenset(combo)
+
+
+def partial_maps(keys: tuple[str, ...],
+                 values: tuple[str, ...]) -> Iterator[FMap]:
+    """All partial maps from ``keys`` to ``values``."""
+    choices: list[tuple[Any, ...]] = [(None,) + values for _ in keys]
+    for assignment in itertools.product(*choices):
+        yield FMap({k: v for k, v in zip(keys, assignment) if v is not None})
+
+
+def sequences(objects: tuple[str, ...],
+              max_len: int) -> Iterator[tuple[Obj, ...]]:
+    """All sequences over ``objects`` up to length ``max_len``."""
+    for length in range(max_len + 1):
+        yield from itertools.product(objects, repeat=length)
+
+
+def argument_tuples(*domains: tuple[Any, ...]) -> Iterator[tuple[Any, ...]]:
+    """Cartesian product of argument domains."""
+    yield from itertools.product(*domains)

@@ -1,0 +1,221 @@
+"""Big-step interpreter for the specification logic over finite values.
+
+This is the semantic ground truth of the repository: the bounded
+verification backend evaluates commutativity conditions and the generated
+testing methods with this interpreter, and both the compiled-formula
+backend and the symbolic engine are tested against it.
+
+Quantifiers range over finite domains.  For the paper's conditions every
+quantifier is index- or element-bounded, so the interpreter derives a
+sufficient domain from the environment (all integers that index into any
+sequence in scope, all objects present in any collection or variable),
+and callers can override the domains explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from ..logic import terms as t
+from ..logic.sorts import Sort
+from .values import (FMap, Record, seq_index_of, seq_insert,
+                     seq_last_index_of, seq_remove, seq_update)
+
+#: Dispatch for semantic observer calls: (state_value, method, args) -> value.
+Observer = Callable[[Any, str, tuple[Any, ...]], Any]
+
+
+class EvalError(ValueError):
+    """Raised when a term cannot be evaluated in the given environment."""
+
+
+@dataclass
+class EvalContext:
+    """Evaluation parameters: observer dispatch and quantifier domains."""
+
+    observe: Observer | None = None
+    int_domain: tuple[int, ...] | None = None
+    obj_domain: tuple[Any, ...] | None = None
+
+    def domains_for(self, env: Mapping[str, Any]) \
+            -> tuple[tuple[int, ...], tuple[Any, ...]]:
+        """Quantifier domains: explicit if set, else derived from ``env``."""
+        if self.int_domain is not None and self.obj_domain is not None:
+            return self.int_domain, self.obj_domain
+        ints: set[int] = {-1, 0}
+        objs: set[Any] = {None}
+
+        def visit(value: Any) -> None:
+            if isinstance(value, bool):
+                return
+            if isinstance(value, int):
+                ints.add(value)
+                ints.add(value + 1)
+                ints.add(value - 1)
+            elif isinstance(value, str) or value is None:
+                objs.add(value)
+            elif isinstance(value, frozenset):
+                objs.update(value)
+            elif isinstance(value, tuple):
+                ints.update(range(len(value) + 2))
+                objs.update(value)
+            elif isinstance(value, FMap):
+                for k, v in value.items():
+                    objs.add(k)
+                    objs.add(v)
+                ints.add(len(value))
+            elif isinstance(value, Record):
+                for v in value.values():
+                    visit(v)
+
+        for value in env.values():
+            visit(value)
+        return (tuple(sorted(ints)),
+                tuple(sorted(objs, key=lambda o: (o is None, o or ""))))
+
+
+def evaluate(term: t.Term, env: Mapping[str, Any],
+             ctx: EvalContext | None = None) -> Any:
+    """Evaluate ``term`` in environment ``env``."""
+    if ctx is None:
+        ctx = EvalContext()
+    return _eval(term, dict(env), ctx)
+
+
+def _eval(term: t.Term, env: dict[str, Any], ctx: EvalContext) -> Any:
+    if isinstance(term, t.Var):
+        try:
+            return env[term.name]
+        except KeyError:
+            raise EvalError(f"unbound variable {term.name!r}") from None
+    if isinstance(term, t.BoolConst):
+        return term.value
+    if isinstance(term, t.IntConst):
+        return term.value
+    if isinstance(term, t.ObjConst):
+        return term.name
+    if isinstance(term, t.Null):
+        return None
+    if isinstance(term, t.Not):
+        return not _eval(term.arg, env, ctx)
+    if isinstance(term, t.And):
+        return all(_eval(a, env, ctx) for a in term.args)
+    if isinstance(term, t.Or):
+        return any(_eval(a, env, ctx) for a in term.args)
+    if isinstance(term, t.Implies):
+        return (not _eval(term.lhs, env, ctx)) or _eval(term.rhs, env, ctx)
+    if isinstance(term, t.Iff):
+        return _eval(term.lhs, env, ctx) == _eval(term.rhs, env, ctx)
+    if isinstance(term, t.Ite):
+        branch = term.then if _eval(term.cond, env, ctx) else term.els
+        return _eval(branch, env, ctx)
+    if isinstance(term, t.Eq):
+        return _eval(term.lhs, env, ctx) == _eval(term.rhs, env, ctx)
+    if isinstance(term, t.Lt):
+        return _eval(term.lhs, env, ctx) < _eval(term.rhs, env, ctx)
+    if isinstance(term, t.Le):
+        return _eval(term.lhs, env, ctx) <= _eval(term.rhs, env, ctx)
+    if isinstance(term, t.Add):
+        return sum(_eval(a, env, ctx) for a in term.args)
+    if isinstance(term, t.Sub):
+        return _eval(term.lhs, env, ctx) - _eval(term.rhs, env, ctx)
+    if isinstance(term, t.Neg):
+        return -_eval(term.arg, env, ctx)
+    if isinstance(term, t.Member):
+        return _eval(term.elem, env, ctx) in _eval(term.set_, env, ctx)
+    if isinstance(term, t.Union):
+        return _eval(term.lhs, env, ctx) | _eval(term.rhs, env, ctx)
+    if isinstance(term, t.Inter):
+        return _eval(term.lhs, env, ctx) & _eval(term.rhs, env, ctx)
+    if isinstance(term, t.Diff):
+        return _eval(term.lhs, env, ctx) - _eval(term.rhs, env, ctx)
+    if isinstance(term, t.FiniteSet):
+        return frozenset(_eval(e, env, ctx) for e in term.elems)
+    if isinstance(term, t.Card):
+        return len(_eval(term.set_, env, ctx))
+    if isinstance(term, t.SubsetEq):
+        return _eval(term.lhs, env, ctx) <= _eval(term.rhs, env, ctx)
+    if isinstance(term, t.MapGet):
+        return _eval(term.map_, env, ctx).lookup(_eval(term.key, env, ctx))
+    if isinstance(term, t.MapHasKey):
+        return _eval(term.key, env, ctx) in _eval(term.map_, env, ctx)
+    if isinstance(term, t.MapPut):
+        return _eval(term.map_, env, ctx).put(
+            _eval(term.key, env, ctx), _eval(term.value, env, ctx))
+    if isinstance(term, t.MapRemoveKey):
+        return _eval(term.map_, env, ctx).remove(_eval(term.key, env, ctx))
+    if isinstance(term, t.MapSize):
+        return len(_eval(term.map_, env, ctx))
+    if isinstance(term, t.MapKeys):
+        return frozenset(_eval(term.map_, env, ctx))
+    if isinstance(term, t.SeqLen):
+        return len(_eval(term.seq, env, ctx))
+    if isinstance(term, t.SeqGet):
+        seq = _eval(term.seq, env, ctx)
+        index = _eval(term.index, env, ctx)
+        if not 0 <= index < len(seq):
+            raise EvalError(f"sequence index {index} out of range "
+                            f"0..{len(seq) - 1}")
+        return seq[index]
+    if isinstance(term, t.SeqInsert):
+        seq = _eval(term.seq, env, ctx)
+        index = _eval(term.index, env, ctx)
+        if not 0 <= index <= len(seq):
+            raise EvalError(f"insert index {index} out of range 0..{len(seq)}")
+        return seq_insert(seq, index, _eval(term.value, env, ctx))
+    if isinstance(term, t.SeqRemove):
+        seq = _eval(term.seq, env, ctx)
+        index = _eval(term.index, env, ctx)
+        if not 0 <= index < len(seq):
+            raise EvalError(f"remove index {index} out of range")
+        return seq_remove(seq, index)
+    if isinstance(term, t.SeqUpdate):
+        seq = _eval(term.seq, env, ctx)
+        index = _eval(term.index, env, ctx)
+        if not 0 <= index < len(seq):
+            raise EvalError(f"update index {index} out of range")
+        return seq_update(seq, index, _eval(term.value, env, ctx))
+    if isinstance(term, t.SeqIndexOf):
+        return seq_index_of(_eval(term.seq, env, ctx),
+                            _eval(term.value, env, ctx))
+    if isinstance(term, t.SeqLastIndexOf):
+        return seq_last_index_of(_eval(term.seq, env, ctx),
+                                 _eval(term.value, env, ctx))
+    if isinstance(term, t.SeqContains):
+        return _eval(term.value, env, ctx) in _eval(term.seq, env, ctx)
+    if isinstance(term, t.Field):
+        state = _eval(term.state, env, ctx)
+        return state[term.name]
+    if isinstance(term, t.ObserverCall):
+        if ctx.observe is None:
+            raise EvalError(
+                f"observer {term.method!r} used without a dispatcher")
+        state = _eval(term.state, env, ctx)
+        args = tuple(_eval(a, env, ctx) for a in term.args)
+        return ctx.observe(state, term.method, args)
+    if isinstance(term, (t.Forall, t.Exists)):
+        ints, objs = ctx.domains_for(env)
+        domain = ints if term.var.var_sort is Sort.INT else objs
+        saved = env.get(term.var.name, _MISSING)
+        result = isinstance(term, t.Forall)
+        try:
+            for value in domain:
+                env[term.var.name] = value
+                truth = _eval(term.body, env, ctx)
+                if isinstance(term, t.Forall) and not truth:
+                    result = False
+                    break
+                if isinstance(term, t.Exists) and truth:
+                    result = True
+                    break
+        finally:
+            if saved is _MISSING:
+                env.pop(term.var.name, None)
+            else:
+                env[term.var.name] = saved
+        return result
+    raise EvalError(f"cannot evaluate {type(term).__name__}")
+
+
+_MISSING = object()

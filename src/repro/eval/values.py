@@ -1,0 +1,136 @@
+"""Finite semantic values for the specification logic.
+
+Object references are interned strings (``"a"``, ``"b"``, ...) with
+``None`` playing the role of ``null``.  Sets are ``frozenset``; sequences
+are tuples; partial maps are :class:`FMap`, a small immutable hashable
+dictionary; abstract data-structure states are :class:`Record`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+Obj = str | None
+
+
+class FMap(Mapping[str, Any]):
+    """An immutable, hashable partial map used as the map abstract state."""
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: Mapping[str, Any] | None = None) -> None:
+        data = dict(items) if items else {}
+        object.__setattr__(self, "_items", data)
+        object.__setattr__(
+            self, "_hash", hash(frozenset(data.items())))
+
+    # Mapping interface -----------------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        return self._items[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FMap):
+            return self._items == other._items
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k!r}: {v!r}" for k, v in sorted(self._items.items()))
+        return "FMap({" + inner + "})"
+
+    # Functional updates ----------------------------------------------------
+
+    def put(self, key: str, value: Any) -> "FMap":
+        data = dict(self._items)
+        data[key] = value
+        return FMap(data)
+
+    def remove(self, key: str) -> "FMap":
+        if key not in self._items:
+            return self
+        data = dict(self._items)
+        del data[key]
+        return FMap(data)
+
+    def lookup(self, key: str) -> Any:
+        """Value for ``key``, or ``None`` (null) when unmapped."""
+        return self._items.get(key)
+
+
+class Record(Mapping[str, Any]):
+    """An immutable record of named fields — an abstract data-structure
+    state such as ``{contents: {a, b}, size: 2}``."""
+
+    __slots__ = ("_fields", "_hash")
+
+    def __init__(self, **fields: Any) -> None:
+        object.__setattr__(self, "_fields", dict(fields))
+        object.__setattr__(
+            self, "_hash", hash(tuple(sorted(
+                (k, v) for k, v in fields.items()))))
+
+    def __getitem__(self, name: str) -> Any:
+        return self._fields[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Record):
+            return self._fields == other._fields
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._fields.items()))
+        return f"Record({inner})"
+
+    def replace(self, **updates: Any) -> "Record":
+        data = dict(self._fields)
+        data.update(updates)
+        return Record(**data)
+
+
+def seq_index_of(seq: tuple[Obj, ...], value: Obj) -> int:
+    """Index of the first occurrence of ``value`` in ``seq``, or -1."""
+    for i, item in enumerate(seq):
+        if item == value:
+            return i
+    return -1
+
+
+def seq_last_index_of(seq: tuple[Obj, ...], value: Obj) -> int:
+    """Index of the last occurrence of ``value`` in ``seq``, or -1."""
+    for i in range(len(seq) - 1, -1, -1):
+        if seq[i] == value:
+            return i
+    return -1
+
+
+def seq_insert(seq: tuple[Obj, ...], index: int, value: Obj) -> tuple[Obj, ...]:
+    """The sequence with ``value`` inserted at ``index`` (0 <= i <= len)."""
+    return seq[:index] + (value,) + seq[index:]
+
+
+def seq_remove(seq: tuple[Obj, ...], index: int) -> tuple[Obj, ...]:
+    """The sequence with the element at ``index`` removed."""
+    return seq[:index] + seq[index + 1:]
+
+
+def seq_update(seq: tuple[Obj, ...], index: int, value: Obj) -> tuple[Obj, ...]:
+    """The sequence with the element at ``index`` replaced by ``value``."""
+    return seq[:index] + (value,) + seq[index + 1:]

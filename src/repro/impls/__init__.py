@@ -1,0 +1,18 @@
+"""Concrete linked data structure implementations with abstraction
+functions (the paper's verified Java data structures, Chapter 5)."""
+
+from .accumulator import Accumulator
+from .arraylist import ArrayList
+from .association_list import AssociationList
+from .hashset import HashSet
+from .hashtable import HashTable
+from .listset import ListSet
+from .refinement import (IMPLEMENTATIONS, RefinementViolation,
+                         build_from_state, check_refinement, invoke,
+                         new_instance)
+
+__all__ = [
+    "Accumulator", "ArrayList", "AssociationList", "HashSet", "HashTable",
+    "ListSet", "IMPLEMENTATIONS", "RefinementViolation", "build_from_state",
+    "check_refinement", "invoke", "new_instance",
+]

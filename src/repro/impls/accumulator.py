@@ -1,0 +1,28 @@
+"""Accumulator: a counter that clients can increase and read
+(Chapter 5)."""
+
+from __future__ import annotations
+
+from ..eval.values import Record
+
+
+class Accumulator:
+    """An integer counter with ``increase`` and ``read``."""
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def increase(self, v: int) -> None:
+        """Add ``v`` to the counter."""
+        self._value += v
+
+    def read(self) -> int:
+        """The current counter value."""
+        return self._value
+
+    def abstract_state(self) -> Record:
+        """The abstraction function (the identity, for a counter)."""
+        return Record(value=self._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Accumulator({self._value})"

@@ -1,0 +1,108 @@
+"""ArrayList: a dense map from integers to objects backed by a growable
+array (Chapter 5).  ``add_at`` shifts elements up, ``remove_at`` shifts
+them down, exactly as the paper's operations describe."""
+
+from __future__ import annotations
+
+from ..eval.values import Record
+
+
+class ArrayList:
+    """A dense integer-indexed map backed by a growable array.
+
+    The backing array over-allocates (doubling growth), so two ArrayLists
+    with the same abstract sequence may have different capacities and
+    stale slots beyond ``size`` — concrete differences the abstraction
+    function erases.
+    """
+
+    _INITIAL_CAPACITY = 4
+
+    def __init__(self) -> None:
+        self._data: list[str | None] = [None] * self._INITIAL_CAPACITY
+        self._size = 0
+
+    # -- specified operations -------------------------------------------------
+
+    def add_at(self, i: int, v: str) -> None:
+        """Insert ``v`` at index ``i``, shifting later elements up."""
+        if v is None:
+            raise ValueError("v must not be null")
+        if not 0 <= i <= self._size:
+            raise IndexError(f"add_at index {i} out of range 0..{self._size}")
+        if self._size == len(self._data):
+            self._grow()
+        for j in range(self._size, i, -1):
+            self._data[j] = self._data[j - 1]
+        self._data[i] = v
+        self._size += 1
+
+    def get(self, i: int) -> str:
+        """The element at index ``i``."""
+        self._check_index(i)
+        return self._data[i]
+
+    def indexOf(self, v: str) -> int:
+        """Index of the first occurrence of ``v``, or -1."""
+        if v is None:
+            raise ValueError("v must not be null")
+        for j in range(self._size):
+            if self._data[j] == v:
+                return j
+        return -1
+
+    def lastIndexOf(self, v: str) -> int:
+        """Index of the last occurrence of ``v``, or -1."""
+        if v is None:
+            raise ValueError("v must not be null")
+        for j in range(self._size - 1, -1, -1):
+            if self._data[j] == v:
+                return j
+        return -1
+
+    def remove_at(self, i: int) -> str:
+        """Remove and return the element at ``i``, shifting later
+        elements down."""
+        self._check_index(i)
+        removed = self._data[i]
+        for j in range(i, self._size - 1):
+            self._data[j] = self._data[j + 1]
+        self._size -= 1
+        # The stale trailing slot is deliberately left behind: it is a
+        # concrete-state artifact invisible through the abstraction.
+        return removed
+
+    def set(self, i: int, v: str) -> str:
+        """Replace the element at ``i``; returns the replaced element."""
+        if v is None:
+            raise ValueError("v must not be null")
+        self._check_index(i)
+        replaced = self._data[i]
+        self._data[i] = v
+        return replaced
+
+    def size(self) -> int:
+        """Number of elements."""
+        return self._size
+
+    # -- internals --------------------------------------------------------------
+
+    def _check_index(self, i: int) -> None:
+        if not 0 <= i < self._size:
+            raise IndexError(f"index {i} out of range 0..{self._size - 1}")
+
+    def _grow(self) -> None:
+        self._data.extend([None] * len(self._data))
+
+    # -- abstraction function -----------------------------------------------------
+
+    def abstract_state(self) -> Record:
+        """The abstraction function: backing array -> abstract sequence."""
+        return Record(elems=tuple(self._data[:self._size]), size=self._size)
+
+    def capacity(self) -> int:
+        """Backing-array capacity (a concrete-only attribute)."""
+        return len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArrayList({list(self._data[:self._size])})"

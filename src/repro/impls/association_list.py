@@ -1,0 +1,111 @@
+"""AssociationList: a map implemented as a singly-linked list of
+key/value pairs (Chapter 5).
+
+``put`` on a fresh key prepends a new pair node, so the list order
+records insertion history; ``put`` on an existing key overwrites the
+value in place.  The abstraction function forgets the order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..eval.values import FMap, Record
+
+
+class _Node:
+    __slots__ = ("key", "value", "next")
+
+    def __init__(self, key: str, value: str, next_: "_Node | None") -> None:
+        self.key = key
+        self.value = value
+        self.next = next_
+
+
+class AssociationList:
+    """A map from objects to objects backed by a linked pair list."""
+
+    def __init__(self) -> None:
+        self._head: _Node | None = None
+        self._size = 0
+
+    # -- specified operations -------------------------------------------------
+
+    def containsKey(self, k: str) -> bool:
+        """True iff ``k`` is mapped."""
+        if k is None:
+            raise ValueError("k must not be null")
+        return self._find(k) is not None
+
+    def get(self, k: str) -> str | None:
+        """The value mapped to ``k``, or None (null) if unmapped."""
+        if k is None:
+            raise ValueError("k must not be null")
+        node = self._find(k)
+        return node.value if node is not None else None
+
+    def put(self, k: str, v: str) -> str | None:
+        """Map ``k`` to ``v``; returns the previous value or None."""
+        if k is None or v is None:
+            raise ValueError("k and v must not be null")
+        node = self._find(k)
+        if node is not None:
+            previous = node.value
+            node.value = v
+            return previous
+        self._head = _Node(k, v, self._head)
+        self._size += 1
+        return None
+
+    def remove(self, k: str) -> str | None:
+        """Unmap ``k``; returns the previous value or None."""
+        if k is None:
+            raise ValueError("k must not be null")
+        prev: _Node | None = None
+        node = self._head
+        while node is not None:
+            if node.key == k:
+                if prev is None:
+                    self._head = node.next
+                else:
+                    prev.next = node.next
+                self._size -= 1
+                return node.value
+            prev = node
+            node = node.next
+        return None
+
+    def size(self) -> int:
+        """Number of key/value pairs."""
+        return self._size
+
+    # -- internals --------------------------------------------------------------
+
+    def _find(self, k: str) -> _Node | None:
+        node = self._head
+        while node is not None:
+            if node.key == k:
+                return node
+            node = node.next
+        return None
+
+    # -- abstraction function -----------------------------------------------------
+
+    def abstract_state(self) -> Record:
+        """The abstraction function: pair list -> abstract map state."""
+        return Record(contents=FMap(dict(self._iter_pairs())),
+                      size=self._size)
+
+    def _iter_pairs(self) -> Iterator[tuple[str, str]]:
+        node = self._head
+        while node is not None:
+            yield node.key, node.value
+            node = node.next
+
+    def concrete_shape(self) -> tuple[tuple[str, str], ...]:
+        """The concrete pair order."""
+        return tuple(self._iter_pairs())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = ", ".join(f"{k}->{v}" for k, v in self._iter_pairs())
+        return f"AssociationList({pairs})"

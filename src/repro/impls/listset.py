@@ -1,0 +1,98 @@
+"""ListSet: a set implemented as a singly-linked list (Chapter 5).
+
+This is the motivating example from Section 1.1: insertions commute at
+the *semantic* level (any insertion order yields the same abstract set)
+but not at the concrete level (different orders produce different linked
+lists).  New elements are prepended, so the node order records insertion
+history — exactly the concrete-state divergence the paper's abstraction
+function erases.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..eval.values import Record
+
+
+class _Node:
+    __slots__ = ("value", "next")
+
+    def __init__(self, value: str, next_: "_Node | None") -> None:
+        self.value = value
+        self.next = next_
+
+
+class ListSet:
+    """A set of objects backed by a singly-linked list."""
+
+    def __init__(self) -> None:
+        self._head: _Node | None = None
+        self._size = 0
+
+    # -- specified operations -------------------------------------------------
+
+    def add(self, v: str) -> bool:
+        """Add ``v``; returns True iff it was not already present."""
+        if v is None:
+            raise ValueError("v must not be null")
+        if self.contains(v):
+            return False
+        self._head = _Node(v, self._head)
+        self._size += 1
+        return True
+
+    def contains(self, v: str) -> bool:
+        """True iff ``v`` is in the set."""
+        if v is None:
+            raise ValueError("v must not be null")
+        node = self._head
+        while node is not None:
+            if node.value == v:
+                return True
+            node = node.next
+        return False
+
+    def remove(self, v: str) -> bool:
+        """Remove ``v``; returns True iff it was present."""
+        if v is None:
+            raise ValueError("v must not be null")
+        prev: _Node | None = None
+        node = self._head
+        while node is not None:
+            if node.value == v:
+                if prev is None:
+                    self._head = node.next
+                else:
+                    prev.next = node.next
+                self._size -= 1
+                return True
+            prev = node
+            node = node.next
+        return False
+
+    def size(self) -> int:
+        """Number of elements."""
+        return self._size
+
+    # -- abstraction function --------------------------------------------------
+
+    def abstract_state(self) -> Record:
+        """The abstraction function: concrete list -> abstract set state."""
+        return Record(contents=frozenset(self._iter_values()),
+                      size=self._size)
+
+    def _iter_values(self) -> Iterator[str]:
+        node = self._head
+        while node is not None:
+            yield node.value
+            node = node.next
+
+    def concrete_shape(self) -> tuple[str, ...]:
+        """The concrete node order (for tests demonstrating that different
+        operation orders yield different concrete but equal abstract
+        states)."""
+        return tuple(self._iter_values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ListSet({' -> '.join(self._iter_values())})"

@@ -1,0 +1,137 @@
+"""Refinement checking: concrete implementations against abstract specs.
+
+The paper builds on *fully verified* data structure implementations
+([52, 53]): each concrete structure provably implements its abstract
+specification through an abstraction function.  We discharge the same
+obligation by checking, exhaustively over a scope and property-based in
+the test suite, that every concrete operation's effect and return value
+match the executable abstract semantics — and that the postcondition
+formulas hold of the transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..eval.enumeration import Scope
+from ..eval.interpreter import EvalContext, evaluate
+from ..eval.values import Record
+from ..specs import DataStructureSpec, get_spec
+from .accumulator import Accumulator
+from .arraylist import ArrayList
+from .association_list import AssociationList
+from .hashset import HashSet
+from .hashtable import HashTable
+from .listset import ListSet
+
+#: Concrete class per data structure name.
+IMPLEMENTATIONS: dict[str, type] = {
+    "ListSet": ListSet,
+    "HashSet": HashSet,
+    "AssociationList": AssociationList,
+    "HashTable": HashTable,
+    "ArrayList": ArrayList,
+    "Accumulator": Accumulator,
+}
+
+
+def new_instance(name: str) -> Any:
+    """A fresh concrete data structure."""
+    return IMPLEMENTATIONS[name]()
+
+
+def build_from_state(name: str, state: Record) -> Any:
+    """Construct a concrete structure whose abstract state is ``state``."""
+    impl = new_instance(name)
+    spec = get_spec(name)
+    if spec.name == "Set":
+        for v in sorted(state["contents"]):
+            impl.add(v)
+    elif spec.name == "Map":
+        for k in sorted(state["contents"]):
+            impl.put(k, state["contents"][k])
+    elif spec.name == "ArrayList":
+        for i, v in enumerate(state["elems"]):
+            impl.add_at(i, v)
+    else:  # Accumulator
+        impl.increase(state["value"])
+    built = impl.abstract_state()
+    if built != state:
+        raise AssertionError(f"build_from_state produced {built}, "
+                             f"wanted {state}")
+    return impl
+
+
+def invoke(impl: Any, op_name: str, args: tuple[Any, ...]) -> Any:
+    """Invoke a (possibly discard-variant) operation on a concrete
+    structure; discard variants return None like their specs."""
+    method: Callable = getattr(impl, op_name.rstrip("_"))
+    result = method(*args)
+    if op_name.endswith("_"):
+        return None
+    return result
+
+
+@dataclass(frozen=True)
+class RefinementViolation:
+    name: str
+    op: str
+    state: Record
+    args: tuple[Any, ...]
+    reason: str
+
+
+def check_refinement(name: str, scope: Scope | None = None,
+                     max_violations: int = 5) -> list[RefinementViolation]:
+    """Exhaustively check that ``name``'s implementation refines its spec.
+
+    For every in-scope abstract state and operation application: build a
+    concrete structure with that abstract state, run the operation on
+    both the structure and the abstract semantics, and compare the
+    return value, the resulting abstract state, and the postcondition.
+    """
+    scope = scope or Scope()
+    spec = get_spec(name)
+    violations: list[RefinementViolation] = []
+    ctx = EvalContext(observe=spec.observe)
+    for state in spec.states(scope):
+        for op in spec.operations.values():
+            for args in spec.arguments(op, scope):
+                if not spec.precondition_holds(op, state, args):
+                    continue
+                expected_state, expected_result = op.semantics(state, args)
+                impl = build_from_state(name, state)
+                actual_result = invoke(impl, op.name, args)
+                actual_state = impl.abstract_state()
+                reason = None
+                if actual_result != expected_result:
+                    reason = (f"result {actual_result!r} != spec "
+                              f"{expected_result!r}")
+                elif actual_state != expected_state:
+                    reason = (f"abstract state {actual_state} != spec "
+                              f"{expected_state}")
+                elif op.postcondition is not None:
+                    env = _post_env(spec, op, state, actual_state,
+                                    args, actual_result)
+                    if not evaluate(op.postcondition, env, ctx):
+                        reason = "postcondition formula violated"
+                if reason is not None:
+                    violations.append(RefinementViolation(
+                        name, op.name, state, args, reason))
+                    if len(violations) >= max_violations:
+                        return violations
+    return violations
+
+
+def _post_env(spec: DataStructureSpec, op: Any, old: Record, new: Record,
+              args: tuple[Any, ...], result: Any) -> dict[str, Any]:
+    env: dict[str, Any] = {}
+    for fname in spec.state_fields:
+        env[f"old_{fname}"] = old[fname]
+        env[fname] = new[fname]
+    for param, value in zip(op.params, args):
+        env[param.name] = value
+    if op.result_sort is not None:
+        env["result"] = result
+    return env

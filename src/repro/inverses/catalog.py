@@ -1,0 +1,138 @@
+"""The inverse-operation catalog (Table 5.10).
+
+Every operation that changes a data structure's abstract state has a
+specified inverse that restores the original *abstract* state (the
+concrete state may differ — e.g. a re-inserted list element may land in
+a different position, Section 1.3).  Inverses use the original
+operation's return value to carry the information they need: ``put``'s
+previous value, ``remove_at``'s removed element, and so on.
+
+The undo program is a tiny guarded-call language (mirroring the inverse
+testing methods of Figures 2-3/2-4): an optional guard on the return
+value selects between a *then* call sequence and an *else* sequence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ArgKind(enum.Enum):
+    """How an inverse-call argument is obtained."""
+
+    PARAM = "param"          # a parameter of the original operation
+    RESULT = "result"        # the original operation's return value
+    NEG_RESULT = "neg"       # unused; kept for symmetry with NEG_PARAM
+    NEG_PARAM = "neg_param"  # arithmetic negation of a parameter
+
+
+@dataclass(frozen=True)
+class Arg:
+    kind: ArgKind
+    name: str | None = None
+
+    @staticmethod
+    def param(name: str) -> "Arg":
+        return Arg(ArgKind.PARAM, name)
+
+    @staticmethod
+    def result() -> "Arg":
+        return Arg(ArgKind.RESULT)
+
+    @staticmethod
+    def neg_param(name: str) -> "Arg":
+        return Arg(ArgKind.NEG_PARAM, name)
+
+
+class Guard(enum.Enum):
+    """Guard on the original operation's return value."""
+
+    NONE = "none"                    # unconditional
+    RESULT_TRUE = "result"           # if (r) { ... }
+    RESULT_NOT_NULL = "result_null"  # if (r != null) { ... } else { ... }
+
+
+@dataclass(frozen=True)
+class InverseCall:
+    op: str
+    args: tuple[Arg, ...]
+
+    def render(self, receiver: str = "s") -> str:
+        parts = []
+        for arg in self.args:
+            if arg.kind is ArgKind.PARAM:
+                parts.append(arg.name)
+            elif arg.kind is ArgKind.NEG_PARAM:
+                parts.append(f"-{arg.name}")
+            else:
+                parts.append("r")
+        return f"{receiver}.{self.op.rstrip('_')}({', '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class InverseSpec:
+    """One row of Table 5.10."""
+
+    family: str
+    op: str
+    guard: Guard
+    then: tuple[InverseCall, ...]
+    els: tuple[InverseCall, ...] = field(default=())
+
+    def render(self, receiver: str = "s2") -> str:
+        """Render the inverse column of Table 5.10."""
+        then_text = "; ".join(c.render(receiver) for c in self.then)
+        if self.guard is Guard.NONE:
+            return then_text
+        if self.guard is Guard.RESULT_TRUE:
+            return f"if r = true then {then_text}"
+        els_text = "; ".join(c.render(receiver) for c in self.els)
+        if self.els:
+            return f"if r ~= null then {then_text} else {els_text}"
+        return f"if r ~= null then {then_text}"
+
+
+#: The eight inverse operations of Table 5.10.
+INVERSES: tuple[InverseSpec, ...] = (
+    InverseSpec(
+        family="Accumulator", op="increase", guard=Guard.NONE,
+        then=(InverseCall("increase", (Arg.neg_param("v"),)),)),
+    InverseSpec(
+        family="Set", op="add", guard=Guard.RESULT_TRUE,
+        then=(InverseCall("remove", (Arg.param("v"),)),)),
+    InverseSpec(
+        family="Set", op="remove", guard=Guard.RESULT_TRUE,
+        then=(InverseCall("add", (Arg.param("v"),)),)),
+    InverseSpec(
+        family="Map", op="put", guard=Guard.RESULT_NOT_NULL,
+        then=(InverseCall("put", (Arg.param("k"), Arg.result())),),
+        els=(InverseCall("remove", (Arg.param("k"),)),)),
+    InverseSpec(
+        family="Map", op="remove", guard=Guard.RESULT_NOT_NULL,
+        then=(InverseCall("put", (Arg.param("k"), Arg.result())),)),
+    InverseSpec(
+        family="ArrayList", op="add_at", guard=Guard.NONE,
+        then=(InverseCall("remove_at", (Arg.param("i"),)),)),
+    InverseSpec(
+        family="ArrayList", op="remove_at", guard=Guard.NONE,
+        then=(InverseCall("add_at", (Arg.param("i"), Arg.result())),)),
+    InverseSpec(
+        family="ArrayList", op="set", guard=Guard.NONE,
+        then=(InverseCall("set", (Arg.param("i"), Arg.result())),)),
+)
+
+
+def inverses_for(family: str) -> list[InverseSpec]:
+    """Inverse specs of one specification family."""
+    from ..specs.registry import SPEC_FAMILIES
+    family = SPEC_FAMILIES.get(family, family)
+    return [inv for inv in INVERSES if inv.family == family]
+
+
+def inverse_for(family: str, op: str) -> InverseSpec:
+    """The inverse spec for one operation (return-value variant name)."""
+    for inv in inverses_for(family):
+        if inv.op == op:
+            return inv
+    raise KeyError(f"no inverse specified for {family}.{op}")

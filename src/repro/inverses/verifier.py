@@ -1,0 +1,193 @@
+"""Inverse testing methods and their verification (Sections 2.6, 3.3, 4.2).
+
+Property 3: if the original operation's precondition holds, then after it
+executes (1) the inverse's precondition holds and (2) executing the
+inverse restores the initial abstract state.
+
+The bounded backend checks this exhaustively over a scope; the generated
+method can render itself in the paper's surface style (Figures 2-3/2-4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..eval.enumeration import Scope
+from ..eval.values import Record
+from ..specs import DataStructureSpec, get_spec
+from .catalog import Arg, ArgKind, Guard, InverseCall, InverseSpec
+
+
+class InverseError(ValueError):
+    """The inverse's precondition failed where Property 3 requires it."""
+
+
+def resolve_args(call: InverseCall, params: dict[str, Any],
+                 result: Any) -> tuple[Any, ...]:
+    """Evaluate an inverse call's argument expressions."""
+    values = []
+    for arg in call.args:
+        if arg.kind is ArgKind.PARAM:
+            values.append(params[arg.name])
+        elif arg.kind is ArgKind.NEG_PARAM:
+            values.append(-params[arg.name])
+        else:
+            values.append(result)
+    return tuple(values)
+
+
+def guard_selects_then(guard: Guard, result: Any) -> bool:
+    """Whether the guard routes execution to the *then* branch."""
+    if guard is Guard.NONE:
+        return True
+    if guard is Guard.RESULT_TRUE:
+        return bool(result)
+    return result is not None
+
+
+def apply_inverse(spec: DataStructureSpec, inverse: InverseSpec,
+                  state: Record, params: dict[str, Any],
+                  result: Any) -> Record:
+    """Run the undo program on ``state``; raises on precondition failure."""
+    calls = inverse.then if guard_selects_then(inverse.guard, result) \
+        else inverse.els
+    for call in calls:
+        op = spec.operations[call.op]
+        args = resolve_args(call, params, result)
+        if not spec.precondition_holds(op, state, args):
+            raise InverseError(
+                f"inverse call {call.render()} precondition failed")
+        state, _ = op.semantics(state, args)
+    return state
+
+
+@dataclass(frozen=True)
+class InverseCounterexample:
+    state: Record
+    args: tuple[Any, ...]
+    restored: Record | None
+    reason: str
+
+
+@dataclass
+class InverseCheckResult:
+    """Outcome of checking one inverse testing method over a scope."""
+
+    inverse: InverseSpec
+    cases: int = 0
+    counterexamples: list[InverseCounterexample] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def verified(self) -> bool:
+        return not self.counterexamples
+
+    def summary(self) -> str:
+        status = "verified" if self.verified else "FAILED"
+        return (f"{self.inverse.family}.{self.inverse.op} inverse "
+                f"[{self.inverse.render()}] {status} over "
+                f"{self.cases} cases in {self.elapsed:.2f}s")
+
+
+def check_inverse(family: str, inverse: InverseSpec,
+                  scope: Scope | None = None,
+                  max_counterexamples: int = 3) -> InverseCheckResult:
+    """Exhaustively check Property 3 for one inverse within a scope."""
+    scope = scope or Scope()
+    spec = get_spec(family)
+    op = spec.operations[inverse.op]
+    result = InverseCheckResult(inverse=inverse)
+    start = time.perf_counter()
+    for state in spec.states(scope):
+        for args in spec.arguments(op, scope):
+            if not spec.precondition_holds(op, state, args):
+                continue
+            result.cases += 1
+            mid, ret = op.semantics(state, args)
+            params = {p.name: v for p, v in zip(op.params, args)}
+            try:
+                restored = apply_inverse(spec, inverse, mid, params, ret)
+            except InverseError as exc:
+                if len(result.counterexamples) < max_counterexamples:
+                    result.counterexamples.append(InverseCounterexample(
+                        state, args, None, str(exc)))
+                continue
+            if restored != state:
+                if len(result.counterexamples) < max_counterexamples:
+                    result.counterexamples.append(InverseCounterexample(
+                        state, args, restored,
+                        "final abstract state differs from initial"))
+    result.elapsed = time.perf_counter() - start
+    return result
+
+
+def check_all_inverses(scope: Scope | None = None) \
+        -> list[InverseCheckResult]:
+    """Check all eight inverse testing methods (Table 5.10)."""
+    from .catalog import INVERSES
+    return [check_inverse(inv.family, inv, scope) for inv in INVERSES]
+
+
+@dataclass
+class InverseTestingMethod:
+    """The generated inverse testing method (Figure 3-2)."""
+
+    family: str
+    inverse: InverseSpec
+
+    @property
+    def name(self) -> str:
+        return f"{self.inverse.op.rstrip('_')}0"
+
+    def render_java(self) -> str:
+        """Render in the paper's surface style (Figures 2-3/2-4)."""
+        spec = get_spec(self.family)
+        op = spec.operations[self.inverse.op]
+        java_types = {"obj": "Object", "int": "int", "bool": "boolean"}
+        params = ", ".join(
+            f"{java_types[p.sort.value]} {p.name}" for p in op.params)
+        args = ", ".join(p.name for p in op.params)
+        state_eq = " & ".join(
+            f"s..{f} = s..(old {f})" for f in spec.state_fields)
+        frame = ", ".join(f'"s..{f}"' for f in spec.state_fields)
+        call = f"s.{op.name.rstrip('_')}({args})"
+        if op.result_sort is None:
+            first = f"    {call};"
+        else:
+            rtype = java_types[op.result_sort.value]
+            first = f"    {rtype} r = {call};"
+        then_text = "; ".join(
+            c.render("s") for c in self.inverse.then) + ";"
+        if self.inverse.guard is Guard.NONE:
+            undo = f"    {then_text}"
+        elif self.inverse.guard is Guard.RESULT_TRUE:
+            undo = f"    if (r) {{ {then_text} }}"
+        else:
+            els_text = "; ".join(
+                c.render("s") for c in self.inverse.els) + ";"
+            undo = (f"    if (r != null) {{ {then_text} }} "
+                    f"else {{ {els_text} }}")
+        pre_parts = [f"s ~= null"]
+        for p in op.params:
+            if p.sort.value == "obj":
+                pre_parts.append(f"{p.name} ~= null")
+        return "\n".join([
+            f"void {self.name}({spec.name} s"
+            + (f", {params})" if params else ")"),
+            f'/*: requires "{" & ".join(pre_parts)}"',
+            f"    modifies {frame}",
+            '    ensures "True" */',
+            "{",
+            first,
+            undo,
+            f'    /*: assert "{state_eq}" */',
+            "}",
+        ])
+
+
+def generate_inverse_methods() -> list[InverseTestingMethod]:
+    """The eight generated inverse testing methods."""
+    from .catalog import INVERSES
+    return [InverseTestingMethod(inv.family, inv) for inv in INVERSES]

@@ -1,0 +1,27 @@
+"""The Jahob-flavoured specification logic.
+
+Public surface:
+
+- :mod:`repro.logic.sorts` — the sort system.
+- :mod:`repro.logic.terms` — the term/formula AST and smart constructors.
+- :mod:`repro.logic.parser` — :func:`parse_formula` / :func:`parse_term`.
+- :mod:`repro.logic.printer` — :func:`pretty`.
+- :mod:`repro.logic.substitution` — :func:`substitute`, :func:`transform`.
+- :mod:`repro.logic.simplify` — :func:`nnf`, :func:`simplify`.
+- :mod:`repro.logic.free_vars` — :func:`free_vars`.
+"""
+
+from .sorts import Sort, SortError
+from .symbols import SymbolTable, BUILTIN_FUNCTIONS
+from .parser import ParseError, parse_formula, parse_term
+from .printer import pretty
+from .substitution import substitute, transform
+from .simplify import nnf, simplify
+from .free_vars import free_vars
+from . import terms
+
+__all__ = [
+    "Sort", "SortError", "SymbolTable", "BUILTIN_FUNCTIONS",
+    "ParseError", "parse_formula", "parse_term", "pretty",
+    "substitute", "transform", "nnf", "simplify", "free_vars", "terms",
+]

@@ -1,0 +1,26 @@
+"""Free-variable computation, used to enforce the *kind* restrictions of
+Section 4.1.2 (before conditions may reference only the arguments and the
+initial abstract state, between conditions additionally the first return
+value and intermediate state, after conditions anything)."""
+
+from __future__ import annotations
+
+from . import terms as t
+
+
+def free_vars(term: t.Term) -> frozenset[str]:
+    """Names of free variables in ``term``."""
+
+    def go(node: t.Term, bound: frozenset[str]) -> frozenset[str]:
+        if isinstance(node, t.Var):
+            if node.name in bound:
+                return frozenset()
+            return frozenset({node.name})
+        if isinstance(node, (t.Forall, t.Exists)):
+            return go(node.body, bound | {node.var.name})
+        result: frozenset[str] = frozenset()
+        for child in node.children():
+            result |= go(child, bound)
+        return result
+
+    return go(term, frozenset())

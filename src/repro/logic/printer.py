@@ -1,0 +1,163 @@
+"""Pretty-printer: AST back to the Jahob-flavoured surface syntax.
+
+``parse(pretty(f))`` is structurally equal to ``f`` for every formula the
+parser accepts (round-trip property, tested with hypothesis).
+"""
+
+from __future__ import annotations
+
+from . import terms as t
+
+# Binding strengths; larger binds tighter.
+_PREC_IFF = 1
+_PREC_IMPL = 2
+_PREC_OR = 3
+_PREC_AND = 4
+_PREC_NOT = 5
+_PREC_CMP = 6
+_PREC_ADD = 7
+_PREC_NEG = 8
+_PREC_POSTFIX = 9
+_PREC_ATOM = 10
+
+
+def pretty(term: t.Term) -> str:
+    """Render ``term`` in the surface syntax."""
+    text, _ = _render(term)
+    return text
+
+
+def _paren(text: str, prec: int, minimum: int) -> str:
+    if prec < minimum:
+        return f"({text})"
+    return text
+
+
+def _sub(term: t.Term, minimum: int) -> str:
+    text, prec = _render(term)
+    return _paren(text, prec, minimum)
+
+
+def _render(term: t.Term) -> tuple[str, int]:
+    if isinstance(term, t.Var):
+        return term.name, _PREC_ATOM
+    if isinstance(term, t.BoolConst):
+        return ("true" if term.value else "false"), _PREC_ATOM
+    if isinstance(term, t.IntConst):
+        if term.value < 0:
+            return f"-{-term.value}", _PREC_NEG
+        return str(term.value), _PREC_ATOM
+    if isinstance(term, t.ObjConst):
+        return term.name, _PREC_ATOM
+    if isinstance(term, t.Null):
+        return "null", _PREC_ATOM
+    if isinstance(term, t.Not):
+        if isinstance(term.arg, t.Eq):
+            lhs = _sub(term.arg.lhs, _PREC_ADD)
+            rhs = _sub(term.arg.rhs, _PREC_ADD)
+            return f"{lhs} ~= {rhs}", _PREC_CMP
+        if isinstance(term.arg, t.Member):
+            lhs = _sub(term.arg.elem, _PREC_ADD)
+            rhs = _sub(term.arg.set_, _PREC_ADD)
+            return f"{lhs} ~: {rhs}", _PREC_CMP
+        return f"~{_sub(term.arg, _PREC_NOT)}", _PREC_NOT
+    if isinstance(term, t.And):
+        return " & ".join(_sub(a, _PREC_NOT) for a in term.args), _PREC_AND
+    if isinstance(term, t.Or):
+        return " | ".join(_sub(a, _PREC_AND) for a in term.args), _PREC_OR
+    if isinstance(term, t.Implies):
+        lhs = _sub(term.lhs, _PREC_OR)
+        rhs = _sub(term.rhs, _PREC_IMPL)
+        return f"{lhs} --> {rhs}", _PREC_IMPL
+    if isinstance(term, t.Iff):
+        lhs = _sub(term.lhs, _PREC_IMPL)
+        rhs = _sub(term.rhs, _PREC_IMPL)
+        return f"{lhs} <-> {rhs}", _PREC_IFF
+    if isinstance(term, t.Ite):
+        cond = pretty(term.cond)
+        then = pretty(term.then)
+        els = pretty(term.els)
+        return f"(({cond}) --> {then}) & (~({cond}) --> {els})", _PREC_ATOM
+    if isinstance(term, t.Eq):
+        lhs = _sub(term.lhs, _PREC_ADD)
+        rhs = _sub(term.rhs, _PREC_ADD)
+        return f"{lhs} = {rhs}", _PREC_CMP
+    if isinstance(term, t.Lt):
+        return (f"{_sub(term.lhs, _PREC_ADD)} < {_sub(term.rhs, _PREC_ADD)}",
+                _PREC_CMP)
+    if isinstance(term, t.Le):
+        return (f"{_sub(term.lhs, _PREC_ADD)} <= {_sub(term.rhs, _PREC_ADD)}",
+                _PREC_CMP)
+    if isinstance(term, t.Add):
+        return " + ".join(_sub(a, _PREC_NEG) for a in term.args), _PREC_ADD
+    if isinstance(term, t.Sub):
+        lhs = _sub(term.lhs, _PREC_ADD)
+        rhs = _sub(term.rhs, _PREC_NEG)
+        return f"{lhs} - {rhs}", _PREC_ADD
+    if isinstance(term, t.Neg):
+        return f"-{_sub(term.arg, _PREC_NEG)}", _PREC_NEG
+    if isinstance(term, t.Member):
+        lhs = _sub(term.elem, _PREC_ADD)
+        rhs = _sub(term.set_, _PREC_ADD)
+        return f"{lhs} : {rhs}", _PREC_CMP
+    if isinstance(term, t.Union):
+        lhs = _sub(term.lhs, _PREC_NEG)
+        rhs = _sub(term.rhs, _PREC_NEG)
+        return f"{lhs} Un {rhs}", _PREC_ADD
+    if isinstance(term, t.Diff):
+        lhs = _sub(term.lhs, _PREC_ADD)
+        rhs = _sub(term.rhs, _PREC_NEG)
+        return f"{lhs} - {rhs}", _PREC_ADD
+    if isinstance(term, t.Inter):
+        return f"inter({pretty(term.lhs)}, {pretty(term.rhs)})", _PREC_ATOM
+    if isinstance(term, t.FiniteSet):
+        inner = ", ".join(pretty(e) for e in term.elems)
+        return "{" + inner + "}", _PREC_ATOM
+    if isinstance(term, t.Card):
+        return f"card({pretty(term.set_)})", _PREC_ATOM
+    if isinstance(term, t.SubsetEq):
+        return f"subset({pretty(term.lhs)}, {pretty(term.rhs)})", _PREC_ATOM
+    if isinstance(term, t.MapGet):
+        return f"lookup({pretty(term.map_)}, {pretty(term.key)})", _PREC_ATOM
+    if isinstance(term, t.MapHasKey):
+        return f"haskey({pretty(term.map_)}, {pretty(term.key)})", _PREC_ATOM
+    if isinstance(term, t.MapPut):
+        args = f"{pretty(term.map_)}, {pretty(term.key)}, {pretty(term.value)}"
+        return f"mput({args})", _PREC_ATOM
+    if isinstance(term, t.MapRemoveKey):
+        return f"mdel({pretty(term.map_)}, {pretty(term.key)})", _PREC_ATOM
+    if isinstance(term, t.MapSize):
+        return f"msize({pretty(term.map_)})", _PREC_ATOM
+    if isinstance(term, t.MapKeys):
+        return f"keys({pretty(term.map_)})", _PREC_ATOM
+    if isinstance(term, t.SeqLen):
+        return f"len({pretty(term.seq)})", _PREC_ATOM
+    if isinstance(term, t.SeqGet):
+        return f"at({pretty(term.seq)}, {pretty(term.index)})", _PREC_ATOM
+    if isinstance(term, t.SeqInsert):
+        args = f"{pretty(term.seq)}, {pretty(term.index)}, {pretty(term.value)}"
+        return f"ins({args})", _PREC_ATOM
+    if isinstance(term, t.SeqRemove):
+        return f"del_({pretty(term.seq)}, {pretty(term.index)})", _PREC_ATOM
+    if isinstance(term, t.SeqUpdate):
+        args = f"{pretty(term.seq)}, {pretty(term.index)}, {pretty(term.value)}"
+        return f"upd({args})", _PREC_ATOM
+    if isinstance(term, t.SeqIndexOf):
+        return f"idx({pretty(term.seq)}, {pretty(term.value)})", _PREC_ATOM
+    if isinstance(term, t.SeqLastIndexOf):
+        return f"lidx({pretty(term.seq)}, {pretty(term.value)})", _PREC_ATOM
+    if isinstance(term, t.SeqContains):
+        return f"has({pretty(term.seq)}, {pretty(term.value)})", _PREC_ATOM
+    if isinstance(term, t.Field):
+        return f"{_sub(term.state, _PREC_POSTFIX)}.{term.name}", _PREC_POSTFIX
+    if isinstance(term, t.ObserverCall):
+        args = ", ".join(pretty(a) for a in term.args)
+        base = _sub(term.state, _PREC_POSTFIX)
+        return f"{base}.{term.method}({args})", _PREC_POSTFIX
+    if isinstance(term, t.Forall):
+        ann = "" if term.var.var_sort.name == "INT" else "::obj"
+        return f"ALL {term.var.name}{ann}. {pretty(term.body)}", _PREC_IFF
+    if isinstance(term, t.Exists):
+        ann = "" if term.var.var_sort.name == "INT" else "::obj"
+        return f"EX {term.var.name}{ann}. {pretty(term.body)}", _PREC_IFF
+    raise TypeError(f"cannot pretty-print {type(term).__name__}")

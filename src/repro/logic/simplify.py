@@ -1,0 +1,130 @@
+"""Formula normalization: negation normal form and light simplification."""
+
+from __future__ import annotations
+
+from . import terms as t
+from .substitution import transform
+
+
+def nnf(formula: t.Term) -> t.Term:
+    """Negation normal form: negations pushed to atoms, no Implies/Iff."""
+    return _nnf(formula, positive=True)
+
+
+def _nnf(f: t.Term, positive: bool) -> t.Term:
+    if isinstance(f, t.Not):
+        return _nnf(f.arg, not positive)
+    if isinstance(f, t.And):
+        parts = tuple(_nnf(a, positive) for a in f.args)
+        return t.And(parts) if positive else t.Or(parts)
+    if isinstance(f, t.Or):
+        parts = tuple(_nnf(a, positive) for a in f.args)
+        return t.Or(parts) if positive else t.And(parts)
+    if isinstance(f, t.Implies):
+        lhs = _nnf(f.lhs, not positive)
+        rhs = _nnf(f.rhs, positive)
+        return t.Or((lhs, rhs)) if positive else t.And((lhs, rhs))
+    if isinstance(f, t.Iff):
+        if positive:
+            both = t.And((_nnf(f.lhs, True), _nnf(f.rhs, True)))
+            neither = t.And((_nnf(f.lhs, False), _nnf(f.rhs, False)))
+            return t.Or((both, neither))
+        one = t.Or((_nnf(f.lhs, True), _nnf(f.rhs, True)))
+        not_both = t.Or((_nnf(f.lhs, False), _nnf(f.rhs, False)))
+        return t.And((one, not_both))
+    if isinstance(f, t.Forall):
+        body = _nnf(f.body, positive)
+        return t.Forall(f.var, body) if positive else t.Exists(f.var, body)
+    if isinstance(f, t.Exists):
+        body = _nnf(f.body, positive)
+        return t.Exists(f.var, body) if positive else t.Forall(f.var, body)
+    if isinstance(f, t.BoolConst):
+        return f if positive else t.BoolConst(not f.value)
+    return f if positive else t.Not(f)
+
+
+def simplify(formula: t.Term) -> t.Term:
+    """Constant folding and unit laws; preserves semantics."""
+
+    def step(node: t.Term) -> t.Term | None:
+        if isinstance(node, t.Not):
+            return t.neg(node.arg) if not isinstance(node.arg, t.Not) \
+                else node.arg.arg
+        if isinstance(node, t.And):
+            return t.conj(*node.args)
+        if isinstance(node, t.Or):
+            return t.disj(*node.args)
+        if isinstance(node, t.Implies):
+            return t.implies(node.lhs, node.rhs)
+        if isinstance(node, t.Iff):
+            if node.lhs == t.TRUE:
+                return node.rhs
+            if node.rhs == t.TRUE:
+                return node.lhs
+            if node.lhs == t.FALSE:
+                return t.neg(node.rhs)
+            if node.rhs == t.FALSE:
+                return t.neg(node.lhs)
+            if node.lhs == node.rhs:
+                return t.TRUE
+            return None
+        if isinstance(node, t.Eq):
+            if node.lhs == node.rhs:
+                return t.TRUE
+            if (isinstance(node.lhs, t.IntConst)
+                    and isinstance(node.rhs, t.IntConst)):
+                return t.BoolConst(node.lhs.value == node.rhs.value)
+            if (isinstance(node.lhs, t.BoolConst)
+                    and isinstance(node.rhs, t.BoolConst)):
+                return t.BoolConst(node.lhs.value == node.rhs.value)
+            if (isinstance(node.lhs, t.ObjConst)
+                    and isinstance(node.rhs, t.ObjConst)):
+                return t.BoolConst(node.lhs.name == node.rhs.name)
+            if isinstance(node.rhs, t.BoolConst):
+                return node.lhs if node.rhs.value else t.neg(node.lhs)
+            if isinstance(node.lhs, t.BoolConst):
+                return node.rhs if node.lhs.value else t.neg(node.rhs)
+            return None
+        if isinstance(node, t.Lt):
+            if (isinstance(node.lhs, t.IntConst)
+                    and isinstance(node.rhs, t.IntConst)):
+                return t.BoolConst(node.lhs.value < node.rhs.value)
+            return None
+        if isinstance(node, t.Le):
+            if (isinstance(node.lhs, t.IntConst)
+                    and isinstance(node.rhs, t.IntConst)):
+                return t.BoolConst(node.lhs.value <= node.rhs.value)
+            return None
+        if isinstance(node, t.Add):
+            const = 0
+            rest: list[t.Term] = []
+            for a in node.args:
+                if isinstance(a, t.IntConst):
+                    const += a.value
+                else:
+                    rest.append(a)
+            if not rest:
+                return t.IntConst(const)
+            if const:
+                rest.append(t.IntConst(const))
+            if len(rest) == 1:
+                return rest[0]
+            return t.Add(tuple(rest))
+        if isinstance(node, t.Sub):
+            if (isinstance(node.lhs, t.IntConst)
+                    and isinstance(node.rhs, t.IntConst)):
+                return t.IntConst(node.lhs.value - node.rhs.value)
+            if isinstance(node.rhs, t.IntConst) and node.rhs.value == 0:
+                return node.lhs
+            return None
+        if isinstance(node, t.Ite):
+            if node.cond == t.TRUE:
+                return node.then
+            if node.cond == t.FALSE:
+                return node.els
+            if node.then == node.els:
+                return node.then
+            return None
+        return None
+
+    return transform(formula, step)

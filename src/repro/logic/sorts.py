@@ -1,0 +1,39 @@
+"""Sort (type) system for the Jahob-flavoured specification language.
+
+The paper's specifications are written in Jahob's higher-order logic; the
+fragment actually used by the commutativity conditions and testing methods
+(Chapter 4) is first-order and uses booleans, integers, object references,
+sets of objects, partial maps from objects to objects, and sequences of
+objects.  ``STATE`` is the sort of an entire abstract data-structure state
+(a record of the other sorts), mirroring ``sa..contents``-style field
+access in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Sort(enum.Enum):
+    """The sorts of the specification logic."""
+
+    BOOL = "bool"
+    INT = "int"
+    OBJ = "obj"
+    SET = "obj set"
+    MAP = "obj => obj"
+    SEQ = "obj seq"
+    STATE = "state"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class SortError(TypeError):
+    """Raised when a term is built or parsed with inconsistent sorts."""
+
+
+def require(actual: Sort, expected: Sort, context: str) -> None:
+    """Raise :class:`SortError` unless ``actual`` is ``expected``."""
+    if actual is not expected:
+        raise SortError(f"{context}: expected {expected}, got {actual}")

@@ -1,0 +1,99 @@
+"""Capture-avoiding substitution and structural rewriting over terms."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from . import terms as t
+
+
+def _rebuild(term: t.Term, new_children: tuple[t.Term, ...]) -> t.Term:
+    """Rebuild ``term`` with replaced child subterms (same shape)."""
+    if isinstance(term, (t.Forall, t.Exists)):
+        (body,) = new_children
+        return type(term)(term.var, body)
+    fields = dataclasses.fields(term)
+    values = []
+    idx = 0
+    for f in fields:
+        value = getattr(term, f.name)
+        if isinstance(value, t.Term):
+            values.append(new_children[idx])
+            idx += 1
+        elif isinstance(value, tuple) and value and isinstance(value[0], t.Term):
+            values.append(tuple(new_children[idx:idx + len(value)]))
+            idx += len(value)
+        elif isinstance(value, tuple) and not value:
+            values.append(value)
+        else:
+            values.append(value)
+    return type(term)(*values)
+
+
+def transform(term: t.Term,
+              fn: Callable[[t.Term], t.Term | None]) -> t.Term:
+    """Bottom-up rewrite: apply ``fn`` to each node after its children.
+
+    ``fn`` returns a replacement node or ``None`` to keep the node.
+    """
+    children = term.children()
+    if children:
+        new_children = tuple(transform(c, fn) for c in children)
+        if new_children != children:
+            term = _rebuild(term, new_children)
+    replacement = fn(term)
+    return term if replacement is None else replacement
+
+
+def substitute(term: t.Term, mapping: dict[str, t.Term]) -> t.Term:
+    """Substitute free variables by name.
+
+    Bound variables shadow the mapping; substituting a term with free
+    variables under a binder of the same name raises ``ValueError``
+    (the catalog never needs alpha-renaming, so we fail loudly instead).
+    """
+    def go(node: t.Term, shadowed: frozenset[str]) -> t.Term:
+        if isinstance(node, t.Var):
+            if node.name in shadowed:
+                return node
+            replacement = mapping.get(node.name)
+            if replacement is None:
+                return node
+            if replacement.sort is not node.var_sort:
+                raise ValueError(
+                    f"substituting {replacement.sort} term for "
+                    f"{node.var_sort} variable {node.name!r}")
+            return replacement
+        if isinstance(node, (t.Forall, t.Exists)):
+            for repl in mapping.values():
+                for sub in repl.walk():
+                    if isinstance(sub, t.Var) and sub.name == node.var.name:
+                        raise ValueError(
+                            f"substitution would capture {node.var.name!r}")
+            body = go(node.body, shadowed | {node.var.name})
+            return type(node)(node.var, body)
+        children = node.children()
+        if not children:
+            return node
+        new_children = tuple(go(c, shadowed) for c in children)
+        if new_children == children:
+            return node
+        return _rebuild(node, new_children)
+
+    return go(term, frozenset())
+
+
+def rename_states(term: t.Term, mapping: dict[str, str]) -> t.Term:
+    """Rename STATE-sorted variables, e.g. ``s2 -> s1`` when specializing a
+    between condition into a before condition."""
+    subst = {
+        old: t.Var(new, t.Var(old, _state_sort()).var_sort)
+        for old, new in mapping.items()
+    }
+    return substitute(term, subst)
+
+
+def _state_sort():
+    from .sorts import Sort
+    return Sort.STATE

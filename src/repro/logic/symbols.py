@@ -1,0 +1,60 @@
+"""Symbol tables used to sort-resolve parsed formulas.
+
+A :class:`SymbolTable` tells the parser the sort of every free variable,
+the fields and observers available on abstract-state variables, and which
+field is the *principal* collection of a data structure (so that, e.g.,
+``v : s1`` elaborates to ``v : s1.contents``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .sorts import Sort
+
+#: Observer signature: (argument sorts, result sort).
+Signature = tuple[tuple[Sort, ...], Sort]
+
+
+@dataclass
+class SymbolTable:
+    """Sort environment for parsing a formula."""
+
+    vars: dict[str, Sort] = field(default_factory=dict)
+    state_fields: dict[str, Sort] = field(default_factory=dict)
+    observers: dict[str, Signature] = field(default_factory=dict)
+    #: Field substituted when a STATE value appears where a collection
+    #: sort is required (e.g. ``v : s1``).
+    principal_field: str | None = None
+
+    def with_vars(self, extra: dict[str, Sort]) -> "SymbolTable":
+        merged = dict(self.vars)
+        merged.update(extra)
+        return SymbolTable(
+            vars=merged,
+            state_fields=self.state_fields,
+            observers=self.observers,
+            principal_field=self.principal_field,
+        )
+
+
+#: Builtin function signatures usable in any formula.  The sequence
+#: constructors (``ins``/``del_``/``upd``) let *before* conditions describe
+#: would-be intermediate states as pure terms over the initial state.
+BUILTIN_FUNCTIONS: dict[str, Signature] = {
+    "ins": ((Sort.SEQ, Sort.INT, Sort.OBJ), Sort.SEQ),
+    "del_": ((Sort.SEQ, Sort.INT), Sort.SEQ),
+    "upd": ((Sort.SEQ, Sort.INT, Sort.OBJ), Sort.SEQ),
+    "idx": ((Sort.SEQ, Sort.OBJ), Sort.INT),
+    "lidx": ((Sort.SEQ, Sort.OBJ), Sort.INT),
+    "len": ((Sort.SEQ,), Sort.INT),
+    "at": ((Sort.SEQ, Sort.INT), Sort.OBJ),
+    "has": ((Sort.SEQ, Sort.OBJ), Sort.BOOL),
+    "card": ((Sort.SET,), Sort.INT),
+    "keys": ((Sort.MAP,), Sort.SET),
+    "lookup": ((Sort.MAP, Sort.OBJ), Sort.OBJ),
+    "haskey": ((Sort.MAP, Sort.OBJ), Sort.BOOL),
+    "mput": ((Sort.MAP, Sort.OBJ, Sort.OBJ), Sort.MAP),
+    "mdel": ((Sort.MAP, Sort.OBJ), Sort.MAP),
+    "msize": ((Sort.MAP,), Sort.INT),
+}

@@ -1,0 +1,857 @@
+"""Term and formula AST for the specification logic.
+
+Every node is an immutable dataclass.  Formulas are simply terms of sort
+``BOOL``.  The node set covers the first-order fragment used by the paper's
+commutativity conditions and testing methods (Chapter 4): boolean
+connectives, equality, linear integer arithmetic, finite sets, partial maps,
+sequences, field access on abstract states, semantic observer calls
+(``s1.contains(v1)`` in the dynamically-checkable conditions of Tables
+5.1-5.7), and quantifiers over integers or objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .sorts import Sort, SortError, require
+
+__all__ = [
+    "Term", "Var", "BoolConst", "IntConst", "ObjConst", "Null",
+    "Not", "And", "Or", "Implies", "Iff", "Ite",
+    "Eq", "Lt", "Le",
+    "Add", "Sub", "Neg",
+    "Member", "Union", "Inter", "Diff", "FiniteSet", "Card", "SubsetEq",
+    "MapGet", "MapHasKey", "MapPut", "MapRemoveKey", "MapSize", "MapKeys",
+    "SeqLen", "SeqGet", "SeqInsert", "SeqRemove", "SeqUpdate",
+    "SeqIndexOf", "SeqLastIndexOf", "SeqContains",
+    "Field", "ObserverCall",
+    "Forall", "Exists",
+    "TRUE", "FALSE", "NULL",
+    "conj", "disj", "neg", "implies", "eq", "ne",
+]
+
+
+@dataclass(frozen=True)
+class Term:
+    """Base class of all AST nodes."""
+
+    @property
+    def sort(self) -> Sort:
+        raise NotImplementedError
+
+    def children(self) -> tuple["Term", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Term"]:
+        """Yield this node and every descendant, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+# ---------------------------------------------------------------------------
+# Atoms
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A variable with an explicit sort (resolved at parse time)."""
+
+    name: str
+    var_sort: Sort
+
+    @property
+    def sort(self) -> Sort:
+        return self.var_sort
+
+
+@dataclass(frozen=True)
+class BoolConst(Term):
+    value: bool
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.BOOL
+
+
+@dataclass(frozen=True)
+class IntConst(Term):
+    value: int
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.INT
+
+
+@dataclass(frozen=True)
+class ObjConst(Term):
+    """A named object constant; distinct names denote distinct objects."""
+
+    name: str
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.OBJ
+
+
+@dataclass(frozen=True)
+class Null(Term):
+    """The ``null`` reference."""
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.OBJ
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+NULL = Null()
+
+
+# ---------------------------------------------------------------------------
+# Boolean connectives
+# ---------------------------------------------------------------------------
+
+def _require_bool(args: tuple[Term, ...], who: str) -> None:
+    for a in args:
+        require(a.sort, Sort.BOOL, who)
+
+
+@dataclass(frozen=True)
+class Not(Term):
+    arg: Term
+
+    def __post_init__(self) -> None:
+        _require_bool((self.arg,), "Not")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.BOOL
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.arg,)
+
+
+@dataclass(frozen=True)
+class And(Term):
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        _require_bool(self.args, "And")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.BOOL
+
+    def children(self) -> tuple[Term, ...]:
+        return self.args
+
+
+@dataclass(frozen=True)
+class Or(Term):
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        _require_bool(self.args, "Or")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.BOOL
+
+    def children(self) -> tuple[Term, ...]:
+        return self.args
+
+
+@dataclass(frozen=True)
+class Implies(Term):
+    lhs: Term
+    rhs: Term
+
+    def __post_init__(self) -> None:
+        _require_bool((self.lhs, self.rhs), "Implies")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.BOOL
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class Iff(Term):
+    lhs: Term
+    rhs: Term
+
+    def __post_init__(self) -> None:
+        _require_bool((self.lhs, self.rhs), "Iff")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.BOOL
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class Ite(Term):
+    """If-then-else over terms of any (matching) sort."""
+
+    cond: Term
+    then: Term
+    els: Term
+
+    def __post_init__(self) -> None:
+        require(self.cond.sort, Sort.BOOL, "Ite condition")
+        if self.then.sort is not self.els.sort:
+            raise SortError(
+                f"Ite branches disagree: {self.then.sort} vs {self.els.sort}")
+
+    @property
+    def sort(self) -> Sort:
+        return self.then.sort
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.cond, self.then, self.els)
+
+
+# ---------------------------------------------------------------------------
+# Equality and integer comparisons
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Eq(Term):
+    lhs: Term
+    rhs: Term
+
+    def __post_init__(self) -> None:
+        if self.lhs.sort is not self.rhs.sort:
+            raise SortError(
+                f"Eq operands disagree: {self.lhs.sort} vs {self.rhs.sort}")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.BOOL
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class Lt(Term):
+    lhs: Term
+    rhs: Term
+
+    def __post_init__(self) -> None:
+        require(self.lhs.sort, Sort.INT, "Lt lhs")
+        require(self.rhs.sort, Sort.INT, "Lt rhs")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.BOOL
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class Le(Term):
+    lhs: Term
+    rhs: Term
+
+    def __post_init__(self) -> None:
+        require(self.lhs.sort, Sort.INT, "Le lhs")
+        require(self.rhs.sort, Sort.INT, "Le rhs")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.BOOL
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.lhs, self.rhs)
+
+
+# ---------------------------------------------------------------------------
+# Integer arithmetic
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Add(Term):
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        for a in self.args:
+            require(a.sort, Sort.INT, "Add")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.INT
+
+    def children(self) -> tuple[Term, ...]:
+        return self.args
+
+
+@dataclass(frozen=True)
+class Sub(Term):
+    lhs: Term
+    rhs: Term
+
+    def __post_init__(self) -> None:
+        require(self.lhs.sort, Sort.INT, "Sub lhs")
+        require(self.rhs.sort, Sort.INT, "Sub rhs")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.INT
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class Neg(Term):
+    arg: Term
+
+    def __post_init__(self) -> None:
+        require(self.arg.sort, Sort.INT, "Neg")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.INT
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.arg,)
+
+
+# ---------------------------------------------------------------------------
+# Finite sets of objects
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Member(Term):
+    elem: Term
+    set_: Term
+
+    def __post_init__(self) -> None:
+        require(self.elem.sort, Sort.OBJ, "Member elem")
+        require(self.set_.sort, Sort.SET, "Member set")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.BOOL
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.elem, self.set_)
+
+
+@dataclass(frozen=True)
+class Union(Term):
+    lhs: Term
+    rhs: Term
+
+    def __post_init__(self) -> None:
+        require(self.lhs.sort, Sort.SET, "Union lhs")
+        require(self.rhs.sort, Sort.SET, "Union rhs")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.SET
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class Inter(Term):
+    lhs: Term
+    rhs: Term
+
+    def __post_init__(self) -> None:
+        require(self.lhs.sort, Sort.SET, "Inter lhs")
+        require(self.rhs.sort, Sort.SET, "Inter rhs")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.SET
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class Diff(Term):
+    lhs: Term
+    rhs: Term
+
+    def __post_init__(self) -> None:
+        require(self.lhs.sort, Sort.SET, "Diff lhs")
+        require(self.rhs.sort, Sort.SET, "Diff rhs")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.SET
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class FiniteSet(Term):
+    """A set literal ``{e1, ..., en}`` (possibly empty)."""
+
+    elems: tuple[Term, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for e in self.elems:
+            require(e.sort, Sort.OBJ, "FiniteSet element")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.SET
+
+    def children(self) -> tuple[Term, ...]:
+        return self.elems
+
+
+@dataclass(frozen=True)
+class Card(Term):
+    set_: Term
+
+    def __post_init__(self) -> None:
+        require(self.set_.sort, Sort.SET, "Card")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.INT
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.set_,)
+
+
+@dataclass(frozen=True)
+class SubsetEq(Term):
+    lhs: Term
+    rhs: Term
+
+    def __post_init__(self) -> None:
+        require(self.lhs.sort, Sort.SET, "SubsetEq lhs")
+        require(self.rhs.sort, Sort.SET, "SubsetEq rhs")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.BOOL
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.lhs, self.rhs)
+
+
+# ---------------------------------------------------------------------------
+# Partial maps from objects to objects
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MapGet(Term):
+    """``m[k]``; evaluates to ``null`` when ``k`` is not mapped."""
+
+    map_: Term
+    key: Term
+
+    def __post_init__(self) -> None:
+        require(self.map_.sort, Sort.MAP, "MapGet map")
+        require(self.key.sort, Sort.OBJ, "MapGet key")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.OBJ
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.map_, self.key)
+
+
+@dataclass(frozen=True)
+class MapHasKey(Term):
+    map_: Term
+    key: Term
+
+    def __post_init__(self) -> None:
+        require(self.map_.sort, Sort.MAP, "MapHasKey map")
+        require(self.key.sort, Sort.OBJ, "MapHasKey key")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.BOOL
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.map_, self.key)
+
+
+@dataclass(frozen=True)
+class MapPut(Term):
+    map_: Term
+    key: Term
+    value: Term
+
+    def __post_init__(self) -> None:
+        require(self.map_.sort, Sort.MAP, "MapPut map")
+        require(self.key.sort, Sort.OBJ, "MapPut key")
+        require(self.value.sort, Sort.OBJ, "MapPut value")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.MAP
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.map_, self.key, self.value)
+
+
+@dataclass(frozen=True)
+class MapRemoveKey(Term):
+    map_: Term
+    key: Term
+
+    def __post_init__(self) -> None:
+        require(self.map_.sort, Sort.MAP, "MapRemoveKey map")
+        require(self.key.sort, Sort.OBJ, "MapRemoveKey key")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.MAP
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.map_, self.key)
+
+
+@dataclass(frozen=True)
+class MapSize(Term):
+    map_: Term
+
+    def __post_init__(self) -> None:
+        require(self.map_.sort, Sort.MAP, "MapSize")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.INT
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.map_,)
+
+
+@dataclass(frozen=True)
+class MapKeys(Term):
+    map_: Term
+
+    def __post_init__(self) -> None:
+        require(self.map_.sort, Sort.MAP, "MapKeys")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.SET
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.map_,)
+
+
+# ---------------------------------------------------------------------------
+# Sequences of objects (the ArrayList abstract state)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SeqLen(Term):
+    seq: Term
+
+    def __post_init__(self) -> None:
+        require(self.seq.sort, Sort.SEQ, "SeqLen")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.INT
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.seq,)
+
+
+@dataclass(frozen=True)
+class SeqGet(Term):
+    seq: Term
+    index: Term
+
+    def __post_init__(self) -> None:
+        require(self.seq.sort, Sort.SEQ, "SeqGet seq")
+        require(self.index.sort, Sort.INT, "SeqGet index")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.OBJ
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.seq, self.index)
+
+
+@dataclass(frozen=True)
+class SeqInsert(Term):
+    """``ins(s, i, v)`` — the sequence after an ``add_at(i, v)``."""
+
+    seq: Term
+    index: Term
+    value: Term
+
+    def __post_init__(self) -> None:
+        require(self.seq.sort, Sort.SEQ, "SeqInsert seq")
+        require(self.index.sort, Sort.INT, "SeqInsert index")
+        require(self.value.sort, Sort.OBJ, "SeqInsert value")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.SEQ
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.seq, self.index, self.value)
+
+
+@dataclass(frozen=True)
+class SeqRemove(Term):
+    """``del(s, i)`` — the sequence after a ``remove_at(i)``."""
+
+    seq: Term
+    index: Term
+
+    def __post_init__(self) -> None:
+        require(self.seq.sort, Sort.SEQ, "SeqRemove seq")
+        require(self.index.sort, Sort.INT, "SeqRemove index")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.SEQ
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.seq, self.index)
+
+
+@dataclass(frozen=True)
+class SeqUpdate(Term):
+    """``upd(s, i, v)`` — the sequence after a ``set(i, v)``."""
+
+    seq: Term
+    index: Term
+    value: Term
+
+    def __post_init__(self) -> None:
+        require(self.seq.sort, Sort.SEQ, "SeqUpdate seq")
+        require(self.index.sort, Sort.INT, "SeqUpdate index")
+        require(self.value.sort, Sort.OBJ, "SeqUpdate value")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.SEQ
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.seq, self.index, self.value)
+
+
+@dataclass(frozen=True)
+class SeqIndexOf(Term):
+    """Index of the first occurrence of ``value``, or -1."""
+
+    seq: Term
+    value: Term
+
+    def __post_init__(self) -> None:
+        require(self.seq.sort, Sort.SEQ, "SeqIndexOf seq")
+        require(self.value.sort, Sort.OBJ, "SeqIndexOf value")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.INT
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.seq, self.value)
+
+
+@dataclass(frozen=True)
+class SeqLastIndexOf(Term):
+    """Index of the last occurrence of ``value``, or -1."""
+
+    seq: Term
+    value: Term
+
+    def __post_init__(self) -> None:
+        require(self.seq.sort, Sort.SEQ, "SeqLastIndexOf seq")
+        require(self.value.sort, Sort.OBJ, "SeqLastIndexOf value")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.INT
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.seq, self.value)
+
+
+@dataclass(frozen=True)
+class SeqContains(Term):
+    seq: Term
+    value: Term
+
+    def __post_init__(self) -> None:
+        require(self.seq.sort, Sort.SEQ, "SeqContains seq")
+        require(self.value.sort, Sort.OBJ, "SeqContains value")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.BOOL
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.seq, self.value)
+
+
+# ---------------------------------------------------------------------------
+# Abstract-state access
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Field(Term):
+    """Access a field of an abstract state, e.g. ``s1.contents``.
+
+    Mirrors Jahob's ``sa..contents`` notation from Figure 2-2.
+    """
+
+    state: Term
+    name: str
+    field_sort: Sort
+
+    def __post_init__(self) -> None:
+        require(self.state.sort, Sort.STATE, "Field state")
+
+    @property
+    def sort(self) -> Sort:
+        return self.field_sort
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.state,)
+
+
+@dataclass(frozen=True)
+class ObserverCall(Term):
+    """A semantic observer applied to a state, e.g. ``s1.contains(v1)``.
+
+    These appear in the dynamically-checkable column of Tables 5.1-5.7;
+    the interpreter dispatches them either to the abstract specification
+    (during verification) or to a concrete linked implementation (during
+    dynamic commutativity checking at run time).
+    """
+
+    state: Term
+    method: str
+    args: tuple[Term, ...]
+    result_sort: Sort
+
+    def __post_init__(self) -> None:
+        require(self.state.sort, Sort.STATE, "ObserverCall state")
+
+    @property
+    def sort(self) -> Sort:
+        return self.result_sort
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.state,) + self.args
+
+
+# ---------------------------------------------------------------------------
+# Quantifiers
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Forall(Term):
+    var: Var
+    body: Term
+
+    def __post_init__(self) -> None:
+        require(self.body.sort, Sort.BOOL, "Forall body")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.BOOL
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class Exists(Term):
+    var: Var
+    body: Term
+
+    def __post_init__(self) -> None:
+        require(self.body.sort, Sort.BOOL, "Exists body")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.BOOL
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.body,)
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+def conj(*args: Term) -> Term:
+    """N-ary conjunction with unit simplification."""
+    flat: list[Term] = []
+    for a in args:
+        if isinstance(a, And):
+            flat.extend(a.args)
+        elif a == FALSE:
+            return FALSE
+        elif a != TRUE:
+            flat.append(a)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disj(*args: Term) -> Term:
+    """N-ary disjunction with unit simplification."""
+    flat: list[Term] = []
+    for a in args:
+        if isinstance(a, Or):
+            flat.extend(a.args)
+        elif a == TRUE:
+            return TRUE
+        elif a != FALSE:
+            flat.append(a)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def neg(a: Term) -> Term:
+    if isinstance(a, Not):
+        return a.arg
+    if a == TRUE:
+        return FALSE
+    if a == FALSE:
+        return TRUE
+    return Not(a)
+
+
+def implies(a: Term, b: Term) -> Term:
+    if a == TRUE:
+        return b
+    if a == FALSE or b == TRUE:
+        return TRUE
+    return Implies(a, b)
+
+
+def eq(a: Term, b: Term) -> Term:
+    return Eq(a, b)
+
+
+def ne(a: Term, b: Term) -> Term:
+    return neg(Eq(a, b))

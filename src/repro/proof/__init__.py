@@ -1,0 +1,16 @@
+"""The Jahob proof language and layered prover (Sections 1.4, 5.2)."""
+
+from .engine import ProofFailure, Prover
+from .commands import (Assuming, Cases, Command, Note, PickWitness,
+                       ProofError, ProofOutcome, ProofScript, ProofState)
+from .hints import (HardMethod, arraylist_environments, check_all_scripts,
+                    command_count_table, hard_methods, make_prover,
+                    script_for)
+
+__all__ = [
+    "ProofFailure", "Prover",
+    "Assuming", "Cases", "Command", "Note", "PickWitness", "ProofError",
+    "ProofOutcome", "ProofScript", "ProofState",
+    "HardMethod", "arraylist_environments", "check_all_scripts",
+    "command_count_table", "hard_methods", "make_prover", "script_for",
+]

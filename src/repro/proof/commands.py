@@ -1,0 +1,187 @@
+"""The Jahob proof language: ``note``, ``assuming``, ``pickWitness``
+(Section 5.2 and Table 5.9).
+
+A :class:`ProofScript` is a sequence of commands executed against a
+:class:`ProofState` (assumptions + pending goal).  Each command is
+*checked*: ``note`` goals must be provable from the current assumptions
+by the layered prover, ``assuming`` blocks must establish their local
+goal, and ``pickWitness`` requires an existential assumption to
+instantiate.  A script that runs to completion constitutes a machine-
+checked proof of the original goal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..logic import free_vars, pretty
+from ..logic import terms as t
+from ..logic.substitution import substitute
+from .engine import ProofFailure, Prover
+
+
+class ProofError(ValueError):
+    """A proof command was used incorrectly."""
+
+
+@dataclass
+class ProofState:
+    """Assumptions in scope and the goal still to be established."""
+
+    assumptions: list[t.Term]
+    goal: t.Term
+    fresh_counter: int = 0
+
+    def fresh_name(self, base: str) -> str:
+        self.fresh_counter += 1
+        return f"{base}_{self.fresh_counter}"
+
+
+class Command:
+    """Base class of proof commands."""
+
+    name = "command"
+
+    def run(self, state: ProofState, prover: Prover) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class Note(Command):
+    """``note`` — prove an intermediate formula and add it as a lemma
+    (the paper: "the developer can identify a lemma structure that helps
+    Jahob find the proof")."""
+
+    formula: t.Term
+    name = "note"
+
+    def run(self, state: ProofState, prover: Prover) -> None:
+        prover.prove(state.assumptions, self.formula)
+        state.assumptions.append(self.formula)
+
+
+@dataclass
+class Assuming(Command):
+    """``assuming`` — prove ``hypothesis --> conclusion`` by assuming the
+    hypothesis, running the sub-commands, and proving the conclusion."""
+
+    hypothesis: t.Term
+    conclusion: t.Term
+    body: Sequence[Command] = field(default_factory=tuple)
+    name = "assuming"
+
+    def run(self, state: ProofState, prover: Prover) -> None:
+        inner = ProofState(
+            assumptions=state.assumptions + [self.hypothesis],
+            goal=self.conclusion,
+            fresh_counter=state.fresh_counter)
+        for command in self.body:
+            command.run(inner, prover)
+        prover.prove(inner.assumptions, self.conclusion)
+        state.fresh_counter = inner.fresh_counter
+        state.assumptions.append(t.implies(self.hypothesis, self.conclusion))
+
+
+@dataclass
+class PickWitness(Command):
+    """``pickWitness`` — from an assumption ``EX x. P(x)``, name a
+    witness ``w`` and add ``P(w)``."""
+
+    existential: t.Term
+    witness: str
+    name = "pickWitness"
+
+    def run(self, state: ProofState, prover: Prover) -> None:
+        if not isinstance(self.existential, t.Exists):
+            raise ProofError(
+                f"pickWitness needs an existential, got "
+                f"{pretty(self.existential)}")
+        if not any(a == self.existential for a in state.assumptions):
+            # The existential itself must be provable before use.
+            prover.prove(state.assumptions, self.existential)
+        bound = self.existential.var
+        if any(self.witness in free_vars(a) for a in state.assumptions) \
+                or self.witness in free_vars(state.goal):
+            raise ProofError(f"witness name {self.witness!r} is not fresh")
+        witness_var = t.Var(self.witness, bound.var_sort)
+        instantiated = substitute(self.existential.body,
+                                  {bound.name: witness_var})
+        state.assumptions.append(instantiated)
+
+
+@dataclass
+class Cases(Command):
+    """Case split: prove the goal-so-far under each alternative.
+
+    Requires the disjunction of the alternatives to be provable; each
+    branch must then establish the given conclusion.
+    """
+
+    alternatives: tuple[t.Term, ...]
+    conclusion: t.Term
+    branches: tuple[Sequence[Command], ...] = ()
+    name = "cases"
+
+    def run(self, state: ProofState, prover: Prover) -> None:
+        prover.prove(state.assumptions, t.disj(*self.alternatives))
+        branches = self.branches or tuple(() for _ in self.alternatives)
+        if len(branches) != len(self.alternatives):
+            raise ProofError("one command list per alternative required")
+        for alt, body in zip(self.alternatives, branches):
+            inner = ProofState(
+                assumptions=state.assumptions + [alt],
+                goal=self.conclusion,
+                fresh_counter=state.fresh_counter)
+            for command in body:
+                command.run(inner, prover)
+            prover.prove(inner.assumptions, self.conclusion)
+            state.fresh_counter = inner.fresh_counter
+        state.assumptions.append(self.conclusion)
+
+
+@dataclass
+class ProofScript:
+    """A named proof: premises, goal, and the command sequence."""
+
+    name: str
+    premises: tuple[t.Term, ...]
+    goal: t.Term
+    commands: tuple[Command, ...]
+
+    def check(self, prover: Prover) -> "ProofOutcome":
+        state = ProofState(assumptions=list(self.premises), goal=self.goal)
+        try:
+            for command in self.commands:
+                command.run(state, prover)
+            prover.prove(state.assumptions, state.goal)
+        except (ProofFailure, ProofError) as exc:
+            return ProofOutcome(self, False, str(exc))
+        return ProofOutcome(self, True, "")
+
+    def command_counts(self) -> dict[str, int]:
+        """Counts per command name, recursively (Table 5.9 accounting)."""
+        counts: dict[str, int] = {}
+
+        def visit(commands: Sequence[Command]) -> None:
+            for command in commands:
+                counts[command.name] = counts.get(command.name, 0) + 1
+                if isinstance(command, Assuming):
+                    visit(command.body)
+                elif isinstance(command, Cases):
+                    for body in command.branches:
+                        visit(body)
+
+        visit(self.commands)
+        return counts
+
+
+@dataclass
+class ProofOutcome:
+    script: ProofScript
+    ok: bool
+    message: str
+
+    def summary(self) -> str:
+        status = "checked" if self.ok else f"FAILED ({self.message})"
+        return f"proof {self.script.name}: {status}"

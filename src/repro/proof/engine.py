@@ -1,0 +1,145 @@
+"""The layered prover behind the proof language.
+
+Mirrors Jahob's integrated reasoning (Section 1.4): a goal is dispatched
+to a sequence of engines, each complete for its own fragment —
+
+1. **propositional**: Boolean-abstract the formula (theory atoms become
+   SAT variables) and ask the CDCL solver whether the negation is
+   unsatisfiable; sound for any theory, complete for propositional
+   tautologies;
+2. **equality (EUF)**: congruence closure over the ground equalities in
+   the premises;
+3. **finite evaluation**: exhaustive evaluation over enumerated
+   environments (the decision procedure within a scope) — the analogue
+   of the paper's appeal to MONA/BAPA-style decision procedures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..eval.interpreter import EvalContext, EvalError, evaluate
+from ..logic import terms as t
+from ..solver.cnf import AtomMap, to_cnf
+from ..solver.euf import CongruenceClosure
+from ..solver.sat import SatSolver
+
+
+@dataclass
+class ProofFailure(Exception):
+    """A proof step could not be discharged."""
+
+    goal: t.Term
+    reason: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        from ..logic import pretty
+        return f"cannot prove {pretty(self.goal)}: {self.reason}"
+
+
+@dataclass
+class Prover:
+    """Discharges ``assumptions |- goal`` queries.
+
+    ``environments`` drive the finite-evaluation engine: each is a
+    variable binding over which every assumption and the goal are
+    evaluated.  ``observe`` dispatches observer calls.
+    """
+
+    environments: list[Mapping[str, Any]] = field(default_factory=list)
+    ctx: EvalContext = field(default_factory=EvalContext)
+
+    # -- engine 1: propositional -------------------------------------------
+
+    def _propositional(self, assumptions: list[t.Term],
+                       goal: t.Term) -> bool:
+        atoms = AtomMap()
+        solver = SatSolver()
+        implication = goal
+        for assumption in reversed(assumptions):
+            implication = t.Implies(assumption, implication)
+        clauses, root = to_cnf(t.Not(implication), atoms)
+        for clause in clauses:
+            solver.add_clause(clause)
+        solver.add_clause([root])
+        return not solver.solve().satisfiable
+
+    # -- engine 2: ground equality -------------------------------------------
+
+    def _euf(self, assumptions: list[t.Term], goal: t.Term) -> bool:
+        if not isinstance(goal, t.Eq):
+            return False
+        cc = CongruenceClosure()
+        for assumption in _flatten_conjuncts(assumptions):
+            if isinstance(assumption, t.Eq):
+                cc.merge(_euf_term(assumption.lhs), _euf_term(assumption.rhs))
+            elif isinstance(assumption, t.Not) \
+                    and isinstance(assumption.arg, t.Eq):
+                cc.assert_distinct(_euf_term(assumption.arg.lhs),
+                                   _euf_term(assumption.arg.rhs))
+        if not cc.is_consistent():
+            return True
+        return cc.are_equal(_euf_term(goal.lhs), _euf_term(goal.rhs))
+
+    # -- engine 3: finite evaluation --------------------------------------------
+
+    def _finite(self, assumptions: list[t.Term], goal: t.Term) -> bool:
+        if not self.environments:
+            return False
+        for env in self.environments:
+            try:
+                if not all(evaluate(a, env, self.ctx) for a in assumptions):
+                    continue
+                if not evaluate(goal, env, self.ctx):
+                    return False
+            except EvalError:
+                return False
+        return True
+
+    # -- public API -----------------------------------------------------------------
+
+    def prove(self, assumptions: list[t.Term], goal: t.Term) -> None:
+        """Raise :class:`ProofFailure` unless some engine proves the goal."""
+        if self._propositional(assumptions, goal):
+            return
+        if self._euf(assumptions, goal):
+            return
+        if self._finite(assumptions, goal):
+            return
+        raise ProofFailure(goal, "no engine discharged the goal")
+
+    def proves(self, assumptions: list[t.Term], goal: t.Term) -> bool:
+        try:
+            self.prove(assumptions, goal)
+        except ProofFailure:
+            return False
+        return True
+
+
+def _flatten_conjuncts(formulas: Iterable[t.Term]) -> list[t.Term]:
+    flat: list[t.Term] = []
+    stack = list(formulas)
+    while stack:
+        f = stack.pop()
+        if isinstance(f, t.And):
+            stack.extend(f.args)
+        else:
+            flat.append(f)
+    return flat
+
+
+def _euf_term(term: t.Term):
+    """Encode a logic term as a hashable EUF node."""
+    if isinstance(term, t.Var):
+        return ("var", term.name)
+    if isinstance(term, t.IntConst):
+        return ("int", term.value)
+    if isinstance(term, t.ObjConst):
+        return ("obj", term.name)
+    if isinstance(term, t.Null):
+        return ("null",)
+    if isinstance(term, t.BoolConst):
+        return ("bool", term.value)
+    children = tuple(_euf_term(c) for c in term.children())
+    return (type(term).__name__,) + children

@@ -1,0 +1,278 @@
+"""Proof scripts for the hard ArrayList testing methods (Section 5.2.1,
+Table 5.9).
+
+In the paper, 57 of the 486 generated ArrayList commutativity testing
+methods do not verify automatically; Jahob needs 201 proof-language
+commands (128 ``note``, 51 ``assuming``, 22 ``pickWitness``) falling
+into four categories, all revolving around existentially quantified
+``indexOf``/``lastIndexOf`` facts and index shifting.
+
+Our symbolic backend is a decision procedure for the fragment, so no
+method *requires* hints — but the mechanism is reproduced faithfully:
+this module reconstructs the four categories as machine-checked proof
+scripts for the key lemmas the paper describes (e.g. the contraposition
+"if the element is present initially, it is present after the insert",
+proved with ``pickWitness`` + shifted-position ``note``s), maps them to
+the 57 method names, and reports the command-count accounting that
+Table 5.9 measures.  EXPERIMENTS.md records both counts side by side.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..eval.interpreter import EvalContext
+from ..logic import parse_formula
+from ..logic.sorts import Sort
+from ..logic.symbols import SymbolTable
+from .commands import Assuming, Note, PickWitness, ProofOutcome, ProofScript
+from .engine import Prover
+
+_VARS = {
+    "s": Sort.SEQ, "i": Sort.INT, "v": Sort.OBJ, "v2": Sort.OBJ,
+    "w": Sort.INT,
+}
+
+
+def _table(extra: dict[str, Sort] | None = None) -> SymbolTable:
+    merged = dict(_VARS)
+    if extra:
+        merged.update(extra)
+    return SymbolTable(vars=merged)
+
+
+def _f(text: str, extra: dict[str, Sort] | None = None):
+    return parse_formula(text, _table(extra))
+
+
+def arraylist_environments(max_len: int = 3,
+                           tokens: tuple[str, ...] = ("a", "b", "c")) \
+        -> list[dict]:
+    """Finite environments for checking sequence lemmas: all sequences up
+    to ``max_len`` with all argument instantiations."""
+    envs = []
+    for n in range(max_len + 1):
+        for elems in itertools.product(tokens, repeat=n):
+            for i in range(n + 1):
+                for v in tokens:
+                    for v2 in tokens:
+                        for w in range(-1, n + 1):
+                            envs.append({"s": elems, "i": i, "v": v,
+                                         "v2": v2, "w": w})
+    return envs
+
+
+def make_prover(max_len: int = 3) -> Prover:
+    """A prover whose finite engine ranges over canonical sequences."""
+    return Prover(environments=arraylist_environments(max_len),
+                  ctx=EvalContext())
+
+
+# ---------------------------------------------------------------------------
+# The four lemma scripts of Section 5.2.1
+# ---------------------------------------------------------------------------
+
+_PRESENT = "EX j. 0 <= j & j < len(s) & at(s, j) = v2"
+_PRESENT_INS = ("EX j. 0 <= j & j < len(ins(s, i, v)) & "
+                "at(ins(s, i, v), j) = v2")
+
+
+def category1_script() -> ProofScript:
+    """Soundness of add_at/remove_at with indexOf/lastIndexOf: the
+    contraposition proof — if v2 is present initially it is present in
+    the intermediate state, with the witness's shifted position noted."""
+    premises = (_f("0 <= i & i <= len(s)"), _f(_PRESENT))
+    goal = _f(_PRESENT_INS)
+    return ProofScript(
+        name="absent_after_insert_implies_absent_before",
+        premises=premises,
+        goal=goal,
+        commands=(
+            PickWitness(_f(_PRESENT), "w"),
+            # The witness below the insertion point keeps its position...
+            Assuming(
+                _f("w < i"),
+                _f("EX j. 0 <= j & j < len(ins(s, i, v)) & "
+                   "at(ins(s, i, v), j) = v2"),
+                body=(
+                    Note(_f("at(ins(s, i, v), w) = v2")),
+                    Note(_f("w < len(ins(s, i, v))")),
+                ),
+            ),
+            # ... and a witness at or above it shifts up by one.
+            Assuming(
+                _f("i <= w"),
+                _f("EX j. 0 <= j & j < len(ins(s, i, v)) & "
+                   "at(ins(s, i, v), j) = v2"),
+                body=(
+                    Note(_f("at(ins(s, i, v), w + 1) = v2")),
+                    Note(_f("0 <= w + 1 & w + 1 < len(ins(s, i, v))")),
+                ),
+            ),
+        ),
+    )
+
+
+def category2_script() -> ProofScript:
+    """Soundness of remove_at with indexOf: the adjacent-duplicate case —
+    if positions i and i+1 both hold v2, removing position i leaves the
+    second occurrence at position i (the ``note`` the paper adds)."""
+    premises = (
+        _f("0 <= i & i + 1 < len(s)"),
+        _f("at(s, i) = v2 & at(s, i + 1) = v2"),
+    )
+    goal = _f("at(del_(s, i), i) = v2")
+    return ProofScript(
+        name="adjacent_duplicate_survives_removal",
+        premises=premises,
+        goal=goal,
+        commands=(
+            Note(_f("i < len(del_(s, i))")),
+            Note(_f("at(del_(s, i), i) = at(s, i + 1)")),
+        ),
+    )
+
+
+def category3_script() -> ProofScript:
+    """Completeness of update/update combinations: exhibit an element
+    present in one final abstract state but not the other (the paper's
+    ``assuming`` + ``note`` pattern identifying the differing index)."""
+    premises = (
+        _f("0 <= i & i < len(s)"),
+        _f("at(s, i) ~= v"),
+    )
+    goal = _f("EX j. 0 <= j & j < len(upd(s, i, v)) & "
+              "at(upd(s, i, v), j) ~= at(s, j)")
+    return ProofScript(
+        name="update_changes_some_position",
+        premises=premises,
+        goal=goal,
+        commands=(
+            Assuming(
+                _f("at(s, i) ~= v"),
+                _f("at(upd(s, i, v), i) ~= at(s, i)"),
+                body=(Note(_f("at(upd(s, i, v), i) = v")),),
+            ),
+        ),
+    )
+
+
+def category4_script() -> ProofScript:
+    """Completeness of add_at/remove_at with indexOf: the relative-
+    position case analysis — when the first occurrence of v2 sits at or
+    above the insertion point, its index shifts up (the position
+    ``note`` the paper adds after the ``assuming``)."""
+    premises = (
+        _f("0 <= i & i <= len(s)"),
+        _f("0 <= idx(s, v2)"),
+    )
+    goal = _f("i <= idx(s, v2) --> idx(ins(s, i, v), v2) = idx(s, v2) + 1 "
+              "| at(ins(s, i, v), i) = v2")
+    return ProofScript(
+        name="index_shift_under_insertion",
+        premises=premises,
+        goal=goal,
+        commands=(
+            PickWitness(
+                _f("EX j. 0 <= j & j < len(s) & at(s, j) = v2"), "w"),
+            Assuming(
+                _f("i <= idx(s, v2) & v ~= v2"),
+                _f("idx(ins(s, i, v), v2) = idx(s, v2) + 1"),
+                body=(
+                    Note(_f("at(ins(s, i, v), idx(s, v2) + 1) = v2")),
+                ),
+            ),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The 57 hard methods (reconstruction of Section 5.2.1's inventory)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HardMethod:
+    """One of the 57 ArrayList testing methods needing proof guidance."""
+
+    m1: str
+    m2: str
+    kind: str       # "between" or "after"
+    direction: str  # "s" or "c"
+    category: int
+
+    @property
+    def method_name(self) -> str:
+        # Keep the discard-variant marker: the paper disambiguates the
+        # two variants with a numeric id, we keep the trailing
+        # underscore instead ("remove_at_" vs "remove_at").
+        return f"{self.m1}.{self.m2}.{self.kind}.{self.direction}"
+
+
+def _cat(ms1: tuple[str, ...], ms2: tuple[str, ...], kinds: tuple[str, ...],
+         direction: str, category: int) -> list[HardMethod]:
+    return [HardMethod(m1, m2, kind, direction, category)
+            for m1 in ms1 for m2 in ms2 for kind in kinds]
+
+
+@lru_cache(maxsize=None)
+def hard_methods() -> tuple[HardMethod, ...]:
+    """The 57 hard ArrayList methods, by category (12 + 8 + 20 + 17)."""
+    methods: list[HardMethod] = []
+    # Category 1 (12): soundness, inserts/removals vs indexOf/lastIndexOf.
+    methods += _cat(("add_at", "remove_at", "remove_at_"),
+                    ("indexOf", "lastIndexOf"),
+                    ("between", "after"), "s", 1)
+    # Category 2 (8): soundness, indexOf/lastIndexOf before removals.
+    methods += _cat(("indexOf", "lastIndexOf"),
+                    ("remove_at", "remove_at_"),
+                    ("between", "after"), "s", 2)
+    # Category 3 (20): completeness, update/update combinations.
+    pairs = (("add_at", "add_at"), ("add_at", "remove_at"),
+             ("add_at", "set"), ("remove_at", "add_at"),
+             ("remove_at", "remove_at"), ("remove_at", "set"),
+             ("set", "add_at"), ("set", "remove_at"), ("set", "set"),
+             ("remove_at_", "add_at"))
+    methods += [HardMethod(m1, m2, kind, "c", 3)
+                for m1, m2 in pairs for kind in ("between", "after")]
+    # Category 4 (17): completeness, inserts/removals vs indexOf family.
+    methods += _cat(("add_at", "remove_at", "remove_at_"),
+                    ("indexOf", "lastIndexOf"), ("between", "after"), "c", 4)
+    methods += _cat(("indexOf", "lastIndexOf"), ("remove_at",),
+                    ("between", "after"), "c", 4)
+    methods.append(HardMethod("indexOf", "add_at", "after", "c", 4))
+    assert len(methods) == 57, len(methods)
+    return tuple(methods)
+
+
+_CATEGORY_SCRIPTS = {
+    1: category1_script,
+    2: category2_script,
+    3: category3_script,
+    4: category4_script,
+}
+
+
+def script_for(method: HardMethod) -> ProofScript:
+    """The lemma script guiding one hard method's verification."""
+    return _CATEGORY_SCRIPTS[method.category]()
+
+
+def check_all_scripts(max_len: int = 3) -> list[ProofOutcome]:
+    """Check the four category scripts against the layered prover."""
+    prover = make_prover(max_len)
+    return [builder().check(prover)
+            for builder in _CATEGORY_SCRIPTS.values()]
+
+
+def command_count_table() -> dict[str, int]:
+    """Total proof-language commands over all 57 methods (our analogue of
+    Table 5.9; the paper reports note=128, assuming=51, pickWitness=22,
+    total=201)."""
+    totals: dict[str, int] = {"note": 0, "assuming": 0, "pickWitness": 0}
+    for method in hard_methods():
+        for name, count in script_for(method).command_counts().items():
+            totals[name] = totals.get(name, 0) + count
+    totals["total"] = sum(totals.values())
+    return totals

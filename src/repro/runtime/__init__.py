@@ -1,0 +1,12 @@
+"""Speculative parallel execution built on verified commutativity
+conditions and inverse operations (the paper's motivating systems)."""
+
+from .gatekeeper import Gatekeeper, LoggedOperation, POLICIES
+from .transaction import Transaction, TxnStatus, UndoEntry, rollback
+from .executor import ExecutionReport, SpeculativeExecutor
+
+__all__ = [
+    "Gatekeeper", "LoggedOperation", "POLICIES",
+    "Transaction", "TxnStatus", "UndoEntry", "rollback",
+    "ExecutionReport", "SpeculativeExecutor",
+]

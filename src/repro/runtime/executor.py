@@ -1,0 +1,164 @@
+"""Deterministic speculative executor (the usage scenario of Chapter 1).
+
+Transactions execute operations on a shared concrete linked structure.
+Before each operation the gatekeeper checks the between commutativity
+conditions against every outstanding operation of other transactions; on
+conflict the requesting transaction aborts, rolls back through the
+verified inverses, and retries.  The scheduler interleaves transactions
+deterministically from a seed, so every run is reproducible.
+
+The executor also validates serializability on the fly: at commit time
+of the final transaction, the abstract state must equal the state
+produced by replaying the committed transactions serially in commit
+order — which is exactly what the soundness of the commutativity
+conditions guarantees.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..eval.values import Record
+from ..impls import invoke, new_instance
+from ..specs import get_spec
+from .gatekeeper import Gatekeeper, LoggedOperation
+from .transaction import Transaction, TxnStatus, UndoEntry, rollback
+
+
+@dataclass
+class ExecutionReport:
+    """Statistics and outcome of one speculative execution."""
+
+    ds_name: str
+    policy: str
+    commits: int = 0
+    aborts: int = 0
+    operations: int = 0
+    conflict_checks: int = 0
+    conflicts: int = 0
+    commit_order: list[int] = field(default_factory=list)
+    final_state: Record | None = None
+    serial_state: Record | None = None
+
+    @property
+    def serializable(self) -> bool:
+        return self.final_state == self.serial_state
+
+    def summary(self) -> str:
+        return (f"{self.ds_name}/{self.policy}: {self.commits} commits, "
+                f"{self.aborts} aborts, {self.operations} ops, "
+                f"{self.conflicts}/{self.conflict_checks} conflicts, "
+                f"serializable={self.serializable}")
+
+
+class SpeculativeExecutor:
+    """Runs transactions speculatively over one shared structure."""
+
+    def __init__(self, ds_name: str, policy: str = "commutativity",
+                 seed: int = 0, max_rounds: int = 10000,
+                 conflict_mode: str = "abort") -> None:
+        if conflict_mode not in ("abort", "block"):
+            raise ValueError(f"unknown conflict mode {conflict_mode!r}")
+        self.ds_name = ds_name
+        self.spec = get_spec(ds_name)
+        self.policy = policy
+        self.seed = seed
+        self.max_rounds = max_rounds
+        #: "abort" rolls the requester back immediately; "block" lets it
+        #: wait for the conflicting transaction, aborting only to break
+        #: a deadlock (the waits-for cycle fallback of real systems).
+        self.conflict_mode = conflict_mode
+
+    def run(self, programs: list[list[tuple[str, tuple[Any, ...]]]]) \
+            -> ExecutionReport:
+        """Execute the transaction ``programs`` to completion."""
+        rng = random.Random(self.seed)
+        impl = new_instance(self.ds_name)
+        gatekeeper = Gatekeeper(self.ds_name, self.policy)
+        transactions = [Transaction(i, list(ops))
+                        for i, ops in enumerate(programs)]
+        report = ExecutionReport(ds_name=self.ds_name, policy=self.policy)
+        rounds = 0
+        blocked: set[int] = set()
+        while any(t.status is TxnStatus.RUNNING for t in transactions):
+            rounds += 1
+            if rounds > self.max_rounds:
+                raise RuntimeError("executor failed to converge")
+            runnable = [t for t in transactions
+                        if t.status is TxnStatus.RUNNING
+                        and t.txn_id not in blocked]
+            if not runnable:
+                # Every running transaction is blocked: break the
+                # deadlock by keeping the most-advanced transaction as
+                # the sole survivor and aborting the rest.  With no other
+                # holders left, the survivor's admission checks succeed
+                # trivially, so it runs to commit — guaranteeing global
+                # progress on every deadlock episode.
+                running = [t for t in transactions
+                           if t.status is TxnStatus.RUNNING]
+                survivor = max(running,
+                               key=lambda t: (t.next_op, -t.txn_id))
+                for txn in running:
+                    if txn is not survivor and txn.next_op > 0:
+                        self._abort(txn, impl, gatekeeper, report)
+                blocked = {t.txn_id for t in running
+                           if t is not survivor}
+                continue
+            txn = rng.choice(runnable)
+            if txn.finished:
+                txn.status = TxnStatus.COMMITTED
+                gatekeeper.release(txn.txn_id)
+                report.commits += 1
+                report.commit_order.append(txn.txn_id)
+                blocked.clear()  # waiters may be admissible now
+                continue
+            op_name, args = txn.current_op()
+            op = self.spec.operations[op_name]
+            before = impl.abstract_state()
+            if not gatekeeper.admits(txn.txn_id, op_name, args, before):
+                if self.conflict_mode == "block":
+                    blocked.add(txn.txn_id)
+                else:
+                    self._abort(txn, impl, gatekeeper, report)
+                continue
+            # Execute the base operation; keep the real return value for
+            # the undo log even when the client discards it (the paper:
+            # "any system that applies such inverse operations must
+            # therefore store the return value").
+            raw_result = getattr(impl, op_name.rstrip("_"))(*args)
+            visible = None if op.discards_result else raw_result
+            after = impl.abstract_state()
+            gatekeeper.record(LoggedOperation(
+                txn_id=txn.txn_id, op_name=op_name, args=args,
+                result=visible, before=before, after=after))
+            txn.results.append(visible)
+            if op.mutator:
+                base = op.base_name or op.name
+                txn.undo_log.append(UndoEntry(base, args, raw_result))
+            txn.next_op += 1
+            report.operations += 1
+        report.conflict_checks = gatekeeper.checks
+        report.conflicts = gatekeeper.conflicts
+        report.final_state = impl.abstract_state()
+        report.serial_state = self._serial_replay(programs,
+                                                  report.commit_order)
+        return report
+
+    def _abort(self, txn: Transaction, impl: Any, gatekeeper: Gatekeeper,
+               report: ExecutionReport) -> None:
+        """Roll back a transaction's speculative effects and retry it."""
+        rollback(impl, self.ds_name, txn.undo_log)
+        gatekeeper.release(txn.txn_id)
+        txn.reset_for_retry()
+        report.aborts += 1
+
+    def _serial_replay(self, programs: list[list[tuple[str, tuple]]],
+                       order: list[int]) -> Record:
+        """Replay committed transactions serially in commit order."""
+        impl = new_instance(self.ds_name)
+        for txn_id in order:
+            for op_name, args in programs[txn_id]:
+                invoke(impl, op_name, args)
+        return impl.abstract_state()

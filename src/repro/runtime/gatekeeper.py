@@ -1,0 +1,111 @@
+"""Gatekeeper: dynamic commutativity checking (Sections 1, 2.4, 6).
+
+"A system would use such a between condition just before executing the
+add(v2) operation to dynamically check if this operation commutes with a
+previously executed contains(v1) operation."  The gatekeeper holds, per
+outstanding (uncommitted) operation, the abstract state snapshot before
+it ran and its return value; an incoming operation is admitted only if
+the between condition of every (logged op; incoming op) pair holds.
+
+Conflict-detection policies (the lattice of mechanisms from [29], see
+Chapter 6):
+
+- ``"commutativity"``: the verified sound-and-complete between
+  conditions — maximal concurrency;
+- ``"read-write"``: classical reader/writer conflicts (two operations
+  conflict iff they touch the same structure and at least one mutates) —
+  sound but far less permissive;
+- ``"mutex"``: any two operations conflict — serial execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..commutativity.catalog import condition
+from ..commutativity.conditions import Kind
+from ..eval.interpreter import EvalContext, evaluate
+from ..eval.values import Record
+from ..specs import DataStructureSpec, get_spec
+
+POLICIES = ("commutativity", "read-write", "mutex")
+
+
+@dataclass(frozen=True)
+class LoggedOperation:
+    """An executed-but-uncommitted operation."""
+
+    txn_id: int
+    op_name: str
+    args: tuple[Any, ...]
+    result: Any
+    #: Abstract state immediately before the operation ran.
+    before: Record
+    #: Abstract state immediately after the operation ran.
+    after: Record
+
+
+class Gatekeeper:
+    """Admission control for operations on one shared data structure."""
+
+    def __init__(self, ds_name: str, policy: str = "commutativity") -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}")
+        self.ds_name = ds_name
+        self.spec: DataStructureSpec = get_spec(ds_name)
+        self.policy = policy
+        self._log: list[LoggedOperation] = []
+        self._ctx = EvalContext(observe=self.spec.observe)
+        self.checks = 0
+        self.conflicts = 0
+
+    # -- admission ----------------------------------------------------------
+
+    def admits(self, txn_id: int, op_name: str, args: tuple[Any, ...],
+               current: Record) -> bool:
+        """Whether ``txn_id`` may run ``op_name(args)`` now, given the
+        outstanding operations of other transactions."""
+        for logged in self._log:
+            if logged.txn_id == txn_id:
+                continue
+            self.checks += 1
+            if not self._pair_commutes(logged, op_name, args, current):
+                self.conflicts += 1
+                return False
+        return True
+
+    def _pair_commutes(self, logged: LoggedOperation, op_name: str,
+                       args: tuple[Any, ...], current: Record) -> bool:
+        if self.policy == "mutex":
+            return False
+        op1 = self.spec.operations[logged.op_name]
+        op2 = self.spec.operations[op_name]
+        if self.policy == "read-write":
+            return not (op1.mutator or op2.mutator)
+        cond = condition(self.ds_name, logged.op_name, op_name, Kind.BETWEEN)
+        env: dict[str, Any] = {
+            "s1": logged.before, "s2": current,
+        }
+        for param, value in zip(op1.params, logged.args):
+            env[f"{param.name}1"] = value
+        for param, value in zip(op2.params, args):
+            env[f"{param.name}2"] = value
+        if op1.result_sort is not None:
+            env["r1"] = logged.result
+        return bool(evaluate(cond.dynamic_formula, env, self._ctx))
+
+    # -- log maintenance ------------------------------------------------------
+
+    def record(self, entry: LoggedOperation) -> None:
+        """Log an executed operation as outstanding."""
+        self._log.append(entry)
+
+    def release(self, txn_id: int) -> None:
+        """Drop all outstanding operations of ``txn_id`` (commit/abort)."""
+        self._log = [e for e in self._log if e.txn_id != txn_id]
+
+    def outstanding(self, txn_id: int | None = None) -> list[LoggedOperation]:
+        if txn_id is None:
+            return list(self._log)
+        return [e for e in self._log if e.txn_id == txn_id]

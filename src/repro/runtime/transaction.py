@@ -1,0 +1,97 @@
+"""Speculative transactions with inverse-based rollback (Section 1.3).
+
+A transaction executes operations against the shared concrete structure
+and keeps an undo log of (operation, arguments, return value).  On abort
+the log is replayed backwards through the verified inverse operations:
+the abstract state is restored exactly, even though the concrete state
+may differ (the property Table 5.10 verifies)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..inverses.catalog import ArgKind, Guard, InverseSpec, inverse_for
+from ..specs import get_spec
+
+
+class TxnStatus(enum.Enum):
+    RUNNING = "running"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class UndoEntry:
+    op_name: str
+    args: tuple[Any, ...]
+    result: Any
+
+
+@dataclass
+class Transaction:
+    """One speculative transaction over a shared structure."""
+
+    txn_id: int
+    ops: list[tuple[str, tuple[Any, ...]]]
+    status: TxnStatus = TxnStatus.RUNNING
+    next_op: int = 0
+    undo_log: list[UndoEntry] = field(default_factory=list)
+    aborts: int = 0
+    results: list[Any] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.next_op >= len(self.ops)
+
+    def current_op(self) -> tuple[str, tuple[Any, ...]]:
+        return self.ops[self.next_op]
+
+    def record(self, op_name: str, args: tuple[Any, ...],
+               result: Any, mutator: bool) -> None:
+        self.results.append(result)
+        if mutator:
+            self.undo_log.append(UndoEntry(op_name, args, result))
+        self.next_op += 1
+
+    def reset_for_retry(self) -> None:
+        self.aborts += 1
+        self.next_op = 0
+        self.undo_log.clear()
+        self.results.clear()
+        self.status = TxnStatus.RUNNING
+
+
+def rollback(impl: Any, family: str, undo_log: list[UndoEntry]) -> None:
+    """Undo all logged mutations, most recent first, using the verified
+    inverse operations of Table 5.10."""
+    spec = get_spec(family)
+    for entry in reversed(undo_log):
+        op = spec.operations[entry.op_name]
+        base = op.base_name or op.name
+        inverse = inverse_for(family, base)
+        _apply_inverse_concrete(impl, inverse, op, entry)
+    undo_log.clear()
+
+
+def _apply_inverse_concrete(impl: Any, inverse: InverseSpec, op: Any,
+                            entry: UndoEntry) -> None:
+    params = {p.name: v for p, v in zip(op.params, entry.args)}
+    result = entry.result
+    if inverse.guard is Guard.NONE:
+        selected = inverse.then
+    elif inverse.guard is Guard.RESULT_TRUE:
+        selected = inverse.then if result else ()
+    else:
+        selected = inverse.then if result is not None else inverse.els
+    for call in selected:
+        args = []
+        for arg in call.args:
+            if arg.kind is ArgKind.PARAM:
+                args.append(params[arg.name])
+            elif arg.kind is ArgKind.NEG_PARAM:
+                args.append(-params[arg.name])
+            else:
+                args.append(result)
+        getattr(impl, call.op.rstrip("_"))(*args)

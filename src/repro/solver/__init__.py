@@ -1,0 +1,22 @@
+"""Verification engines: SAT core, congruence closure, and the symbolic
+commutativity engine (the repository's replacement for Jahob's
+integrated reasoning systems)."""
+
+from .sat import SatResult, SatSolver
+from .cnf import AtomMap, is_atom, to_cnf
+from .euf import CongruenceClosure, entails_equality
+from .partition import (bell_number, canonical_tokens, partitions,
+                        restricted_growth_strings)
+from .symbolic import SymInt, SymMap, SymSet
+from .engine import (CANONICAL_INTS, check_condition_symbolic,
+                     check_conditions_symbolic)
+
+__all__ = [
+    "SatResult", "SatSolver", "AtomMap", "is_atom", "to_cnf",
+    "CongruenceClosure", "entails_equality",
+    "bell_number", "canonical_tokens", "partitions",
+    "restricted_growth_strings",
+    "SymInt", "SymMap", "SymSet",
+    "CANONICAL_INTS", "check_condition_symbolic",
+    "check_conditions_symbolic",
+]

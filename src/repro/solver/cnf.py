@@ -1,0 +1,92 @@
+"""Tseitin transformation: boolean formula structure -> CNF clauses.
+
+Works over an abstract atom space: callers map theory atoms to integer
+SAT variables via :class:`AtomMap`, convert a formula with
+:func:`to_cnf`, and hand the clauses to :class:`~repro.solver.sat.SatSolver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..logic import terms as t
+
+
+@dataclass
+class AtomMap:
+    """Bijection between atomic formulas and SAT variables."""
+
+    atom_to_var: dict[t.Term, int] = field(default_factory=dict)
+    var_to_atom: dict[int, t.Term] = field(default_factory=dict)
+    _next: int = 1
+
+    def var_for(self, atom: t.Term) -> int:
+        existing = self.atom_to_var.get(atom)
+        if existing is not None:
+            return existing
+        var = self._next
+        self._next += 1
+        self.atom_to_var[atom] = var
+        self.var_to_atom[var] = atom
+        return var
+
+    def fresh(self) -> int:
+        var = self._next
+        self._next += 1
+        return var
+
+    def atoms(self) -> list[t.Term]:
+        return list(self.atom_to_var)
+
+
+def is_atom(formula: t.Term) -> bool:
+    """Atoms are anything that is not a boolean connective."""
+    return not isinstance(formula, (t.Not, t.And, t.Or, t.Implies, t.Iff))
+
+
+def to_cnf(formula: t.Term, atoms: AtomMap) -> tuple[list[list[int]], int]:
+    """Tseitin-encode ``formula``; returns (clauses, root literal).
+
+    The returned clauses are equisatisfiable with ``formula`` once the
+    root literal is asserted.
+    """
+    clauses: list[list[int]] = []
+
+    def encode(f: t.Term) -> int:
+        if isinstance(f, t.BoolConst):
+            var = atoms.fresh()
+            clauses.append([var] if f.value else [-var])
+            return var
+        if is_atom(f):
+            return atoms.var_for(f)
+        if isinstance(f, t.Not):
+            return -encode(f.arg)
+        if isinstance(f, t.And):
+            lits = [encode(a) for a in f.args]
+            out = atoms.fresh()
+            for lit in lits:
+                clauses.append([-out, lit])
+            clauses.append([out] + [-lit for lit in lits])
+            return out
+        if isinstance(f, t.Or):
+            lits = [encode(a) for a in f.args]
+            out = atoms.fresh()
+            for lit in lits:
+                clauses.append([out, -lit])
+            clauses.append([-out] + lits)
+            return out
+        if isinstance(f, t.Implies):
+            return encode(t.Or((t.neg(f.lhs), f.rhs)))
+        if isinstance(f, t.Iff):
+            a = encode(f.lhs)
+            b = encode(f.rhs)
+            out = atoms.fresh()
+            clauses.append([-out, -a, b])
+            clauses.append([-out, a, -b])
+            clauses.append([out, a, b])
+            clauses.append([out, -a, -b])
+            return out
+        raise TypeError(f"cannot CNF-encode {type(f).__name__}")
+
+    root = encode(formula)
+    return clauses, root

@@ -1,0 +1,341 @@
+"""The symbolic commutativity verification engine.
+
+This backend plays the role Jahob's integrated provers play in the paper:
+it establishes soundness and completeness of commutativity conditions for
+*unbounded* initial states.  The decision procedure is theory-guided case
+enumeration:
+
+- the object symbols mentioned by the pair's arguments (and, for maps,
+  the unknown base bindings) are partitioned into equality classes —
+  exact because the fragment is invariant under injective renaming
+  (:mod:`repro.solver.partition`);
+- the base collection is a symbolic region: only the membership/binding
+  of the mentioned classes plus a symbolic size ``N + delta`` are tracked
+  (:mod:`repro.solver.symbolic`);
+- both operation orders are executed with symbolic semantics and the
+  condition is evaluated per case; soundness and completeness reduce to
+  per-case boolean checks (Properties 1-2).
+
+For the ArrayList, element universes are handled by the same partition
+argument (exact for unbounded universes) while sequence *length* is
+enumerated up to the scope bound — the honest deviation recorded in
+DESIGN.md and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Callable, Iterator
+
+from ..commutativity.bounded import CheckResult, Counterexample
+from ..commutativity.conditions import CommutativityCondition
+from ..eval.enumeration import Scope
+from ..eval.interpreter import EvalContext, evaluate
+from ..eval.values import (FMap, Record, seq_index_of, seq_insert,
+                           seq_last_index_of, seq_remove, seq_update)
+from ..specs.interface import DataStructureSpec, Operation
+from .partition import partitions
+from .symbolic import SymInt, SymMap, SymSet
+
+#: Canonical integer arguments: cover zero / positive / negative cases.
+CANONICAL_INTS = (-1, 0, 1, 2)
+
+Semantics = Callable[[Record, tuple[Any, ...]], tuple[Record, Any]]
+
+
+# ---------------------------------------------------------------------------
+# Symbolic operation semantics
+# ---------------------------------------------------------------------------
+
+def _set_add(state: Record, args: tuple[Any, ...]) -> tuple[Record, Any]:
+    (v,) = args
+    contents: SymSet = state["contents"]
+    if v in contents:
+        return state, False
+    return Record(contents=contents.add(v),
+                  size=state["size"].plus(1)), True
+
+
+def _set_remove(state: Record, args: tuple[Any, ...]) -> tuple[Record, Any]:
+    (v,) = args
+    contents: SymSet = state["contents"]
+    if v not in contents:
+        return state, False
+    return Record(contents=contents.remove(v),
+                  size=state["size"].plus(-1)), True
+
+
+def _discard(semantics: Semantics) -> Semantics:
+    def wrapped(state: Record, args: tuple[Any, ...]) -> tuple[Record, Any]:
+        new_state, _ = semantics(state, args)
+        return new_state, None
+    return wrapped
+
+
+SET_SEMANTICS: dict[str, Semantics] = {
+    "add": _set_add,
+    "add_": _discard(_set_add),
+    "contains": lambda s, a: (s, a[0] in s["contents"]),
+    "remove": _set_remove,
+    "remove_": _discard(_set_remove),
+    "size": lambda s, a: (s, s["size"]),
+}
+
+
+def _map_put(state: Record, args: tuple[Any, ...]) -> tuple[Record, Any]:
+    k, v = args
+    contents: SymMap = state["contents"]
+    previous = contents.lookup(k)
+    delta = 0 if k in contents else 1
+    return Record(contents=contents.put(k, v),
+                  size=state["size"].plus(delta)), previous
+
+
+def _map_remove(state: Record, args: tuple[Any, ...]) -> tuple[Record, Any]:
+    (k,) = args
+    contents: SymMap = state["contents"]
+    previous = contents.lookup(k)
+    delta = -1 if k in contents else 0
+    return Record(contents=contents.remove(k),
+                  size=state["size"].plus(delta)), previous
+
+
+MAP_SEMANTICS: dict[str, Semantics] = {
+    "containsKey": lambda s, a: (s, a[0] in s["contents"]),
+    "get": lambda s, a: (s, s["contents"].lookup(a[0])),
+    "put": _map_put,
+    "put_": _discard(_map_put),
+    "remove": _map_remove,
+    "remove_": _discard(_map_remove),
+    "size": lambda s, a: (s, s["size"]),
+}
+
+ACCUMULATOR_SEMANTICS: dict[str, Semantics] = {
+    "increase": lambda s, a: (Record(value=s["value"].plus(a[0])), None),
+    "read": lambda s, a: (s, s["value"]),
+}
+
+
+# ---------------------------------------------------------------------------
+# Case enumeration per family
+# ---------------------------------------------------------------------------
+
+def _obj_symbols(op1: Operation, op2: Operation,
+                 sort_name: str = "obj") -> list[str]:
+    syms = []
+    for op, suffix in ((op1, "1"), (op2, "2")):
+        for p in op.params:
+            if p.sort.value == sort_name:
+                syms.append(f"{p.name}{suffix}")
+    return syms
+
+
+def _args_from_tokens(op: Operation, suffix: str,
+                      tokens: dict[str, str]) -> tuple[Any, ...]:
+    return tuple(tokens[f"{p.name}{suffix}"] for p in op.params)
+
+
+def set_cases(op1: Operation, op2: Operation) \
+        -> Iterator[tuple[Record, tuple[Any, ...], tuple[Any, ...]]]:
+    """Symbolic initial states/arguments for a set-family pair."""
+    syms = _obj_symbols(op1, op2)
+    for part in partitions(tuple(syms)):
+        tokens = {sym: f"c{cls}" for sym, cls in part.items()}
+        classes = sorted(set(tokens.values()))
+        for bits in itertools.product((False, True), repeat=len(classes)):
+            membership = FMap(dict(zip(classes, bits)))
+            state = Record(contents=SymSet(membership),
+                           size=SymInt("N", 0))
+            yield (state, _args_from_tokens(op1, "1", tokens),
+                   _args_from_tokens(op2, "2", tokens))
+
+
+def map_cases(op1: Operation, op2: Operation) \
+        -> Iterator[tuple[Record, tuple[Any, ...], tuple[Any, ...]]]:
+    """Symbolic initial states/arguments for a map-family pair.
+
+    Key tokens and value tokens live in separate namespaces (no
+    operation or condition ever compares a key with a value); unknown
+    base bindings are "fresh" tokens whose mutual equality is itself
+    enumerated by partitioning.
+    """
+    key_syms = []
+    val_syms = []
+    for op, suffix in ((op1, "1"), (op2, "2")):
+        for p in op.params:
+            name = f"{p.name}{suffix}"
+            if p.name == "k":
+                key_syms.append(name)
+            else:
+                val_syms.append(name)
+    for kpart in partitions(tuple(key_syms)):
+        ktokens = {sym: f"k{cls}" for sym, cls in kpart.items()}
+        kclasses = sorted(set(ktokens.values()))
+        for vpart in partitions(tuple(val_syms)):
+            vtokens = {sym: f"w{cls}" for sym, cls in vpart.items()}
+            vclasses = sorted(set(vtokens.values()))
+            options = ["absent", "fresh"] + vclasses
+            for choice in itertools.product(options, repeat=len(kclasses)):
+                fresh_keys = [kc for kc, tag in zip(kclasses, choice)
+                              if tag == "fresh"]
+                for fpart in partitions(tuple(fresh_keys)):
+                    binding: dict[str, str] = {}
+                    for kc, tag in zip(kclasses, choice):
+                        if tag == "absent":
+                            continue
+                        binding[kc] = (f"f{fpart[kc]}" if tag == "fresh"
+                                       else tag)
+                    state = Record(
+                        contents=SymMap(FMap(binding),
+                                        frozenset(kclasses)),
+                        size=SymInt("N", 0))
+                    tokens = {**ktokens, **vtokens}
+                    yield (state, _args_from_tokens(op1, "1", tokens),
+                           _args_from_tokens(op2, "2", tokens))
+
+
+def accumulator_cases(op1: Operation, op2: Operation) \
+        -> Iterator[tuple[Record, tuple[Any, ...], tuple[Any, ...]]]:
+    """Symbolic cases: opaque initial value, canonical increments."""
+    domains1 = [CANONICAL_INTS for _ in op1.params]
+    domains2 = [CANONICAL_INTS for _ in op2.params]
+    state = Record(value=SymInt("N", 0))
+    for args1 in itertools.product(*domains1):
+        for args2 in itertools.product(*domains2):
+            yield state, args1, args2
+
+
+def arraylist_cases(op1: Operation, op2: Operation, max_len: int) \
+        -> Iterator[tuple[Record, tuple[Any, ...], tuple[Any, ...]]]:
+    """Canonical cases: partition elements + object args; enumerate
+    index args concretely (preconditions filter later)."""
+    obj_syms = _obj_symbols(op1, op2)
+    for n in range(max_len + 1):
+        elem_syms = [f"e{j}" for j in range(n)]
+        for part in partitions(tuple(elem_syms + obj_syms)):
+            tokens = {sym: f"c{cls}" for sym, cls in part.items()}
+            elems = tuple(tokens[e] for e in elem_syms)
+            state = Record(elems=elems, size=n)
+            index_range = tuple(range(n + 1))
+
+            def arg_domains(op: Operation, suffix: str) -> list[tuple]:
+                domains: list[tuple] = []
+                for p in op.params:
+                    if p.sort.value == "int":
+                        domains.append(index_range)
+                    else:
+                        domains.append((tokens[f"{p.name}{suffix}"],))
+                return domains
+
+            for args1 in itertools.product(*arg_domains(op1, "1")):
+                for args2 in itertools.product(*arg_domains(op2, "2")):
+                    yield state, args1, args2
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+def _family_tooling(spec: DataStructureSpec, scope: Scope):
+    """(case iterator factory, symbolic semantics or None)."""
+    if spec.name == "Set":
+        return set_cases, SET_SEMANTICS
+    if spec.name == "Map":
+        return map_cases, MAP_SEMANTICS
+    if spec.name == "Accumulator":
+        return accumulator_cases, ACCUMULATOR_SEMANTICS
+    if spec.name == "ArrayList":
+        def cases(op1: Operation, op2: Operation):
+            return arraylist_cases(op1, op2, scope.max_seq_len)
+        return cases, None  # concrete semantics are exact per partition
+    raise ValueError(f"no symbolic tooling for family {spec.name!r}")
+
+
+def _symbolic_observe(semantics: dict[str, Semantics] | None,
+                      spec: DataStructureSpec):
+    def observe(state: Record, method: str, args: tuple[Any, ...]) -> Any:
+        if semantics is not None:
+            _, result = semantics[method](state, args)
+            return result
+        return spec.observe(state, method, args)
+    return observe
+
+
+def check_condition_symbolic(spec: DataStructureSpec,
+                             cond: CommutativityCondition,
+                             scope: Scope | None = None,
+                             max_counterexamples: int = 3) -> CheckResult:
+    """Verify soundness and completeness of one condition symbolically."""
+    return check_conditions_symbolic(spec, [cond], scope,
+                                     max_counterexamples)[0]
+
+
+def check_conditions_symbolic(spec: DataStructureSpec,
+                              conditions: list[CommutativityCondition],
+                              scope: Scope | None = None,
+                              max_counterexamples: int = 3) \
+        -> list[CheckResult]:
+    """Verify several conditions of one pair, sharing case enumeration."""
+    scope = scope or Scope()
+    pairs = {(c.m1, c.m2) for c in conditions}
+    if len(pairs) != 1:
+        raise ValueError("expected conditions for a single operation pair")
+    op1, op2 = conditions[0].op1, conditions[0].op2
+    cases, semantics = _family_tooling(spec, scope)
+    apply1 = semantics[op1.name] if semantics else op1.semantics
+    apply2 = semantics[op2.name] if semantics else op2.semantics
+    ctx = EvalContext(observe=_symbolic_observe(semantics, spec))
+    results = [CheckResult(condition=c) for c in conditions]
+    formulas = [c.formula for c in conditions]
+    start = time.perf_counter()
+    for state, args1, args2 in cases(op1, op2):
+        if not spec.precondition_holds(op1, state, args1):
+            continue
+        mid, r1 = apply1(state, args1)
+        if not spec.precondition_holds(op2, mid, args2):
+            continue
+        fin, r2 = apply2(mid, args2)
+        truth = _commutes_symbolic(spec, op1, op2, apply1, apply2,
+                                   state, args1, args2, fin, r1, r2)
+        env: dict[str, Any] = {"s1": state, "s2": mid, "s3": fin}
+        for p, v in zip(op1.params, args1):
+            env[f"{p.name}1"] = v
+        for p, v in zip(op2.params, args2):
+            env[f"{p.name}2"] = v
+        if op1.result_sort is not None:
+            env["r1"] = r1
+        if op2.result_sort is not None:
+            env["r2"] = r2
+        for formula, result in zip(formulas, results):
+            result.cases += 1
+            phi = bool(evaluate(formula, env, ctx))
+            if phi == truth:
+                continue
+            direction = "soundness" if phi else "completeness"
+            if len(result.counterexamples) < max_counterexamples:
+                result.counterexamples.append(Counterexample(
+                    direction=direction, state=state, args1=args1,
+                    args2=args2, condition_value=phi, commuted=truth))
+    elapsed = time.perf_counter() - start
+    for result in results:
+        result.elapsed = elapsed
+    return results
+
+
+def _commutes_symbolic(spec: DataStructureSpec, op1: Operation,
+                       op2: Operation, apply1: Semantics, apply2: Semantics,
+                       state: Record, args1: tuple[Any, ...],
+                       args2: tuple[Any, ...], fin: Record,
+                       r1: Any, r2: Any) -> bool:
+    if not spec.precondition_holds(op2, state, args2):
+        return False
+    mid_b, r2_b = apply2(state, args2)
+    if not spec.precondition_holds(op1, mid_b, args1):
+        return False
+    fin_b, r1_b = apply1(mid_b, args1)
+    if op1.result_sort is not None and r1 != r1_b:
+        return False
+    if op2.result_sort is not None and r2 != r2_b:
+        return False
+    return fin == fin_b

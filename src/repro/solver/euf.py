@@ -1,0 +1,121 @@
+"""Congruence closure: ground equality reasoning with uninterpreted
+functions (the EUF theory solver).
+
+Terms are hashable tuples ``(fn, arg1, ..., argn)`` or atomic constants;
+:meth:`CongruenceClosure.merge` asserts equalities, and
+:meth:`CongruenceClosure.are_equal` / :meth:`check_disequalities` query
+the closure.  Used by the proof layer to discharge equality steps and by
+the symbolic engine's consistency filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+Node = Hashable
+
+
+@dataclass
+class CongruenceClosure:
+    """Union-find with congruence propagation."""
+
+    parent: dict[Node, Node] = field(default_factory=dict)
+    rank: dict[Node, int] = field(default_factory=dict)
+    #: function applications in which each representative occurs
+    uses: dict[Node, list[tuple]] = field(default_factory=dict)
+    #: signature table: (fn, rep args...) -> application term
+    signatures: dict[tuple, Node] = field(default_factory=dict)
+    disequalities: list[tuple[Node, Node]] = field(default_factory=list)
+
+    # -- union-find --------------------------------------------------------
+
+    def _add(self, term: Node) -> None:
+        if term in self.parent:
+            return
+        self.parent[term] = term
+        self.rank[term] = 0
+        self.uses[term] = []
+        if isinstance(term, tuple):
+            for arg in term[1:]:
+                self._add(arg)
+                self.uses[self.find(arg)].append(term)
+            self._install_signature(term)
+
+    def find(self, term: Node) -> Node:
+        self._add(term)
+        root = term
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[term] != root:
+            self.parent[term], term = root, self.parent[term]
+        return root
+
+    def _install_signature(self, app: tuple) -> None:
+        sig = (app[0],) + tuple(self.find(a) for a in app[1:])
+        existing = self.signatures.get(sig)
+        if existing is None:
+            self.signatures[sig] = app
+        elif self.find(existing) != self.find(app):
+            self._union(existing, app)
+
+    def _union(self, a: Node, b: Node) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        pending = self.uses.pop(rb, [])
+        self.uses.setdefault(ra, []).extend(pending)
+        # Re-canonicalize signatures of applications that used rb.
+        for app in list(pending):
+            self._install_signature(app)
+
+    # -- public API -----------------------------------------------------------
+
+    def merge(self, a: Node, b: Node) -> None:
+        """Assert ``a = b`` and propagate congruences."""
+        self._add(a)
+        self._add(b)
+        self._union(a, b)
+
+    def assert_distinct(self, a: Node, b: Node) -> None:
+        """Record a disequality ``a != b`` (checked by
+        :meth:`is_consistent`)."""
+        self._add(a)
+        self._add(b)
+        self.disequalities.append((a, b))
+
+    def are_equal(self, a: Node, b: Node) -> bool:
+        """Whether the closure entails ``a = b``."""
+        return self.find(a) == self.find(b)
+
+    def is_consistent(self) -> bool:
+        """Whether no recorded disequality has been merged."""
+        return all(self.find(a) != self.find(b)
+                   for a, b in self.disequalities)
+
+    def classes(self) -> dict[Node, list[Node]]:
+        """Representative -> members."""
+        result: dict[Node, list[Node]] = {}
+        for term in self.parent:
+            result.setdefault(self.find(term), []).append(term)
+        return result
+
+
+def entails_equality(equalities: list[tuple[Any, Any]],
+                     query: tuple[Any, Any],
+                     disequalities: list[tuple[Any, Any]] = ()) -> bool:
+    """Convenience: do ``equalities`` (+ consistent ``disequalities``)
+    entail ``query``?"""
+    cc = CongruenceClosure()
+    for a, b in equalities:
+        cc.merge(a, b)
+    for a, b in disequalities:
+        cc.assert_distinct(a, b)
+    if not cc.is_consistent():
+        return True  # inconsistent premises entail anything
+    return cc.are_equal(*query)

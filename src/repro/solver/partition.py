@@ -1,0 +1,60 @@
+"""Set-partition enumeration (restricted growth strings).
+
+The symbolic backend's equality reasoning is exact because every
+operation and condition in the paper's fragment is invariant under
+injective renaming of objects: checking one canonical representative per
+partition of the mentioned object symbols covers *every* object
+instantiation over *any* universe.  Partitions are enumerated as
+restricted growth strings: position ``i`` holds the class index of
+symbol ``i``, and class ``k+1`` may appear only after class ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def restricted_growth_strings(n: int) -> Iterator[tuple[int, ...]]:
+    """All RGS of length ``n`` (i.e. all partitions of n symbols)."""
+    if n == 0:
+        yield ()
+        return
+    string = [0] * n
+    maxima = [0] * n
+    while True:
+        yield tuple(string)
+        # Find the rightmost position we can increment.
+        i = n - 1
+        while i > 0 and string[i] > maxima[i - 1]:
+            i -= 1
+        if i == 0:
+            return
+        string[i] += 1
+        maxima[i] = max(maxima[i - 1], string[i])
+        for j in range(i + 1, n):
+            string[j] = 0
+            maxima[j] = maxima[i]
+
+
+def partitions(symbols: tuple[str, ...]) -> Iterator[dict[str, int]]:
+    """All partitions of ``symbols`` as symbol -> class-index maps."""
+    for rgs in restricted_growth_strings(len(symbols)):
+        yield {sym: cls for sym, cls in zip(symbols, rgs)}
+
+
+def canonical_tokens(partition: dict[str, int],
+                     prefix: str = "c") -> dict[str, str]:
+    """Map each symbol to a canonical token shared within its class."""
+    return {sym: f"{prefix}{cls}" for sym, cls in partition.items()}
+
+
+def bell_number(n: int) -> int:
+    """The number of partitions of ``n`` symbols (for test cross-checks)."""
+    # Bell triangle.
+    row = [1]
+    for _ in range(n):
+        new_row = [row[-1]]
+        for value in row:
+            new_row.append(new_row[-1] + value)
+        row = new_row
+    return row[0]

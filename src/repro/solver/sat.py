@@ -1,0 +1,300 @@
+"""A CDCL SAT solver (watched literals, first-UIP clause learning,
+activity-based decisions, restarts).
+
+This plays the role of the propositional core of the paper's integrated
+reasoning systems (Jahob dispatches to Z3/CVC3 [10, 19]; neither is
+available offline, so the repository carries its own engine).  The proof
+layer (:mod:`repro.proof`) and validity facade (:mod:`repro.solver.smt`)
+are built on top of it.
+
+Literals are nonzero integers (DIMACS convention): variable ``v`` has
+positive literal ``v`` and negative literal ``-v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SatResult:
+    satisfiable: bool
+    #: Assignment as {var: bool} when satisfiable.
+    model: dict[int, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+
+
+class SatSolver:
+    """CDCL solver over integer literals."""
+
+    def __init__(self) -> None:
+        self._clauses: list[list[int]] = []
+        self._num_vars = 0
+
+    def add_clause(self, literals: list[int] | tuple[int, ...]) -> None:
+        """Add a clause (a disjunction of literals)."""
+        clause = sorted(set(literals), key=abs)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a literal")
+            self._num_vars = max(self._num_vars, abs(lit))
+        # A clause containing both polarities of a variable is a tautology.
+        seen = set(clause)
+        if any(-lit in seen for lit in clause):
+            return
+        self._clauses.append(clause)
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    # -- solving ------------------------------------------------------------
+
+    def solve(self, assumptions: tuple[int, ...] = (),
+              max_conflicts: int | None = None) -> SatResult:
+        """Decide satisfiability under optional assumption literals."""
+        state = _SolverState(self._num_vars, self._clauses, assumptions)
+        return state.run(max_conflicts)
+
+    def enumerate_models(self, variables: tuple[int, ...] | None = None,
+                         limit: int = 100000):
+        """Yield all models, projected onto ``variables`` when given.
+
+        After each model a blocking clause over the projection is added,
+        so each projected assignment appears exactly once.
+        """
+        blocking: list[list[int]] = []
+        count = 0
+        while count < limit:
+            state = _SolverState(self._num_vars, self._clauses + blocking, ())
+            result = state.run(None)
+            if not result.satisfiable:
+                return
+            project = variables if variables is not None \
+                else tuple(range(1, self._num_vars + 1))
+            model = {v: result.model.get(v, False) for v in project}
+            yield model
+            blocking.append(
+                [(-v if model[v] else v) for v in project])
+            count += 1
+
+
+class _SolverState:
+    """One CDCL run (fresh watched-literal and trail structures)."""
+
+    def __init__(self, num_vars: int, clauses: list[list[int]],
+                 assumptions: tuple[int, ...]) -> None:
+        self.num_vars = num_vars
+        self.assign: dict[int, bool] = {}
+        self.level: dict[int, int] = {}
+        self.reason: dict[int, list[int] | None] = {}
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.activity: dict[int, float] = {v: 0.0
+                                           for v in range(1, num_vars + 1)}
+        self.var_inc = 1.0
+        self.clauses: list[list[int]] = []
+        self.watches: dict[int, list[list[int]]] = {}
+        self.assumptions = assumptions
+        self.ok = True
+        for clause in clauses:
+            self._attach(list(clause))
+
+    # -- clause management ----------------------------------------------------
+
+    def _attach(self, clause: list[int]) -> None:
+        if not self.ok:
+            return
+        if not clause:
+            self.ok = False
+            return
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self.ok = False
+            return
+        self.clauses.append(clause)
+        self.watches.setdefault(clause[0], []).append(clause)
+        self.watches.setdefault(clause[1], []).append(clause)
+
+    # -- assignment ------------------------------------------------------------
+
+    def _value(self, lit: int) -> bool | None:
+        truth = self.assign.get(abs(lit))
+        if truth is None:
+            return None
+        return truth if lit > 0 else not truth
+
+    def _enqueue(self, lit: int, reason: list[int] | None) -> bool:
+        value = self._value(lit)
+        if value is not None:
+            return value
+        var = abs(lit)
+        self.assign[var] = lit > 0
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        index = getattr(self, "_qhead", 0)
+        while index < len(self.trail):
+            lit = self.trail[index]
+            index += 1
+            false_lit = -lit
+            watchers = self.watches.get(false_lit, [])
+            i = 0
+            while i < len(watchers):
+                clause = watchers[i]
+                # Normalize: watched literals are clause[0] and clause[1].
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) is True:
+                    i += 1
+                    continue
+                moved = False
+                for j in range(2, len(clause)):
+                    if self._value(clause[j]) is not False:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        self.watches.setdefault(clause[1], []).append(clause)
+                        watchers[i] = watchers[-1]
+                        watchers.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                if self._value(first) is False:
+                    self._qhead = index
+                    return clause
+                self._enqueue(first, clause)
+                i += 1
+        self._qhead = index
+        return None
+
+    # -- conflict analysis --------------------------------------------------------
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP learning; returns (learned clause, backjump level)."""
+        current_level = len(self.trail_lim)
+        seen: set[int] = set()
+        learned: list[int] = []
+        counter = 0
+        lit = None
+        reason: list[int] | None = conflict
+        trail_index = len(self.trail) - 1
+        while True:
+            for q in reason or ():
+                var = abs(q)
+                if lit is not None and var == abs(lit):
+                    continue  # skip the literal being resolved on
+                if var in seen or self.level.get(var, 0) == 0:
+                    continue
+                seen.add(var)
+                self._bump(var)
+                if self.level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(q)
+            while True:
+                lit = self.trail[trail_index]
+                trail_index -= 1
+                if abs(lit) in seen:
+                    break
+            counter -= 1
+            seen.discard(abs(lit))
+            if counter == 0:
+                break
+            reason = self.reason[abs(lit)]
+        learned.insert(0, -lit)
+        if len(learned) == 1:
+            return learned, 0
+        back_level = max(self.level[abs(q)] for q in learned[1:])
+        # Move a literal of back_level into the second watch position.
+        for j in range(1, len(learned)):
+            if self.level[abs(learned[j])] == back_level:
+                learned[1], learned[j] = learned[j], learned[1]
+                break
+        return learned, back_level
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] = self.activity.get(var, 0.0) + self.var_inc
+        if self.activity[var] > 1e100:
+            for v in self.activity:
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _backjump(self, level: int) -> None:
+        while len(self.trail_lim) > level:
+            limit = self.trail_lim.pop()
+            while len(self.trail) > limit:
+                lit = self.trail.pop()
+                var = abs(lit)
+                del self.assign[var]
+                del self.level[var]
+                del self.reason[var]
+        self._qhead = min(getattr(self, "_qhead", 0), len(self.trail))
+
+    # -- main loop -------------------------------------------------------------------
+
+    def run(self, max_conflicts: int | None) -> SatResult:
+        result = SatResult(satisfiable=False)
+        if not self.ok:
+            return result
+        conflict = self._propagate()
+        if conflict is not None:
+            return result
+        for lit in self.assumptions:
+            if self._value(lit) is False:
+                return result
+            if self._value(lit) is None:
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, None)
+                conflict = self._propagate()
+                if conflict is not None:
+                    return result
+        restart_interval = 64
+        conflicts_at_restart = 0
+        assumption_level = len(self.trail_lim)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                result.conflicts += 1
+                conflicts_at_restart += 1
+                if max_conflicts is not None \
+                        and result.conflicts > max_conflicts:
+                    return result
+                if len(self.trail_lim) <= assumption_level:
+                    return result
+                learned, back_level = self._analyze(conflict)
+                self._backjump(max(back_level, assumption_level))
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        return result
+                else:
+                    self.clauses.append(learned)
+                    self.watches.setdefault(learned[0], []).append(learned)
+                    self.watches.setdefault(learned[1], []).append(learned)
+                    self._enqueue(learned[0], learned)
+                self.var_inc *= 1.05
+                if conflicts_at_restart >= restart_interval:
+                    conflicts_at_restart = 0
+                    restart_interval = int(restart_interval * 1.5)
+                    self._backjump(assumption_level)
+                continue
+            # Pick an unassigned variable with maximal activity.
+            decision = 0
+            best = -1.0
+            for var in range(1, self.num_vars + 1):
+                if var not in self.assign and self.activity[var] > best:
+                    best = self.activity[var]
+                    decision = var
+            if decision == 0:
+                result.satisfiable = True
+                result.model = dict(self.assign)
+                return result
+            result.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(-decision, None)

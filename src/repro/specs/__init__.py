@@ -1,0 +1,10 @@
+"""Abstract data-structure specifications (the Jahob interfaces)."""
+
+from .interface import (DataStructureSpec, Operation, Param,
+                        PreconditionError, Semantics)
+from .registry import SPEC_FAMILIES, FAMILY_NAMES, all_specs, get_spec
+
+__all__ = [
+    "DataStructureSpec", "Operation", "Param", "PreconditionError",
+    "Semantics", "SPEC_FAMILIES", "FAMILY_NAMES", "all_specs", "get_spec",
+]

@@ -1,0 +1,50 @@
+"""Registry of the paper's data-structure specifications.
+
+ListSet/HashSet share the set specification and AssociationList/HashTable
+share the map specification (Chapter 5: "Because they implement the same
+specification, they have the same commutativity conditions and inverse
+operations").
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from . import accumulator, arraylist_spec, map_spec, set_spec
+from .interface import DataStructureSpec
+
+#: Data structure name -> specification family name.
+SPEC_FAMILIES = {
+    "Accumulator": "Accumulator",
+    "ListSet": "Set",
+    "HashSet": "Set",
+    "AssociationList": "Map",
+    "HashTable": "Map",
+    "ArrayList": "ArrayList",
+}
+
+#: All specification family names, in the paper's presentation order.
+FAMILY_NAMES = ("Accumulator", "Set", "Map", "ArrayList")
+
+
+def get_spec(family: str) -> DataStructureSpec:
+    """The (cached) specification for a family or data structure name."""
+    return _build_spec(SPEC_FAMILIES.get(family, family))
+
+
+@lru_cache(maxsize=None)
+def _build_spec(family: str) -> DataStructureSpec:
+    if family == "Accumulator":
+        return accumulator.make_spec()
+    if family == "Set":
+        return set_spec.make_spec()
+    if family == "Map":
+        return map_spec.make_spec()
+    if family == "ArrayList":
+        return arraylist_spec.make_spec()
+    raise KeyError(f"unknown data structure or family: {family!r}")
+
+
+def all_specs() -> dict[str, DataStructureSpec]:
+    """All four specification families."""
+    return {name: get_spec(name) for name in FAMILY_NAMES}

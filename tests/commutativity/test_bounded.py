@@ -1,0 +1,129 @@
+"""Bounded-backend tests: the oracle itself, soundness/completeness
+counterexample detection on deliberately wrong conditions."""
+
+import pytest
+
+from repro.commutativity import (Case, CommutativityCondition, Kind,
+                                 check_condition, commutes, condition,
+                                 enumerate_cases, exact_condition_table)
+from repro.eval import Record, Scope
+from repro.specs import get_spec
+
+SCOPE = Scope(objects=("a", "b"), values=("x", "y"), max_seq_len=2)
+
+
+def test_commutes_ground_truth_add_add():
+    spec = get_spec("Set")
+    add = spec.operations["add"]
+    s0 = Record(contents=frozenset(), size=0)
+    mid, r1 = add.semantics(s0, ("a",))
+    fin, r2 = add.semantics(mid, ("a",))
+    case = Case(s0, ("a",), ("a",), mid, fin, r1, r2)
+    # Same element, not initially present: returns differ across orders.
+    assert not commutes(spec, add, add, case)
+    s1 = Record(contents=frozenset({"a"}), size=1)
+    mid, r1 = add.semantics(s1, ("a",))
+    fin, r2 = add.semantics(mid, ("a",))
+    case = Case(s1, ("a",), ("a",), mid, fin, r1, r2)
+    assert commutes(spec, add, add, case)
+
+
+def test_commutes_detects_precondition_loss():
+    """add_at at the end of the list cannot run after a remove_at — the
+    reverse order violates the precondition (Property 1's clause 1)."""
+    spec = get_spec("ArrayList")
+    add_at = spec.operations["add_at"]
+    remove_at = spec.operations["remove_at"]
+    s0 = Record(elems=("a",), size=1)
+    mid, r1 = add_at.semantics(s0, (1, "a"))  # append at index 1 = size
+    fin, r2 = remove_at.semantics(mid, (1,))
+    case = Case(s0, (1, "a"), (1,), mid, fin, r1, r2)
+    assert not commutes(spec, add_at, remove_at, case)
+
+
+def test_correct_condition_verifies():
+    cond = condition("HashSet", "contains", "add", Kind.BETWEEN)
+    result = check_condition(get_spec("Set"), cond, SCOPE)
+    assert result.verified
+    assert result.cases > 0
+    assert "verified" in result.summary()
+
+
+def test_unsound_condition_caught():
+    """'true' for contains/add is too permissive: soundness fails."""
+    spec = get_spec("Set")
+    wrong = CommutativityCondition(family="Set", m1="contains", m2="add",
+                                   kind=Kind.BEFORE, text="true", spec=spec)
+    result = check_condition(spec, wrong, SCOPE)
+    assert not result.verified
+    assert any(c.direction == "soundness" for c in result.counterexamples)
+
+
+def test_incomplete_condition_caught():
+    """'false' is trivially sound but incomplete."""
+    spec = get_spec("Set")
+    wrong = CommutativityCondition(family="Set", m1="contains", m2="add",
+                                   kind=Kind.BEFORE, text="false", spec=spec)
+    result = check_condition(spec, wrong, SCOPE)
+    assert not result.verified
+    assert all(c.direction == "completeness"
+               for c in result.counterexamples)
+
+
+def test_too_strong_clause_is_incomplete():
+    """Dropping the membership disjunct keeps soundness, loses
+    completeness (the lattice property of Chapter 6)."""
+    spec = get_spec("Set")
+    weaker = CommutativityCondition(family="Set", m1="contains", m2="add",
+                                    kind=Kind.BEFORE, text="v1 ~= v2",
+                                    spec=spec)
+    result = check_condition(spec, weaker, SCOPE)
+    directions = {c.direction for c in result.counterexamples}
+    assert directions == {"completeness"}
+
+
+def test_counterexample_details_actionable():
+    spec = get_spec("Set")
+    wrong = CommutativityCondition(family="Set", m1="add", m2="remove",
+                                   kind=Kind.BEFORE, text="true", spec=spec)
+    result = check_condition(spec, wrong, SCOPE)
+    ce = result.counterexamples[0]
+    assert ce.condition_value is True and ce.commuted is False
+    # Same-element add/remove never commutes: v1 == v2 in the witness.
+    assert ce.args1 == ce.args2
+
+
+def test_enumerate_cases_respects_preconditions():
+    spec = get_spec("ArrayList")
+    get_op = spec.operations["get"]
+    for case in enumerate_cases(spec, get_op, get_op, SCOPE):
+        assert 0 <= case.args1[0] < case.state["size"]
+        assert 0 <= case.args2[0] < case.state["size"]
+
+
+def test_exact_condition_table_matches_condition():
+    spec = get_spec("Set")
+    cond = condition("Set", "add", "remove", Kind.BEFORE)
+    table = exact_condition_table(spec, cond.op1, cond.op2, SCOPE)
+    assert table  # nonempty
+    for (state, args1, args2), truth in table.items():
+        assert truth == (args1[0] != args2[0])
+
+
+def test_check_conditions_requires_single_pair():
+    from repro.commutativity import check_conditions
+    spec = get_spec("Set")
+    c1 = condition("Set", "add", "add", Kind.BEFORE)
+    c2 = condition("Set", "add", "remove", Kind.BEFORE)
+    with pytest.raises(ValueError):
+        check_conditions(spec, [c1, c2], SCOPE)
+
+
+def test_dynamic_formulas_also_verify():
+    """The fourth-column (observer-call) forms are equivalent."""
+    spec = get_spec("Set")
+    for m1, m2 in (("add", "contains"), ("contains", "remove"),
+                   ("remove", "size")):
+        cond = condition("Set", m1, m2, Kind.BEFORE)
+        result = check_condition(spec, cond, SCOPE, use_dynamic=True)
+        assert result.verified, cond

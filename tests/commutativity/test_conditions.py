@@ -1,0 +1,146 @@
+"""Condition-object tests: vocabulary enforcement (Section 4.1.2),
+catalog counting (Section 5.1)."""
+
+import pytest
+
+from repro.commutativity import (CommutativityCondition, Kind,
+                                 VocabularyError, all_conditions, condition,
+                                 conditions_for, total_condition_count)
+from repro.specs import get_spec
+
+
+def test_total_is_765():
+    assert total_condition_count() == 765
+
+
+def test_per_family_counts():
+    counts = {f: len(c) for f, c in all_conditions().items()}
+    assert counts == {"Accumulator": 12, "Set": 108, "Map": 147,
+                      "ArrayList": 243}
+
+
+def test_every_pair_has_all_three_kinds():
+    for family, conds in all_conditions().items():
+        spec = get_spec(family)
+        ops = list(spec.operations)
+        seen = {(c.m1, c.m2, c.kind) for c in conds}
+        for m1 in ops:
+            for m2 in ops:
+                for kind in Kind:
+                    assert (m1, m2, kind) in seen, (family, m1, m2, kind)
+
+
+def test_lookup_by_data_structure_name():
+    cond = condition("HashSet", "contains", "add", Kind.BETWEEN)
+    assert cond.text == "v1 ~= v2 | r1"  # Figure 2-2's condition
+    assert conditions_for("ListSet") == conditions_for("HashSet")
+
+
+def test_lookup_missing_raises():
+    with pytest.raises(KeyError):
+        condition("HashSet", "contains", "frobnicate", Kind.BETWEEN)
+
+
+def test_before_condition_cannot_reference_returns():
+    spec = get_spec("Set")
+    with pytest.raises(VocabularyError):
+        CommutativityCondition(family="Set", m1="add", m2="add",
+                               kind=Kind.BEFORE, text="~r1", spec=spec)
+
+
+def test_before_condition_cannot_reference_intermediate_state():
+    spec = get_spec("Set")
+    with pytest.raises(VocabularyError):
+        CommutativityCondition(family="Set", m1="add", m2="add",
+                               kind=Kind.BEFORE, text="v1 : s2", spec=spec)
+
+
+def test_between_condition_cannot_reference_r2_or_s3():
+    spec = get_spec("Set")
+    with pytest.raises(VocabularyError):
+        CommutativityCondition(family="Set", m1="add", m2="add",
+                               kind=Kind.BETWEEN, text="~r2", spec=spec)
+    with pytest.raises(VocabularyError):
+        CommutativityCondition(family="Set", m1="add", m2="add",
+                               kind=Kind.BETWEEN, text="v1 : s3", spec=spec)
+
+
+def test_discard_variant_has_no_r1():
+    # The symbol table omits r1 for a discard-variant first operation,
+    # so referencing it fails at parse time (before vocabulary checking).
+    from repro.logic import ParseError
+    spec = get_spec("Set")
+    with pytest.raises((VocabularyError, ParseError)):
+        CommutativityCondition(family="Set", m1="add_", m2="add",
+                               kind=Kind.BETWEEN, text="~r1", spec=spec)
+
+
+def test_after_condition_may_reference_everything():
+    spec = get_spec("Set")
+    cond = CommutativityCondition(
+        family="Set", m1="add", m2="remove", kind=Kind.AFTER,
+        text="~r1 & ~r2 & v1 : s3 & v2 : s2 & v1 : s1", spec=spec)
+    assert cond.formula is not None
+
+
+def test_vocabulary_restrictions_hold_across_catalog():
+    """Every catalog entry respects its kind's vocabulary (this is what
+    CommutativityCondition.__post_init__ enforces; re-assert en masse)."""
+    for conds in all_conditions().values():
+        for cond in conds:
+            assert cond.formula is not None
+
+
+def test_kind_counts_per_family():
+    for family, conds in all_conditions().items():
+        per_kind = {}
+        for c in conds:
+            per_kind[c.kind] = per_kind.get(c.kind, 0) + 1
+        n = len(get_spec(family).operations) ** 2
+        assert per_kind == {Kind.BEFORE: n, Kind.BETWEEN: n, Kind.AFTER: n}
+
+
+def test_dynamic_text_defaults_to_abstract():
+    cond = condition("Accumulator", "increase", "read", Kind.BEFORE)
+    assert cond.dynamic_formula == cond.formula
+
+
+def test_before_tables_are_symmetric():
+    """Section 5.1: 'The before condition tables are symmetric (for a
+    given pair of operations, the commutativity conditions are the same
+    for both execution orders).'  Checked semantically: phi(m1;m2)
+    evaluated at (s, a1, a2) equals phi(m2;m1) at (s, a2, a1)."""
+    from repro.commutativity.bounded import (case_environment,
+                                             enumerate_cases)
+    from repro.eval import EvalContext, Scope, evaluate
+    scopes = {"Accumulator": Scope(), "Set": Scope(objects=("a", "b")),
+              "Map": Scope(objects=("a", "b"), values=("x", "y")),
+              "ArrayList": Scope(objects=("a", "b"), max_seq_len=2)}
+    for family, scope in scopes.items():
+        spec = get_spec(family)
+        ctx = EvalContext(observe=spec.observe)
+        for cond in conditions_for(family):
+            if cond.kind is not Kind.BEFORE:
+                continue
+            mirror = condition(family, cond.m2, cond.m1, Kind.BEFORE)
+            for case in enumerate_cases(spec, cond.op1, cond.op2, scope):
+                # Symmetry is claimed where both orders are defined:
+                # skip cases whose reverse order violates a precondition.
+                if not spec.precondition_holds(cond.op2, case.state,
+                                               case.args2):
+                    continue
+                mid_b, _ = cond.op2.semantics(case.state, case.args2)
+                if not spec.precondition_holds(cond.op1, mid_b,
+                                               case.args1):
+                    continue
+                env = case_environment(cond.op1, cond.op2, case)
+                env = {k: v for k, v in env.items()
+                       if k not in ("s2", "s3", "r1", "r2")}
+                mirrored = dict(env)
+                for p in cond.op1.params:
+                    mirrored[f"{p.name}2"] = env[f"{p.name}1"]
+                for p in cond.op2.params:
+                    mirrored[f"{p.name}1"] = env[f"{p.name}2"]
+                assert evaluate(cond.formula, env, ctx) \
+                    == evaluate(mirror.formula, mirrored, ctx), \
+                    (family, cond.m1, cond.m2, env)

@@ -1,0 +1,88 @@
+"""Testing-method generator tests (Figures 2-2, 3-1)."""
+
+from repro.commutativity import (Direction, Kind, condition, conditions_for,
+                                 generate_methods)
+
+
+def test_two_methods_per_condition():
+    conds = conditions_for("Accumulator")
+    methods = generate_methods(conds)
+    assert len(methods) == 2 * len(conds)
+    directions = {m.direction for m in methods}
+    assert directions == {Direction.SOUNDNESS, Direction.COMPLETENESS}
+
+
+def test_full_catalog_yields_1530_methods():
+    from repro.commutativity import all_conditions
+    per_family = {f: len(generate_methods(c))
+                  for f, c in all_conditions().items()}
+    total = (per_family["Accumulator"] + 2 * per_family["Set"]
+             + 2 * per_family["Map"] + per_family["ArrayList"])
+    assert total == 1530
+
+
+def test_method_names_follow_paper_convention():
+    cond = condition("HashSet", "contains", "add", Kind.BETWEEN)
+    sound, complete = generate_methods([cond])
+    assert sound.name.startswith("contains_add_between_s_")
+    assert complete.name.startswith("contains_add_between_c_")
+
+
+def test_render_java_soundness_shape():
+    """The rendered method matches Figure 2-2's structure."""
+    cond = condition("HashSet", "contains", "add", Kind.BETWEEN)
+    sound, complete = generate_methods([cond])
+    java = sound.render_java()
+    lines = java.splitlines()
+    assert lines[0].startswith("void contains_add_between_s_")
+    assert 'requires "sa ~= null & sb ~= null & sa ~= sb' in java
+    assert 'assume "v1 ~= v2 | r1"' in java
+    # Order: contains on sa, assume, add on sa, then reversed on sb.
+    body = [line.strip() for line in lines
+            if line.strip().startswith(("boolean", "/*: assume"))]
+    assert body[0].startswith("boolean r1a = sa.contains")
+    assert "assume" in body[1]
+    assert body[2].startswith("boolean r2a = sa.add")
+    assert body[3].startswith("boolean r2b = sb.add")
+    assert body[4].startswith("boolean r1b = sb.contains")
+    assert 'assert "r1a = r1b & r2a = r2b' in java
+
+
+def test_render_java_completeness_negates():
+    cond = condition("HashSet", "contains", "add", Kind.BETWEEN)
+    _, complete = generate_methods([cond])
+    java = complete.render_java()
+    assert 'assume "~(v1 ~= v2 | r1)"' in java
+    assert 'assert "~(' in java
+
+
+def test_before_condition_assumed_first():
+    cond = condition("HashSet", "contains", "add", Kind.BEFORE)
+    sound, _ = generate_methods([cond])
+    lines = [line.strip() for line in sound.render_java().splitlines()]
+    body_start = lines.index("{")
+    assert "assume" in lines[body_start + 1]
+
+
+def test_after_condition_assumed_after_both_ops():
+    cond = condition("HashSet", "contains", "add", Kind.AFTER)
+    sound, _ = generate_methods([cond])
+    java = sound.render_java()
+    add_pos = java.index("sa.add")
+    assume_pos = java.index("assume")
+    assert assume_pos > add_pos
+
+
+def test_void_operations_render_without_result():
+    cond = condition("ArrayList", "add_at", "add_at", Kind.BEFORE)
+    sound, _ = generate_methods([cond])
+    java = sound.render_java()
+    assert "sa.add_at(i1, v1);" in java
+    assert "r1a" not in java
+
+
+def test_discard_variant_strips_trailing_underscore():
+    cond = condition("HashSet", "add_", "add_", Kind.BEFORE)
+    sound, _ = generate_methods([cond])
+    assert sound.name.startswith("add_add_before_s_")
+    assert "sa.add(v1);" in sound.render_java()

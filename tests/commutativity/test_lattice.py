@@ -1,0 +1,63 @@
+"""Commutativity-lattice tests (Chapter 6)."""
+
+from repro.commutativity import Kind, condition
+from repro.commutativity.lattice import (clauses_of, completeness_frontier,
+                                         lattice_of, soundness_is_preserved)
+from repro.eval import Scope
+
+SCOPE = Scope(objects=("a", "b", "c"))
+
+
+def test_clauses_of_disjunction():
+    cond = condition("Set", "contains", "add", Kind.BEFORE)
+    assert len(clauses_of(cond)) == 2
+
+
+def test_clauses_of_atomic_condition():
+    cond = condition("Set", "add", "remove", Kind.BEFORE)
+    assert len(clauses_of(cond)) == 1
+
+
+def test_lattice_size_is_powerset():
+    cond = condition("Set", "contains", "add", Kind.BEFORE)
+    points = lattice_of(cond, SCOPE)
+    assert len(points) == 4  # 2^2 clause subsets
+
+
+def test_dropping_clauses_preserves_soundness():
+    """The paper's lattice property: every clause subset stays sound."""
+    for m1, m2 in (("contains", "add"), ("contains", "remove"),
+                   ("remove", "remove")):
+        cond = condition("Set", m1, m2, Kind.BEFORE)
+        points = lattice_of(cond, SCOPE)
+        assert soundness_is_preserved(points), (m1, m2)
+
+
+def test_only_full_condition_is_complete():
+    cond = condition("Set", "contains", "add", Kind.BEFORE)
+    points = lattice_of(cond, SCOPE)
+    complete = [p for p in points if p.complete]
+    assert len(complete) == 1
+    assert len(complete[0].kept) == 2
+
+
+def test_bottom_of_lattice_is_false():
+    cond = condition("Set", "contains", "add", Kind.BEFORE)
+    points = lattice_of(cond, SCOPE)
+    bottom = next(p for p in points if p.kept == ())
+    assert bottom.text == "false"
+    assert bottom.sound and not bottom.complete
+
+
+def test_completeness_frontier():
+    cond = condition("Set", "contains", "add", Kind.BEFORE)
+    frontier = completeness_frontier(lattice_of(cond, SCOPE))
+    assert len(frontier) == 1
+    assert set(frontier[0].kept) == {0, 1}
+
+
+def test_map_lattice():
+    cond = condition("Map", "get", "put", Kind.BEFORE)
+    points = lattice_of(cond, SCOPE)
+    assert soundness_is_preserved(points)
+    assert sum(1 for p in points if p.complete) == 1

@@ -1,0 +1,80 @@
+"""Condition-synthesis tests: deriving conditions from semantics and
+cross-validating the hand-written catalog."""
+
+import pytest
+
+from repro.commutativity import Kind, condition
+from repro.commutativity.synthesis import (parse_atoms, synthesize,
+                                           validate_against_catalog)
+from repro.eval import Scope
+from repro.specs import get_spec
+
+SCOPE = Scope(objects=("a", "b", "c"))
+
+
+def test_synthesize_contains_add():
+    spec = get_spec("Set")
+    atoms = parse_atoms(spec, "contains", "add",
+                        ["v1 = v2", "v1 : s1", "v2 : s1"])
+    result = synthesize(spec, "contains", "add", Kind.BEFORE, atoms, SCOPE)
+    assert result.succeeded
+    assert validate_against_catalog(
+        condition("Set", "contains", "add", Kind.BEFORE),
+        ["v1 = v2", "v1 : s1", "v2 : s1"], SCOPE)
+
+
+def test_synthesize_add_remove_minimal():
+    spec = get_spec("Set")
+    atoms = parse_atoms(spec, "add", "remove",
+                        ["v1 = v2", "v1 : s1", "v2 : s1"])
+    result = synthesize(spec, "add", "remove", Kind.BEFORE, atoms, SCOPE)
+    assert result.succeeded
+    # The minimized form should not mention membership at all.
+    assert result.text == "v1 ~= v2"
+
+
+def test_synthesize_trivial_true():
+    spec = get_spec("Set")
+    result = synthesize(spec, "contains", "contains", Kind.BEFORE, [],
+                        SCOPE)
+    assert result.succeeded
+    assert result.text == "true"
+
+
+def test_synthesize_trivial_false():
+    spec = get_spec("ArrayList")
+    result = synthesize(spec, "size", "add_at", Kind.BEFORE, [],
+                        Scope(objects=("a", "b"), max_seq_len=2))
+    assert result.succeeded
+    assert result.text == "false"
+
+
+def test_insufficient_atoms_detected():
+    """Equality alone cannot express contains/add commutativity."""
+    spec = get_spec("Set")
+    atoms = parse_atoms(spec, "contains", "add", ["v1 = v2"])
+    result = synthesize(spec, "contains", "add", Kind.BEFORE, atoms, SCOPE)
+    assert not result.succeeded
+    assert result.ambiguous is not None
+
+
+def test_atom_vocabulary_enforced():
+    spec = get_spec("Set")
+    atoms = parse_atoms(spec, "contains", "add", ["~r1"])
+    with pytest.raises(ValueError):
+        synthesize(spec, "contains", "add", Kind.BEFORE, atoms, SCOPE)
+
+
+def test_synthesized_map_condition_matches_catalog():
+    assert validate_against_catalog(
+        condition("Map", "get", "put", Kind.BEFORE),
+        ["k1 = k2", "s1.get(k1) = v2"], SCOPE)
+
+
+def test_synthesized_accumulator_condition():
+    spec = get_spec("Accumulator")
+    atoms = parse_atoms(spec, "increase", "read", ["v1 = 0"])
+    result = synthesize(spec, "increase", "read", Kind.BEFORE, atoms,
+                        Scope())
+    assert result.succeeded
+    assert result.text == "v1 = 0"

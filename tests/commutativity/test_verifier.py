@@ -1,0 +1,48 @@
+"""Verification-orchestration tests (the Table 5.8 machinery)."""
+
+import pytest
+
+from repro.commutativity import verify_all, verify_data_structure
+from repro.eval import Scope
+
+SCOPE = Scope(objects=("a", "b"), values=("x", "y"), max_seq_len=2)
+
+
+def test_report_counts_accumulator():
+    report = verify_data_structure("Accumulator", SCOPE)
+    assert report.condition_count == 12
+    assert report.method_count == 24
+    assert report.all_verified
+    assert report.failures() == []
+    assert "Accumulator" in report.summary()
+    assert "all verified" in report.summary()
+
+
+@pytest.mark.parametrize("backend", ["bounded", "symbolic"])
+def test_both_backends_verify_sets(backend):
+    report = verify_data_structure("ListSet", SCOPE, backend=backend)
+    assert report.backend == backend
+    assert report.all_verified
+    assert report.condition_count == 108
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        verify_data_structure("ListSet", SCOPE, backend="jahob")
+
+
+def test_verify_all_covers_six_structures():
+    reports = verify_all(SCOPE, backend="symbolic",
+                         names=("Accumulator", "ListSet", "HashSet",
+                                "AssociationList", "HashTable",
+                                "ArrayList"))
+    assert len(reports) == 6
+    assert sum(r.condition_count for r in reports.values()) == 765
+    assert sum(r.method_count for r in reports.values()) == 1530
+    assert all(r.all_verified for r in reports.values())
+
+
+def test_elapsed_time_recorded():
+    report = verify_data_structure("Accumulator", SCOPE)
+    assert report.elapsed > 0
+    assert all(r.elapsed >= 0 for r in report.results)

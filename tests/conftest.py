@@ -1,0 +1,18 @@
+"""Shared fixtures: small scopes keep exhaustive checks fast in CI."""
+
+import pytest
+
+from repro.eval import Scope
+
+
+@pytest.fixture
+def tiny_scope() -> Scope:
+    """Two objects, short sequences: smoke-test sized."""
+    return Scope(objects=("a", "b"), values=("x", "y"), ints=(-1, 0, 1),
+                 max_seq_len=2)
+
+
+@pytest.fixture
+def small_scope() -> Scope:
+    """The default verification scope."""
+    return Scope()

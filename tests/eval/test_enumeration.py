@@ -1,0 +1,33 @@
+"""Scope enumeration tests."""
+
+from repro.eval import (Scope, partial_maps, sequences, subsets,
+                        argument_tuples)
+
+
+def test_subsets_count():
+    assert sum(1 for _ in subsets(("a", "b", "c"))) == 8
+    assert frozenset() in set(subsets(("a", "b")))
+
+
+def test_partial_maps_count():
+    # Each of 2 keys is absent or one of 2 values: (2+1)^2 = 9.
+    maps = list(partial_maps(("k1", "k2"), ("x", "y")))
+    assert len(maps) == 9
+    assert len(set(maps)) == 9
+
+
+def test_sequences_count():
+    seqs = list(sequences(("a", "b"), 3))
+    assert len(seqs) == 1 + 2 + 4 + 8
+    assert () in seqs
+
+
+def test_argument_tuples():
+    combos = list(argument_tuples((1, 2), ("a",)))
+    assert combos == [(1, "a"), (2, "a")]
+
+
+def test_scope_smaller():
+    scope = Scope().smaller()
+    assert len(scope.objects) == 2
+    assert scope.max_seq_len == 2

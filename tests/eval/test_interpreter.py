@@ -1,0 +1,129 @@
+"""Interpreter tests over the full node set."""
+
+import pytest
+
+from repro.eval import EvalContext, EvalError, FMap, Record, evaluate
+from repro.logic import parse_formula, parse_term
+from repro.logic.sorts import Sort
+from repro.logic.symbols import SymbolTable
+
+TABLE = SymbolTable(
+    vars={"p": Sort.BOOL, "x": Sort.INT, "y": Sort.INT,
+          "v": Sort.OBJ, "u": Sort.OBJ,
+          "S": Sort.SET, "T": Sort.SET, "m": Sort.MAP, "s": Sort.SEQ,
+          "st": Sort.STATE},
+    state_fields={"contents": Sort.SET, "size": Sort.INT},
+    observers={"contains": ((Sort.OBJ,), Sort.BOOL)},
+    principal_field="contents",
+)
+
+ENV = {
+    "p": True, "x": 2, "y": 5, "v": "a", "u": "b",
+    "S": frozenset({"a", "b"}), "T": frozenset({"b"}),
+    "m": FMap({"a": "x"}), "s": ("a", "b", "a"),
+    "st": Record(contents=frozenset({"a"}), size=1),
+}
+
+
+def ev(text, env=None):
+    term = parse_term(text, TABLE)
+    return evaluate(term, env or ENV)
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("p & x < y", True),
+    ("~p | x = 2", True),
+    ("x + y - 1", 6),
+    ("-x", -2),
+    ("v : S", True),
+    ("u ~: T", False),
+    ("S Un T", frozenset({"a", "b"})),
+    ("S - T", frozenset({"a"})),
+    ("card(S)", 2),
+    ("{v, u}", frozenset({"a", "b"})),
+    ("lookup(m, v)", "x"),
+    ("lookup(m, u)", None),
+    ("haskey(m, v)", True),
+    ("msize(m)", 1),
+    ("len(s)", 3),
+    ("at(s, 0)", "a"),
+    ("idx(s, v)", 0),
+    ("lidx(s, v)", 2),
+    ("idx(s, u)", 1),
+    ("has(s, u)", True),
+    ("ins(s, 1, u)", ("a", "b", "b", "a")),
+    ("del_(s, 0)", ("b", "a")),
+    ("upd(s, 2, u)", ("a", "b", "b")),
+    ("mput(m, u, u)", FMap({"a": "x", "b": "b"})),
+    ("mdel(m, v)", FMap()),
+    ("keys(m)", frozenset({"a"})),
+    ("v ~= null", True),
+])
+def test_evaluation_examples(text, expected):
+    assert ev(text) == expected
+
+
+def test_field_access():
+    assert ev("st.size") == 1
+    assert ev("v : st") is True
+
+
+def test_observer_dispatch():
+    calls = []
+
+    def observe(state, method, args):
+        calls.append((method, args))
+        return args[0] in state["contents"]
+
+    term = parse_formula("st.contains(v)", TABLE)
+    assert evaluate(term, ENV, EvalContext(observe=observe)) is True
+    assert calls == [("contains", ("a",))]
+
+
+def test_observer_without_dispatcher_raises():
+    term = parse_formula("st.contains(v)", TABLE)
+    with pytest.raises(EvalError):
+        evaluate(term, ENV)
+
+
+def test_unbound_variable():
+    with pytest.raises(EvalError):
+        ev("zz" if False else "x + 1", {"y": 1})
+
+
+def test_seq_index_out_of_range():
+    with pytest.raises(EvalError):
+        ev("at(s, 7)")
+
+
+def test_quantifier_exists_over_indices():
+    assert ev("EX i. 0 <= i & i < len(s) & at(s, i) = u") is True
+    assert ev("EX i. 0 <= i & i < len(s) & at(s, i) = at(s, i) "
+              "& x + 3 < i") is False
+
+
+def test_quantifier_forall():
+    assert ev("ALL i. (0 <= i & i < len(s)) --> at(s, i) : S") is True
+
+
+def test_quantifier_obj_domain():
+    assert ev("EX o::obj. o : S & o ~: T") is True
+    assert ev("ALL o::obj. o : T --> o : S") is True
+
+
+def test_and_short_circuits_partiality():
+    # Guarded out-of-range access must not raise.
+    assert ev("EX i. 0 <= i & i < len(s) & at(s, i) = v") is True
+
+
+def test_explicit_domains():
+    ctx = EvalContext(int_domain=(0, 1), obj_domain=("a",))
+    term = parse_formula("EX i. i = 5", TABLE)
+    assert evaluate(term, ENV, ctx) is False
+
+
+def test_iff_and_ite():
+    assert ev("p <-> x = 2") is True
+    from repro.logic import terms as t
+    ite = t.Ite(t.Var("p", Sort.BOOL), t.IntConst(1), t.IntConst(2))
+    assert evaluate(ite, ENV) == 1

@@ -1,0 +1,132 @@
+"""Refinement: every concrete implementation implements its abstract
+specification (the obligation the paper discharges with Jahob [52, 53]).
+
+Exhaustive over a small scope plus property-based over random operation
+sequences."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import Scope
+from repro.impls import (IMPLEMENTATIONS, build_from_state, check_refinement,
+                         invoke, new_instance)
+from repro.specs import PreconditionError, get_spec
+
+ALL_NAMES = tuple(IMPLEMENTATIONS)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_exhaustive_refinement(name, tiny_scope):
+    assert check_refinement(name, tiny_scope) == []
+
+
+@pytest.mark.parametrize("name", ["ListSet", "HashSet"])
+def test_set_refinement_default_scope(name):
+    assert check_refinement(name, Scope()) == []
+
+
+def test_build_from_state_roundtrip(tiny_scope):
+    for name in ALL_NAMES:
+        spec = get_spec(name)
+        for state in spec.states(tiny_scope):
+            impl = build_from_state(name, state)
+            assert impl.abstract_state() == state
+
+
+def test_invoke_discard_variant_returns_none():
+    impl = new_instance("HashSet")
+    assert invoke(impl, "add_", ("a",)) is None
+    assert invoke(impl, "add", ("b",)) is True
+
+
+# -- property-based: random op sequences track the abstract semantics -----------
+
+_set_ops = st.lists(
+    st.tuples(st.sampled_from(("add", "remove", "contains", "size")),
+              st.sampled_from(("a", "b", "c", "d"))),
+    max_size=30)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_set_ops, st.sampled_from(("ListSet", "HashSet")))
+def test_set_impl_tracks_spec(ops, name):
+    spec = get_spec(name)
+    impl = new_instance(name)
+    state = spec.initial_state
+    for op_name, v in ops:
+        op = spec.operations[op_name]
+        args = (v,) if op.params else ()
+        state, expected = op.semantics(state, args)
+        assert getattr(impl, op_name)(*args) == expected
+        assert impl.abstract_state() == state
+
+
+_map_ops = st.lists(
+    st.tuples(st.sampled_from(("put", "remove", "get", "containsKey",
+                               "size")),
+              st.sampled_from(("k1", "k2", "k3")),
+              st.sampled_from(("x", "y"))),
+    max_size=30)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_map_ops, st.sampled_from(("AssociationList", "HashTable")))
+def test_map_impl_tracks_spec(ops, name):
+    spec = get_spec(name)
+    impl = new_instance(name)
+    state = spec.initial_state
+    for op_name, k, v in ops:
+        op = spec.operations[op_name]
+        if op_name == "put":
+            args = (k, v)
+        elif op.params:
+            args = (k,)
+        else:
+            args = ()
+        state, expected = op.semantics(state, args)
+        assert getattr(impl, op_name)(*args) == expected
+        assert impl.abstract_state() == state
+
+
+_array_programs = st.lists(
+    st.tuples(st.sampled_from(("add_at", "remove_at", "set", "get",
+                               "indexOf", "lastIndexOf", "size")),
+              st.integers(0, 6),
+              st.sampled_from(("a", "b", "c"))),
+    max_size=30)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_array_programs)
+def test_arraylist_impl_tracks_spec(ops):
+    spec = get_spec("ArrayList")
+    impl = new_instance("ArrayList")
+    state = spec.initial_state
+    for op_name, i, v in ops:
+        op = spec.operations[op_name]
+        if op_name == "add_at" or op_name == "set":
+            args = (i, v)
+        elif op_name in ("remove_at", "get"):
+            args = (i,)
+        elif op_name in ("indexOf", "lastIndexOf"):
+            args = (v,)
+        else:
+            args = ()
+        if not spec.precondition_holds(op, state, args):
+            with pytest.raises((IndexError, ValueError)):
+                getattr(impl, op_name)(*args)
+            continue
+        state, expected = op.semantics(state, args)
+        assert getattr(impl, op_name)(*args) == expected
+        assert impl.abstract_state() == state
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(-50, 50), max_size=20))
+def test_accumulator_tracks_spec(increments):
+    impl = new_instance("Accumulator")
+    total = 0
+    for v in increments:
+        impl.increase(v)
+        total += v
+    assert impl.read() == total

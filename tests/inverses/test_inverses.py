@@ -1,0 +1,200 @@
+"""Inverse-operation tests (Sections 2.6, 4.2; Table 5.10)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import Scope
+from repro.impls import new_instance
+from repro.inverses import (INVERSES, Guard, InverseError, InverseSpec,
+                            InverseCall, Arg, apply_inverse,
+                            check_all_inverses, check_inverse,
+                            generate_inverse_methods, inverse_for,
+                            inverses_for)
+from repro.runtime import UndoEntry, rollback
+from repro.specs import get_spec
+
+
+def test_eight_inverses_specified():
+    """Table 5.10 has exactly eight rows."""
+    assert len(INVERSES) == 8
+
+
+def test_every_mutator_has_an_inverse():
+    """Every abstract-state-changing operation is covered (via its
+    return-value variant)."""
+    for family in ("Accumulator", "Set", "Map", "ArrayList"):
+        spec = get_spec(family)
+        covered = {inv.op for inv in inverses_for(family)}
+        for op in spec.operations.values():
+            if op.mutator:
+                base = op.base_name or op.name
+                assert base in covered, (family, op.name)
+
+
+def test_all_inverse_methods_verify(small_scope):
+    """'All of the eight inverse testing methods verified as generated.'"""
+    for result in check_all_inverses(small_scope):
+        assert result.verified, result.summary()
+
+
+def test_inverse_lookup_by_data_structure():
+    inv = inverse_for("HashSet", "add")
+    assert inv.render() == "if r = true then s2.remove(v)"
+    with pytest.raises(KeyError):
+        inverse_for("HashSet", "contains")
+
+
+def test_table_5_10_renderings():
+    rendered = {(inv.family, inv.op): inv.render() for inv in INVERSES}
+    assert rendered[("Accumulator", "increase")] == "s2.increase(-v)"
+    assert rendered[("Map", "put")] \
+        == "if r ~= null then s2.put(k, r) else s2.remove(k)"
+    assert rendered[("Map", "remove")] == "if r ~= null then s2.put(k, r)"
+    assert rendered[("ArrayList", "remove_at")] == "s2.add_at(i, r)"
+
+
+def test_wrong_inverse_is_caught():
+    """An inverse that forgets the guard fails Property 3: removing an
+    element that was already present must NOT be undone by remove."""
+    wrong = InverseSpec(family="Set", op="add", guard=Guard.NONE,
+                        then=(InverseCall("remove", (Arg.param("v"),)),))
+    result = check_inverse("Set", wrong, Scope(objects=("a", "b")))
+    assert not result.verified
+    ce = result.counterexamples[0]
+    assert ce.state != ce.restored
+
+
+def test_wrong_map_inverse_is_caught():
+    """put's inverse must restore the previous binding, not remove."""
+    wrong = InverseSpec(family="Map", op="put", guard=Guard.NONE,
+                        then=(InverseCall("remove", (Arg.param("k"),)),))
+    result = check_inverse("Map", wrong,
+                           Scope(objects=("a",), values=("x", "y")))
+    assert not result.verified
+
+
+def test_apply_inverse_restores_abstract_state():
+    spec = get_spec("Map")
+    put = spec.operations["put"]
+    state = spec.initial_state
+    state, _ = put.semantics(state, ("k", "x"))
+    mid, r = put.semantics(state, ("k", "y"))
+    restored = apply_inverse(spec, inverse_for("Map", "put"), mid,
+                             {"k": "k", "v": "y"}, r)
+    assert restored == state
+
+
+def test_inverse_method_rendering_matches_figure_2_3():
+    methods = {m.name: m for m in generate_inverse_methods()}
+    java = methods["add0"].render_java()
+    assert "boolean r = s.add(v);" in java
+    assert "if (r) { s.remove(v); }" in java
+    assert 's..contents = s..(old contents)' in java
+
+
+def test_inverse_method_rendering_matches_figure_2_4():
+    methods = {m.name: m for m in generate_inverse_methods()}
+    java = methods["put0"].render_java()
+    assert "Object r = s.put(k, v);" in java
+    assert "if (r != null) { s.put(k, r); } else { s.remove(k); }" in java
+
+
+# -- concrete rollback (undo logs on linked structures) -------------------------
+
+@pytest.mark.parametrize("name", ["ListSet", "HashSet"])
+def test_concrete_rollback_set(name):
+    impl = new_instance(name)
+    impl.add("x")
+    before = impl.abstract_state()
+    log = []
+    r = impl.add("a")
+    log.append(UndoEntry("add", ("a",), r))
+    r = impl.remove("x")
+    log.append(UndoEntry("remove", ("x",), r))
+    r = impl.add("a")  # duplicate: returns False, inverse must skip
+    log.append(UndoEntry("add", ("a",), r))
+    rollback(impl, name, log)
+    assert impl.abstract_state() == before
+    assert log == []
+
+
+@pytest.mark.parametrize("name", ["AssociationList", "HashTable"])
+def test_concrete_rollback_map(name):
+    impl = new_instance(name)
+    impl.put("k", "x")
+    before = impl.abstract_state()
+    log = []
+    log.append(UndoEntry("put", ("k", "y"), impl.put("k", "y")))
+    log.append(UndoEntry("put", ("j", "x"), impl.put("j", "x")))
+    log.append(UndoEntry("remove", ("k",), impl.remove("k")))
+    rollback(impl, name, log)
+    assert impl.abstract_state() == before
+
+
+def test_concrete_rollback_arraylist():
+    impl = new_instance("ArrayList")
+    for i, v in enumerate(("a", "b", "c")):
+        impl.add_at(i, v)
+    before = impl.abstract_state()
+    log = []
+    impl.add_at(1, "z")
+    log.append(UndoEntry("add_at", (1, "z"), None))
+    log.append(UndoEntry("remove_at", (0,), impl.remove_at(0)))
+    log.append(UndoEntry("set", (0, "q"), impl.set(0, "q")))
+    rollback(impl, "ArrayList", log)
+    assert impl.abstract_state() == before
+
+
+def test_rollback_restores_abstract_not_concrete():
+    """Section 1.3: the reinserted element may appear at a different
+    position in the list; only the abstract set is restored."""
+    impl = new_instance("ListSet")
+    for v in ("a", "b", "c"):
+        impl.add(v)
+    shape_before = impl.concrete_shape()
+    abstract_before = impl.abstract_state()
+    log = [UndoEntry("remove", ("b",), impl.remove("b"))]
+    rollback(impl, "ListSet", log)
+    assert impl.abstract_state() == abstract_before
+    assert impl.concrete_shape() != shape_before  # 'b' re-inserted at head
+
+
+# -- property-based: arbitrary mutation sequences roll back exactly -----------------
+
+_mutations = st.lists(
+    st.tuples(st.sampled_from(("add", "remove")),
+              st.sampled_from(("a", "b", "c"))),
+    max_size=20)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_mutations, st.sampled_from(("ListSet", "HashSet")))
+def test_rollback_roundtrip_property_sets(ops, name):
+    impl = new_instance(name)
+    impl.add("seed")
+    before = impl.abstract_state()
+    log = [UndoEntry(op, (v,), getattr(impl, op)(v)) for op, v in ops]
+    rollback(impl, name, log)
+    assert impl.abstract_state() == before
+
+
+_map_mutations = st.lists(
+    st.tuples(st.sampled_from(("put", "remove")),
+              st.sampled_from(("k1", "k2")), st.sampled_from(("x", "y"))),
+    max_size=20)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_map_mutations, st.sampled_from(("AssociationList", "HashTable")))
+def test_rollback_roundtrip_property_maps(ops, name):
+    impl = new_instance(name)
+    impl.put("seed", "x")
+    before = impl.abstract_state()
+    log = []
+    for op, k, v in ops:
+        if op == "put":
+            log.append(UndoEntry("put", (k, v), impl.put(k, v)))
+        else:
+            log.append(UndoEntry("remove", (k,), impl.remove(k)))
+    rollback(impl, name, log)
+    assert impl.abstract_state() == before

@@ -1,0 +1,95 @@
+"""Differential tests: compiled formulas agree with the interpreter on
+every node type and over whole condition catalogs."""
+
+import pytest
+
+from repro.commutativity import all_conditions
+from repro.commutativity.bounded import case_environment, enumerate_cases
+from repro.eval import EvalContext, EvalError, FMap, Record, Scope, evaluate
+from repro.logic import parse_term
+from repro.logic.compile import compile_term
+from repro.logic.sorts import Sort
+from repro.logic.symbols import SymbolTable
+from repro.specs import get_spec
+
+TABLE = SymbolTable(
+    vars={"p": Sort.BOOL, "x": Sort.INT, "y": Sort.INT,
+          "v": Sort.OBJ, "u": Sort.OBJ, "S": Sort.SET, "m": Sort.MAP,
+          "s": Sort.SEQ, "st": Sort.STATE},
+    state_fields={"contents": Sort.SET, "size": Sort.INT},
+    observers={"contains": ((Sort.OBJ,), Sort.BOOL)},
+    principal_field="contents",
+)
+
+ENV = {
+    "p": True, "x": 1, "y": 3, "v": "a", "u": "b",
+    "S": frozenset({"a"}), "m": FMap({"a": "b"}), "s": ("a", "b"),
+    "st": Record(contents=frozenset({"a"}), size=1),
+}
+
+EXPRESSIONS = [
+    "p & x < y | ~p",
+    "x + y - 1",
+    "-x",
+    "v : S Un {u}",
+    "card(S - {v})",
+    "lookup(m, v)",
+    "haskey(m, u)",
+    "mput(m, u, v)",
+    "mdel(m, v)",
+    "keys(m)",
+    "msize(m)",
+    "len(s) + idx(s, u) + lidx(s, v)",
+    "at(ins(s, 0, u), 1)",
+    "del_(s, 1)",
+    "upd(s, 0, u)",
+    "has(s, v)",
+    "st.size",
+    "v : st",
+    "EX i. 0 <= i & i < len(s) & at(s, i) = u",
+    "ALL i. (0 <= i & i < len(s)) --> has(s, at(s, i))",
+    "EX o::obj. o : S",
+    "p <-> x = 1",
+    "x < y --> p",
+]
+
+
+@pytest.mark.parametrize("text", EXPRESSIONS)
+def test_compiled_matches_interpreter(text):
+    term = parse_term(text, TABLE)
+    compiled = compile_term(term)
+    assert compiled(ENV) == evaluate(term, ENV)
+
+
+def test_compiled_observer_dispatch():
+    spec = get_spec("Set")
+    ctx = EvalContext(observe=spec.observe)
+    term = parse_term("st.contains(v)", TABLE)
+    assert compile_term(term, ctx)(ENV) is True
+
+
+def test_compiled_partiality_matches():
+    term = parse_term("at(s, 9)", TABLE)
+    with pytest.raises(EvalError):
+        compile_term(term)(ENV)
+
+
+def test_compiled_unbound_variable():
+    term = parse_term("x + 1", TABLE)
+    with pytest.raises(EvalError):
+        compile_term(term)({})
+
+
+@pytest.mark.parametrize("family", ["Accumulator", "Set", "Map"])
+def test_compiled_agrees_over_catalog(family):
+    """Differential sweep: every condition formula, every case in a small
+    scope, compiled == interpreted."""
+    spec = get_spec(family)
+    scope = Scope(objects=("a", "b"), values=("x", "y"), max_seq_len=2)
+    ctx = EvalContext(observe=spec.observe)
+    for cond in all_conditions()[family][::3]:  # one kind per pair
+        compiled = compile_term(cond.formula, ctx)
+        for case in enumerate_cases(spec, cond.op1, cond.op2, scope):
+            env = case_environment(cond.op1, cond.op2, case)
+            assert compiled(env) == evaluate(cond.formula, env, ctx), \
+                (cond, env)

@@ -1,0 +1,73 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.logic.lexer import LexError, Token, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def test_symbols_longest_match():
+    assert kinds("--> <-> ~= ~: <= >=")[:-1] == [
+        "ARROW", "IFF", "NEQ", "NOTIN", "LE", "GE"]
+
+
+def test_single_char_symbols():
+    assert kinds("( ) [ ] { } , . | & ~ = < > + - :")[:-1] == [
+        "LPAREN", "RPAREN", "LBRACK", "RBRACK", "LBRACE", "RBRACE",
+        "COMMA", "DOT", "OR", "AND", "NOT", "EQ", "LT", "GT", "PLUS",
+        "MINUS", "IN"]
+
+
+def test_keywords_and_identifiers():
+    tokens = tokenize("true false null ALL EX Un foo v1 _x")
+    assert [t.kind for t in tokens][:-1] == [
+        "TRUE", "FALSE", "NULL", "ALL", "EX", "UN", "IDENT", "IDENT",
+        "IDENT"]
+
+
+def test_integers():
+    tokens = tokenize("0 42 1234")
+    assert [(t.kind, t.text) for t in tokens][:-1] == [
+        ("INT", "0"), ("INT", "42"), ("INT", "1234")]
+
+
+def test_negative_number_is_minus_then_int():
+    assert kinds("-5")[:-1] == ["MINUS", "INT"]
+
+
+def test_positions_recorded():
+    tokens = tokenize("a = b")
+    assert [t.pos for t in tokens] == [0, 2, 4, 5]
+
+
+def test_eof_always_last():
+    assert tokenize("")[-1] == Token("EOF", "", 0)
+    assert tokenize("x")[-1].kind == "EOF"
+
+
+def test_whitespace_ignored():
+    assert kinds("  a \t b \n c  ")[:-1] == ["IDENT"] * 3
+
+
+def test_method_call_shape():
+    assert kinds("s1.contains(v1)")[:-1] == [
+        "IDENT", "DOT", "IDENT", "LPAREN", "IDENT", "RPAREN"]
+
+
+def test_double_colon():
+    assert kinds("x::obj")[:-1] == ["IDENT", "DCOLON", "IDENT"]
+
+
+def test_unknown_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+def test_tilde_disambiguation():
+    # ~ followed by = is NEQ, by : is NOTIN, alone is NOT.
+    assert kinds("~a")[:-1] == ["NOT", "IDENT"]
+    assert kinds("a ~= b")[1] == "NEQ"
+    assert kinds("a ~: b")[1] == "NOTIN"

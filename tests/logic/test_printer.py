@@ -1,0 +1,81 @@
+"""Pretty-printer tests, including the parse/pretty round-trip property."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logic import parse_formula, parse_term, pretty
+from repro.logic import terms as t
+from repro.logic.sorts import Sort
+from repro.logic.symbols import SymbolTable
+
+TABLE = SymbolTable(
+    vars={"p": Sort.BOOL, "q": Sort.BOOL, "r": Sort.BOOL,
+          "x": Sort.INT, "y": Sort.INT, "v1": Sort.OBJ, "v2": Sort.OBJ,
+          "s": Sort.SEQ, "S": Sort.SET, "m": Sort.MAP, "st": Sort.STATE},
+    state_fields={"contents": Sort.SET, "size": Sort.INT},
+    observers={"contains": ((Sort.OBJ,), Sort.BOOL)},
+    principal_field="contents",
+)
+
+
+@pytest.mark.parametrize("text", [
+    "p & q | r",
+    "p --> q --> r",
+    "p <-> q",
+    "~(p & q)",
+    "v1 ~= v2 | v1 : S",
+    "x + 1 <= y",
+    "idx(ins(s, x, v1), v2) = idx(s, v2)",
+    "st.contains(v1) = true",
+    "EX i. 0 <= i & i < x & at(s, i) = v1",
+    "ALL o::obj. o : S --> o : S Un {v1}",
+    "lookup(m, v1) = null",
+    "card(S) = x",
+    "s[x] = v1",
+])
+def test_roundtrip_examples(text):
+    formula = parse_formula(text, TABLE)
+    assert parse_formula(pretty(formula), TABLE) == formula
+
+
+# -- property-based round trip over generated formulas --------------------------
+
+_atoms = st.sampled_from([
+    "p", "q", "r", "v1 = v2", "v1 : S", "x < y", "x <= y + 1",
+    "at(s, x) = v1", "idx(s, v1) = x", "st.contains(v1)",
+])
+
+
+@st.composite
+def formulas(draw, depth=3):
+    if depth == 0:
+        return draw(_atoms)
+    choice = draw(st.integers(0, 5))
+    if choice == 0:
+        return draw(_atoms)
+    if choice == 1:
+        return f"~({draw(formulas(depth=depth - 1))})"
+    lhs = draw(formulas(depth=depth - 1))
+    rhs = draw(formulas(depth=depth - 1))
+    op = {2: "&", 3: "|", 4: "-->", 5: "<->"}[choice]
+    return f"({lhs}) {op} ({rhs})"
+
+
+@given(formulas())
+def test_roundtrip_property(text):
+    formula = parse_formula(text, TABLE)
+    assert parse_formula(pretty(formula), TABLE) == formula
+
+
+def test_pretty_neq_and_notin_sugar():
+    assert pretty(parse_formula("v1 ~= v2", TABLE)) == "v1 ~= v2"
+    assert pretty(parse_formula("v1 ~: S", TABLE)) == "v1 ~: S"
+
+
+def test_pretty_negative_int():
+    assert pretty(t.IntConst(-3)) == "-3"
+
+
+def test_pretty_observer_call():
+    text = pretty(parse_formula("st.contains(v1)", TABLE))
+    assert text == "st.contains(v1)"

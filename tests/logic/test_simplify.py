@@ -1,0 +1,119 @@
+"""NNF and simplification tests: semantics preservation is checked by
+evaluation over all small environments."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logic import nnf, parse_formula, simplify
+from repro.logic import terms as t
+from repro.logic.sorts import Sort
+from repro.logic.symbols import SymbolTable
+from repro.eval import evaluate
+
+TABLE = SymbolTable(vars={"p": Sort.BOOL, "q": Sort.BOOL, "r": Sort.BOOL,
+                          "x": Sort.INT, "y": Sort.INT})
+
+
+def f(text):
+    return parse_formula(text, TABLE)
+
+
+def all_bool_envs():
+    for p, q, r in itertools.product((False, True), repeat=3):
+        for x, y in itertools.product((0, 1), repeat=2):
+            yield {"p": p, "q": q, "r": r, "x": x, "y": y}
+
+
+def assert_equivalent(a, b):
+    for env in all_bool_envs():
+        assert evaluate(a, env) == evaluate(b, env), env
+
+
+def has_inner_negation(formula):
+    for node in formula.walk():
+        if isinstance(node, (t.Implies, t.Iff)):
+            return True
+        if isinstance(node, t.Not) and not _is_atom(node.arg):
+            return True
+    return False
+
+
+def _is_atom(node):
+    return not isinstance(node, (t.Not, t.And, t.Or, t.Implies, t.Iff,
+                                 t.Forall, t.Exists))
+
+
+@pytest.mark.parametrize("text", [
+    "~(p & q)",
+    "~(p | q & r)",
+    "p --> q",
+    "~(p --> q)",
+    "p <-> q",
+    "~(p <-> q)",
+    "~~p",
+    "~(p --> (q <-> r))",
+])
+def test_nnf_equivalence_and_shape(text):
+    original = f(text)
+    normal = nnf(original)
+    assert_equivalent(original, normal)
+    assert not has_inner_negation(normal)
+
+
+def test_nnf_pushes_through_quantifiers():
+    formula = f("~(p & q)")
+    table = SymbolTable(vars={"y": Sort.INT})
+    q = parse_formula("~(ALL i. i < y)", table)
+    normal = nnf(q)
+    assert isinstance(normal, t.Exists)
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("p & true", "p"),
+    ("p | false", "p"),
+    ("p & false", "false"),
+    ("p | true", "true"),
+    ("1 + 2 <= 3", "true"),
+    ("1 = 2", "false"),
+    ("p = true", "p"),
+])
+def test_simplify_examples(text, expected):
+    assert simplify(f(text)) == f(expected)
+
+
+def test_simplify_ite_constant():
+    formula = t.Ite(t.TRUE, t.IntConst(1), t.IntConst(2))
+    assert simplify(t.Eq(formula, t.IntConst(1))) == t.TRUE
+
+
+_texts = st.sampled_from(
+    ["p", "q", "r", "true", "false", "x < y", "x = y"])
+
+
+@st.composite
+def random_formula(draw, depth=3):
+    if depth == 0:
+        return draw(_texts)
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return draw(_texts)
+    if kind == 1:
+        return f"~({draw(random_formula(depth=depth - 1))})"
+    a = draw(random_formula(depth=depth - 1))
+    b = draw(random_formula(depth=depth - 1))
+    return f"({a}) {'&|'[kind % 2]} ({b})" if kind < 4 \
+        else f"({a}) --> ({b})"
+
+
+@given(random_formula())
+def test_simplify_preserves_semantics(text):
+    original = f(text)
+    assert_equivalent(original, simplify(original))
+
+
+@given(random_formula())
+def test_nnf_preserves_semantics(text):
+    original = f(text)
+    assert_equivalent(original, nnf(original))

@@ -1,0 +1,69 @@
+"""Substitution and transform tests."""
+
+import pytest
+
+from repro.logic import parse_formula, substitute
+from repro.logic import terms as t
+from repro.logic.sorts import Sort
+from repro.logic.substitution import transform
+from repro.logic.symbols import SymbolTable
+
+TABLE = SymbolTable(vars={"x": Sort.INT, "y": Sort.INT, "z": Sort.INT,
+                          "v": Sort.OBJ, "s": Sort.SEQ})
+
+
+def f(text):
+    return parse_formula(text, TABLE)
+
+
+def test_substitute_variable():
+    g = substitute(f("x < y"), {"x": t.IntConst(3)})
+    assert g == f("3 < y")
+
+
+def test_substitute_leaves_others():
+    g = substitute(f("x < y"), {"z": t.IntConst(3)})
+    assert g == f("x < y")
+
+
+def test_substitute_under_binder_shadowed():
+    formula = f("EX x. x < y")
+    g = substitute(formula, {"x": t.IntConst(3)})
+    assert g == formula  # bound x untouched
+
+
+def test_substitute_body_of_binder():
+    g = substitute(f("EX i. i < y"), {"y": t.IntConst(7)})
+    assert g == f("EX i. i < 7")
+
+
+def test_capture_detected():
+    with pytest.raises(ValueError):
+        substitute(f("EX i. i < y"), {"y": t.Var("i", Sort.INT)})
+
+
+def test_sort_mismatch_rejected():
+    with pytest.raises(ValueError):
+        substitute(f("x < y"), {"x": t.Var("v", Sort.OBJ)})
+
+
+def test_substitute_term_for_var():
+    g = substitute(f("x < y"), {"x": t.Add((t.Var("y", Sort.INT),
+                                            t.IntConst(1)))})
+    assert g == f("y + 1 < y")
+
+
+def test_transform_bottom_up():
+    # Replace every IntConst n with n + 1.
+    def bump(node):
+        if isinstance(node, t.IntConst):
+            return t.IntConst(node.value + 1)
+        return None
+
+    g = transform(f("1 < 2"), bump)
+    assert g == f("2 < 3")
+
+
+def test_transform_identity_returns_same_tree():
+    formula = f("EX i. i < y & x < i")
+    assert transform(formula, lambda _: None) == formula

@@ -1,0 +1,103 @@
+"""AST construction and sort-checking tests."""
+
+import pytest
+
+from repro.logic import terms as t
+from repro.logic.free_vars import free_vars
+from repro.logic.sorts import Sort, SortError
+
+
+def test_sorts_of_atoms():
+    assert t.TRUE.sort is Sort.BOOL
+    assert t.IntConst(3).sort is Sort.INT
+    assert t.NULL.sort is Sort.OBJ
+    assert t.Var("s", Sort.SEQ).sort is Sort.SEQ
+
+
+def test_and_requires_bool():
+    with pytest.raises(SortError):
+        t.And((t.IntConst(1), t.TRUE))
+
+
+def test_eq_requires_matching_sorts():
+    with pytest.raises(SortError):
+        t.Eq(t.IntConst(1), t.NULL)
+
+
+def test_ite_branch_sorts_must_match():
+    with pytest.raises(SortError):
+        t.Ite(t.TRUE, t.IntConst(1), t.NULL)
+
+
+def test_member_requires_obj_and_set():
+    with pytest.raises(SortError):
+        t.Member(t.IntConst(1), t.Var("S", Sort.SET))
+
+
+def test_seq_ops_sorts():
+    s = t.Var("s", Sort.SEQ)
+    i = t.Var("i", Sort.INT)
+    v = t.Var("v", Sort.OBJ)
+    assert t.SeqInsert(s, i, v).sort is Sort.SEQ
+    assert t.SeqIndexOf(s, v).sort is Sort.INT
+    assert t.SeqGet(s, i).sort is Sort.OBJ
+    with pytest.raises(SortError):
+        t.SeqGet(s, v)
+
+
+def test_smart_conj_flattens_and_units():
+    p = t.Var("p", Sort.BOOL)
+    q = t.Var("q", Sort.BOOL)
+    assert t.conj() == t.TRUE
+    assert t.conj(p) == p
+    assert t.conj(p, t.TRUE, q) == t.And((p, q))
+    assert t.conj(p, t.FALSE) == t.FALSE
+    assert t.conj(t.conj(p, q), p) == t.And((p, q, p))
+
+
+def test_smart_disj():
+    p = t.Var("p", Sort.BOOL)
+    assert t.disj() == t.FALSE
+    assert t.disj(p, t.TRUE) == t.TRUE
+    assert t.disj(p, t.FALSE) == p
+
+
+def test_smart_neg_involution():
+    p = t.Var("p", Sort.BOOL)
+    assert t.neg(t.neg(p)) == p
+    assert t.neg(t.TRUE) == t.FALSE
+
+
+def test_walk_preorder():
+    p = t.Var("p", Sort.BOOL)
+    q = t.Var("q", Sort.BOOL)
+    formula = t.And((p, t.Not(q)))
+    nodes = list(formula.walk())
+    assert nodes[0] is formula
+    assert p in nodes and q in nodes
+
+
+def test_nodes_hashable_and_equal_by_structure():
+    a = t.And((t.Var("p", Sort.BOOL), t.TRUE))
+    b = t.And((t.Var("p", Sort.BOOL), t.TRUE))
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_free_vars_basic():
+    p = t.Var("p", Sort.BOOL)
+    assert free_vars(p) == {"p"}
+
+
+def test_free_vars_binder():
+    i = t.Var("i", Sort.INT)
+    y = t.Var("y", Sort.INT)
+    formula = t.Exists(i, t.Lt(i, y))
+    assert free_vars(formula) == {"y"}
+
+
+def test_free_vars_nested_shadowing():
+    i = t.Var("i", Sort.INT)
+    inner = t.Exists(i, t.Lt(i, i))
+    outer = t.And((t.Lt(t.Var("i", Sort.INT), t.IntConst(3)), inner))
+    assert free_vars(outer) == {"i"}

@@ -1,0 +1,166 @@
+"""Proof-language and layered-prover tests (Sections 1.4, 5.2)."""
+
+import pytest
+
+from repro.logic import parse_formula
+from repro.logic.sorts import Sort
+from repro.logic.symbols import SymbolTable
+from repro.proof import (Assuming, Cases, Note, PickWitness, ProofError,
+                         ProofFailure, ProofScript, Prover,
+                         arraylist_environments, check_all_scripts,
+                         command_count_table, hard_methods, make_prover,
+                         script_for)
+
+TABLE = SymbolTable(vars={"p": Sort.BOOL, "q": Sort.BOOL, "r": Sort.BOOL,
+                          "x": Sort.INT, "y": Sort.INT, "s": Sort.SEQ,
+                          "v": Sort.OBJ})
+
+
+def f(text, extra=None):
+    table = TABLE if extra is None else SymbolTable(
+        vars={**TABLE.vars, **extra})
+    return parse_formula(text, table)
+
+
+# -- layered prover ------------------------------------------------------------
+
+def test_propositional_engine():
+    prover = Prover()
+    prover.prove([f("p"), f("p --> q")], f("q"))
+    prover.prove([], f("p | ~p"))
+    with pytest.raises(ProofFailure):
+        prover.prove([f("p | q")], f("p"))
+
+
+def test_euf_engine():
+    prover = Prover()
+    prover.prove([f("x = y"), f("y = x + 0")], f("x = y"))
+    # Congruence: x = y |- idx(s, v) = idx(s, v) trivially, and deeper:
+    prover.prove([f("x = y")], f("at(s, x) = at(s, y)"))
+    with pytest.raises(ProofFailure):
+        prover.prove([f("x = y")], f("at(s, x) = at(s, y + 1)"))
+
+
+def test_euf_inconsistent_premises_prove_anything():
+    prover = Prover()
+    prover.prove([f("x = y"), f("x ~= y")], f("at(s, x) = at(s, y + 1)"))
+
+
+def test_finite_engine():
+    envs = [{"x": a, "y": b} for a in range(3) for b in range(3)]
+    prover = Prover(environments=envs)
+    prover.prove([f("x < y")], f("x + 1 <= y"))
+    with pytest.raises(ProofFailure):
+        prover.prove([f("x <= y")], f("x < y"))
+
+
+def test_finite_engine_needs_environments():
+    prover = Prover()  # no environments
+    with pytest.raises(ProofFailure):
+        prover.prove([f("x < y")], f("x + 1 <= y"))
+
+
+# -- proof commands --------------------------------------------------------------
+
+def _int_prover():
+    return Prover(environments=[{"x": a, "y": b, "w": c}
+                                for a in range(4) for b in range(4)
+                                for c in range(4)])
+
+
+def test_note_adds_lemma():
+    script = ProofScript(
+        name="chain", premises=(f("x < y"),), goal=f("x < y + 1"),
+        commands=(Note(f("x + 1 <= y")),))
+    assert script.check(_int_prover()).ok
+
+
+def test_note_must_be_provable():
+    script = ProofScript(
+        name="bad-note", premises=(f("x <= y"),), goal=f("x <= y"),
+        commands=(Note(f("x < y")),))
+    outcome = script.check(_int_prover())
+    assert not outcome.ok
+    assert "cannot prove" in outcome.message
+
+
+def test_assuming_discharges_implication():
+    script = ProofScript(
+        name="imp", premises=(), goal=f("x < y --> x <= y"),
+        commands=(Assuming(f("x < y"), f("x <= y")),))
+    assert script.check(_int_prover()).ok
+
+
+def test_pick_witness_instantiates():
+    exists = f("EX j. 0 <= j & j < y & j + 1 = y")
+    script = ProofScript(
+        name="wit", premises=(f("1 <= y"), exists), goal=f("0 < y"),
+        commands=(PickWitness(exists, "w"),))
+    assert script.check(_int_prover()).ok
+
+
+def test_pick_witness_requires_existential():
+    with pytest.raises(ProofError):
+        PickWitness(f("x < y"), "w").run(None, None)
+
+
+def test_pick_witness_freshness():
+    exists = f("EX j. j < y")
+    script = ProofScript(
+        name="stale", premises=(f("x < y"), exists), goal=f("x < y"),
+        commands=(PickWitness(exists, "x"),))  # x is already in scope
+    outcome = script.check(_int_prover())
+    assert not outcome.ok
+    assert "fresh" in outcome.message
+
+
+def test_cases_command():
+    script = ProofScript(
+        name="cases", premises=(f("x = 0 | x = 1"),), goal=f("x <= 1"),
+        commands=(Cases((f("x = 0"), f("x = 1")), f("x <= 1")),))
+    assert script.check(_int_prover()).ok
+
+
+def test_cases_requires_exhaustive_alternatives():
+    script = ProofScript(
+        name="nonexhaustive", premises=(f("x <= 2"),), goal=f("x <= 2"),
+        commands=(Cases((f("x = 0"), f("x = 1")), f("x <= 2")),))
+    assert not script.check(_int_prover()).ok
+
+
+# -- the Section 5.2.1 reconstruction --------------------------------------------
+
+def test_all_four_category_scripts_check():
+    outcomes = check_all_scripts(max_len=3)
+    assert len(outcomes) == 4
+    assert all(o.ok for o in outcomes), [o.summary() for o in outcomes]
+
+
+def test_57_hard_methods():
+    methods = hard_methods()
+    assert len(methods) == 57
+    by_category = {}
+    for m in methods:
+        by_category[m.category] = by_category.get(m.category, 0) + 1
+    assert by_category == {1: 12, 2: 8, 3: 20, 4: 17}
+    assert len({m.method_name for m in methods}) == 57
+
+
+def test_every_hard_method_has_a_script():
+    for method in hard_methods():
+        assert script_for(method).name
+
+
+def test_command_count_table_structure():
+    counts = command_count_table()
+    assert set(counts) >= {"note", "assuming", "pickWitness", "total"}
+    assert counts["total"] == (counts["note"] + counts["assuming"]
+                               + counts["pickWitness"])
+    assert counts["total"] > 100  # same order of magnitude as paper's 201
+
+
+def test_environments_cover_witness_variable():
+    envs = arraylist_environments(max_len=2)
+    assert all("w" in env for env in envs)
+    prover = make_prover(max_len=2)
+    assert prover.environments

@@ -1,0 +1,71 @@
+"""Reporting tests: the tables render and carry the paper's content."""
+
+from repro.eval import Scope
+from repro.reporting import (PAPER_COMMANDS, PAPER_TIMES, table_5_01,
+                             table_5_02, table_5_03, table_5_04,
+                             table_5_05, table_5_06, table_5_07,
+                             table_5_08, table_5_09, table_5_10)
+
+
+def test_table_5_01_accumulator():
+    text = table_5_01()
+    assert "v1 = 0" in text and "v2 = 0" in text
+    assert "[before]" in text and "[between]" in text and "[after]" in text
+
+
+def test_table_5_02_matches_paper_rows():
+    text = table_5_02()
+    # Row add_/contains of Table 5.2.
+    assert "v1 ~= v2 | v1 : s1" in text
+    assert "s1.contains(v1) = true" in text
+    # Row add_/remove_.
+    assert "v1 ~= v2 " in text
+
+
+def test_table_5_03_between_uses_returns():
+    text = table_5_03()
+    assert "v1 ~= v2 | r1" in text  # contains;add_ between condition
+
+
+def test_table_5_04_map_before():
+    text = table_5_04()
+    assert "k1 ~= k2 | s1.get(k1) = v2" in text
+    assert "k1 ~= k2 | v1 = v2" in text  # put_;put_
+
+
+def test_table_5_05_map_after():
+    text = table_5_05()
+    assert "k1 ~= k2 | r1 = v2" in text  # get;put after uses r1
+
+
+def test_table_5_06_and_5_07_arraylist():
+    between = table_5_06()
+    after = table_5_07()
+    assert "ins(" in between and "idx(" in between
+    assert "r2 = idx(s1, v2)" in after  # after conditions use r2
+
+
+def test_table_5_08_verification_times():
+    text, reports = table_5_08(Scope(max_seq_len=2), backend="symbolic")
+    assert "ArrayList" in text and "Accumulator" in text
+    assert set(reports) == set(PAPER_TIMES)
+    assert all(r.all_verified for r in reports.values())
+    total_conditions = sum(r.condition_count for r in reports.values())
+    assert total_conditions == 765
+    total_methods = sum(r.method_count for r in reports.values())
+    assert total_methods == 1530
+
+
+def test_table_5_09_command_counts():
+    text = table_5_09()
+    for command, count in PAPER_COMMANDS.items():
+        assert str(count) in text, command
+    assert "note" in text and "pickWitness" in text
+
+
+def test_table_5_10_inverses():
+    text = table_5_10()
+    assert "s2.increase(-v)" in text
+    assert "if r = true then s2.remove(v)" in text
+    assert "s2.add_at(i, r)" in text
+    assert text.count("\n") >= 9  # 8 rows + header + border

@@ -1,0 +1,139 @@
+"""Congruence closure, Tseitin CNF, and partition enumeration tests."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logic import parse_formula
+from repro.logic.sorts import Sort
+from repro.logic.symbols import SymbolTable
+from repro.eval import evaluate
+from repro.solver import (AtomMap, CongruenceClosure, SatSolver,
+                          bell_number, entails_equality, partitions,
+                          restricted_growth_strings, to_cnf)
+
+
+# -- congruence closure ---------------------------------------------------------
+
+def test_transitivity():
+    cc = CongruenceClosure()
+    cc.merge("a", "b")
+    cc.merge("b", "c")
+    assert cc.are_equal("a", "c")
+    assert not cc.are_equal("a", "d")
+
+
+def test_congruence_propagation():
+    cc = CongruenceClosure()
+    cc.merge("a", "b")
+    assert cc.are_equal(("f", "a"), ("f", "b"))
+
+
+def test_nested_congruence():
+    cc = CongruenceClosure()
+    cc.merge("a", "b")
+    assert cc.are_equal(("f", ("g", "a")), ("f", ("g", "b")))
+
+
+def test_congruence_after_merge_of_applications():
+    cc = CongruenceClosure()
+    cc.merge(("f", "a"), "c")
+    cc.merge("a", "b")
+    assert cc.are_equal(("f", "b"), "c")
+
+
+def test_disequality_consistency():
+    cc = CongruenceClosure()
+    cc.assert_distinct("a", "b")
+    assert cc.is_consistent()
+    cc.merge("a", "b")
+    assert not cc.is_consistent()
+
+
+def test_entails_equality_helper():
+    assert entails_equality([("a", "b"), ("b", "c")], ("a", "c"))
+    assert not entails_equality([("a", "b")], ("a", "c"))
+    # Inconsistent premises entail anything.
+    assert entails_equality([("a", "b")], ("x", "y"),
+                            disequalities=[("a", "b")])
+
+
+def test_classes():
+    cc = CongruenceClosure()
+    cc.merge("a", "b")
+    cc.merge("c", "d")
+    classes = cc.classes()
+    members = {frozenset(v) for v in classes.values()}
+    assert frozenset({"a", "b"}) in members
+    assert frozenset({"c", "d"}) in members
+
+
+# -- Tseitin CNF -------------------------------------------------------------------
+
+TABLE = SymbolTable(vars={"p": Sort.BOOL, "q": Sort.BOOL, "r": Sort.BOOL})
+
+
+@pytest.mark.parametrize("text", [
+    "p & q", "p | q", "p --> q", "p <-> q", "~(p & (q | ~r))",
+    "(p --> q) & (q --> r) --> (p --> r)",
+])
+def test_cnf_equisatisfiable_pointwise(text):
+    formula = parse_formula(text, TABLE)
+    atoms = AtomMap()
+    clauses, root = to_cnf(formula, atoms)
+    # For each assignment of p/q/r: formula true iff CNF+root satisfiable
+    # under assumptions fixing the atom variables.
+    for p, q, r in itertools.product((False, True), repeat=3):
+        env = {"p": p, "q": q, "r": r}
+        expected = evaluate(formula, env)
+        solver = SatSolver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        solver.add_clause([root])
+        assumptions = []
+        for atom, var in atoms.atom_to_var.items():
+            truth = evaluate(atom, env)
+            assumptions.append(var if truth else -var)
+        assert solver.solve(tuple(assumptions)).satisfiable == expected
+
+
+def test_tautology_detection_via_cnf():
+    formula = parse_formula("p | ~p", TABLE)
+    atoms = AtomMap()
+    clauses, root = to_cnf(parse_formula("~(p | ~p)", TABLE), atoms)
+    solver = SatSolver()
+    for clause in clauses:
+        solver.add_clause(clause)
+    solver.add_clause([root])
+    assert not solver.solve().satisfiable
+    assert formula is not None
+
+
+# -- partitions ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("n,count", [(0, 1), (1, 1), (2, 2), (3, 5),
+                                     (4, 15), (5, 52), (6, 203)])
+def test_partition_counts_are_bell_numbers(n, count):
+    assert sum(1 for _ in restricted_growth_strings(n)) == count
+    assert bell_number(n) == count
+
+
+def test_partitions_are_distinct_and_canonical():
+    seen = set(restricted_growth_strings(4))
+    assert len(seen) == 15
+    for rgs in seen:
+        assert rgs[0] == 0
+        for i in range(1, len(rgs)):
+            assert rgs[i] <= max(rgs[:i]) + 1
+
+
+def test_partitions_as_maps():
+    parts = list(partitions(("x", "y")))
+    assert {tuple(sorted(p.items())) for p in parts} == {
+        (("x", 0), ("y", 0)), (("x", 0), ("y", 1))}
+
+
+@given(st.integers(0, 7))
+def test_rgs_count_matches_bell(n):
+    assert sum(1 for _ in restricted_growth_strings(n)) == bell_number(n)

@@ -1,0 +1,126 @@
+"""CDCL SAT solver tests: units, classic hard instances, and a
+property-based comparison against brute force."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import SatSolver
+
+
+def test_empty_is_sat():
+    assert SatSolver().solve().satisfiable
+
+
+def test_unit_clause():
+    s = SatSolver()
+    s.add_clause([1])
+    result = s.solve()
+    assert result.satisfiable and result.model[1] is True
+
+
+def test_contradiction():
+    s = SatSolver()
+    s.add_clause([1])
+    s.add_clause([-1])
+    assert not s.solve().satisfiable
+
+
+def test_tautological_clause_ignored():
+    s = SatSolver()
+    s.add_clause([1, -1])
+    s.add_clause([-2])
+    result = s.solve()
+    assert result.satisfiable and result.model.get(2, False) is False
+
+
+def test_simple_implication_chain():
+    s = SatSolver()
+    # 1 -> 2 -> 3 -> 4, with 1 asserted.
+    s.add_clause([1])
+    for a, b in ((1, 2), (2, 3), (3, 4)):
+        s.add_clause([-a, b])
+    result = s.solve()
+    assert result.satisfiable
+    assert all(result.model[v] for v in (1, 2, 3, 4))
+
+
+def _pigeonhole(holes: int) -> SatSolver:
+    """holes+1 pigeons into `holes` holes — classically UNSAT."""
+    pigeons = holes + 1
+    var = lambda p, h: p * holes + h + 1
+    s = SatSolver()
+    for p in range(pigeons):
+        s.add_clause([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                s.add_clause([-var(p1, h), -var(p2, h)])
+    return s
+
+
+def test_pigeonhole_unsat():
+    assert not _pigeonhole(4).solve().satisfiable
+
+
+def test_pigeonhole_relaxed_sat():
+    # holes pigeons into holes holes is satisfiable.
+    holes = 4
+    var = lambda p, h: p * holes + h + 1
+    s = SatSolver()
+    for p in range(holes):
+        s.add_clause([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(holes):
+            for p2 in range(p1 + 1, holes):
+                s.add_clause([-var(p1, h), -var(p2, h)])
+    assert s.solve().satisfiable
+
+
+def test_assumptions():
+    s = SatSolver()
+    s.add_clause([-1, 2])
+    assert s.solve(assumptions=(1,)).model[2] is True
+    s2 = SatSolver()
+    s2.add_clause([-1, 2])
+    s2.add_clause([-2])
+    assert not s2.solve(assumptions=(1,)).satisfiable
+
+
+def test_enumerate_models():
+    s = SatSolver()
+    s.add_clause([1, 2])
+    models = list(s.enumerate_models(variables=(1, 2)))
+    assert len(models) == 3
+    assert {(m[1], m[2]) for m in models} == {
+        (True, False), (False, True), (True, True)}
+
+
+def _brute_force_sat(clauses, num_vars):
+    for bits in itertools.product((False, True), repeat=num_vars):
+        assignment = {v + 1: bits[v] for v in range(num_vars)}
+        if all(any(assignment[abs(l)] == (l > 0) for l in clause)
+               for clause in clauses):
+            return True
+    return False
+
+
+clause_strategy = st.lists(
+    st.lists(st.sampled_from([1, -1, 2, -2, 3, -3, 4, -4, 5, -5]),
+             min_size=1, max_size=4),
+    min_size=1, max_size=12)
+
+
+@settings(max_examples=150, deadline=None)
+@given(clause_strategy)
+def test_agrees_with_brute_force(clauses):
+    s = SatSolver()
+    for clause in clauses:
+        s.add_clause(clause)
+    result = s.solve()
+    assert result.satisfiable == _brute_force_sat(clauses, 5)
+    if result.satisfiable:
+        # The returned model must actually satisfy every clause.
+        model = {v: result.model.get(v, False) for v in range(1, 6)}
+        assert all(any(model[abs(l)] == (l > 0) for l in clause)
+                   for clause in clauses)

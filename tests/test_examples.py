@@ -1,0 +1,38 @@
+"""The example applications must stay runnable (deliverable smoke tests)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+
+
+def test_quickstart_runs():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "v1 ~= v2 | r1" in result.stdout
+    assert "abstract states equal: True" in result.stdout
+    assert "concrete layouts equal: False" in result.stdout
+
+
+def test_custom_datastructure_runs():
+    result = _run("custom_datastructure.py")
+    assert result.returncode == 0, result.stderr
+    assert "naive write;write condition" in result.stdout
+    assert "FAILED" in result.stdout          # the unsound guess is refuted
+    assert "repaired write;write condition" in result.stdout
+
+
+@pytest.mark.slow
+def test_speculative_index_runs():
+    result = _run("speculative_index.py")
+    assert result.returncode == 0, result.stderr
+    assert "serializable=True" in result.stdout

@@ -1,0 +1,73 @@
+"""Top-level public API and CLI tests."""
+
+import pytest
+
+import repro
+from repro.__main__ import main
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_names_importable():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_total_condition_count_exported():
+    assert repro.total_condition_count() == 765
+
+
+def test_cli_show(capsys):
+    assert main(["show", "--name", "HashSet", "--m1", "contains",
+                 "--m2", "add", "--kind", "between", "--methods"]) == 0
+    out = capsys.readouterr().out
+    assert "v1 ~= v2 | r1" in out
+    assert "contains_add_between_s_" in out
+
+
+def test_cli_verify_one(capsys):
+    assert main(["verify", "--name", "Accumulator"]) == 0
+    out = capsys.readouterr().out
+    assert "Accumulator" in out and "all verified" in out
+
+
+def test_cli_inverses(capsys):
+    assert main(["inverses", "--max-seq-len", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("verified") == 8
+
+
+def test_cli_tables_single(capsys):
+    assert main(["tables", "--table", "5.10"]) == 0
+    out = capsys.readouterr().out
+    assert "s2.increase(-v)" in out
+
+
+def test_cli_tables_unknown(capsys):
+    assert main(["tables", "--table", "9.9"]) == 2
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_end_to_end_workflow(tiny_scope):
+    """The README workflow: look up, verify (both backends), generate
+    methods, run speculatively, roll back."""
+    from repro import (Kind, check_condition, condition, conditions_for,
+                      SpeculativeExecutor)
+    from repro.solver.engine import check_condition_symbolic
+    from repro.specs import get_spec
+
+    cond = condition("HashSet", "contains", "add", Kind.BETWEEN)
+    spec = get_spec("HashSet")
+    assert check_condition(spec, cond, tiny_scope).verified
+    assert check_condition_symbolic(spec, cond).verified
+    assert len(conditions_for("HashSet")) == 108
+
+    report = SpeculativeExecutor("HashSet").run(
+        [[("add", ("a",))], [("add", ("b",))]])
+    assert report.serializable
