@@ -2,25 +2,31 @@
 
 A downstream user brings their own abstract specification — here a
 single-cell ``Register`` with ``write(v)`` (returns the previous value)
-and ``read()`` — then:
+and ``read()`` — registers it on a :class:`repro.api.Registry` next to
+the paper's six built-ins, then drives the whole pipeline through a
+:class:`repro.api.Session`:
 
-1. *synthesizes* sound-and-complete commutativity conditions directly
-   from the executable semantics (the synthesizer the repository uses to
-   cross-validate its own catalog),
-2. verifies a hand-written condition with the bounded checker, and
-3. specifies and verifies an inverse for ``write``.
+1. *synthesize* sound-and-complete commutativity conditions directly
+   from the executable semantics,
+2. verify a hand-written condition with the bounded checker,
+3. register the synthesized catalog and the inverse of ``write`` and
+   verify them exactly like a built-in (``session.verify`` /
+   ``session.check_inverses``), and
+4. see the Register listed by the ``python -m repro list`` CLI.
+
+No monkey-patching anywhere: the registry owns all name resolution.
 
 Run:  python examples/custom_datastructure.py
 """
 
 from typing import Any, Iterator
 
-from repro.commutativity.bounded import check_condition
-from repro.commutativity.conditions import CommutativityCondition, Kind
-from repro.commutativity.synthesis import parse_atoms, synthesize
+from repro.__main__ import main as repro_main
+from repro.api import Registry, Session
+from repro.commutativity import (CommutativityCondition, Kind,
+                                 check_condition)
 from repro.eval import Record, Scope
-from repro.inverses.catalog import Arg, Guard, InverseCall, InverseSpec
-from repro.inverses.verifier import check_inverse
+from repro.inverses import Arg, Guard, InverseCall, InverseSpec
 from repro.logic.sorts import Sort
 from repro.specs.interface import (DataStructureSpec, Operation, Param,
                                    parse_pre)
@@ -72,30 +78,36 @@ def make_register_spec() -> DataStructureSpec:
 
 
 def main() -> None:
-    spec = make_register_spec()
-    scope = Scope(objects=("a", "b", "c"))
+    # The Register joins the paper's six structures on a private
+    # registry; DEFAULT_REGISTRY is untouched.
+    registry = Registry.with_builtins()
+    registry.register_spec("Register", make_register_spec)
+    session = Session(registry=registry, scope=Scope(objects=("a", "b", "c")))
 
     # 1. Synthesize conditions from the semantics alone.
     print("synthesized sound-and-complete before conditions:")
+    synthesized: dict[tuple[str, str], str] = {}
     for m1, m2, atom_texts in (
             ("write", "write", ["v1 = v2", "s1.value = v1",
                                 "s1.value = v2"]),
             ("write", "read", ["s1.value = v1"]),
             ("read", "write", ["s1.value = v2"]),
             ("read", "read", [])):
-        atoms = parse_atoms(spec, m1, m2, atom_texts)
-        result = synthesize(spec, m1, m2, Kind.BEFORE, atoms, scope)
+        result = session.synthesize("Register", m1, m2, Kind.BEFORE,
+                                    atom_texts)
         assert result.succeeded, (m1, m2)
+        synthesized[(m1, m2)] = result.text
         print(f"  {m1}; {m2}: {result.text}")
 
     # 2. Verify hand-written conditions the classical way.  A natural
     # first guess — "writes of equal values commute" — is actually
     # UNSOUND because write returns the overwritten value, and the
     # checker produces the counterexample:
+    spec = session.spec("Register")
     guess = CommutativityCondition(
         family="Register", m1="write", m2="write", kind=Kind.BEFORE,
         text="v1 = v2", spec=spec)
-    outcome = check_condition(spec, guess, scope)
+    outcome = check_condition(spec, guess, session.scope)
     print(f"\nnaive write;write condition: {outcome.summary()}")
     assert not outcome.verified
     print(f"  counterexample: {outcome.counterexamples[0]}")
@@ -104,30 +116,36 @@ def main() -> None:
     cond = CommutativityCondition(
         family="Register", m1="write", m2="write", kind=Kind.BEFORE,
         text="v1 = v2 & s1.value = v1", spec=spec)
-    outcome = check_condition(spec, cond, scope)
+    outcome = check_condition(spec, cond, session.scope)
     print(f"repaired write;write condition: {outcome.summary()}")
     assert outcome.verified
 
-    # 3. The inverse of write(v) re-writes the returned previous value.
-    inverse = InverseSpec(family="Register", op="write", guard=Guard.NONE,
-                          then=(InverseCall("write", (Arg.result(),)),))
-    print(f"\ninverse of write(v): {inverse.render()}")
+    # 3. Register the synthesized catalog (a before-vocabulary formula
+    # is evaluable at every kind) and the inverse of write, then verify
+    # the Register exactly like a built-in.
+    def build_register_conditions(spec: DataStructureSpec) \
+            -> list[CommutativityCondition]:
+        return [CommutativityCondition(family="Register", m1=m1, m2=m2,
+                                       kind=kind, text=text, spec=spec)
+                for (m1, m2), text in synthesized.items()
+                for kind in Kind]
 
-    def register_states(s: Scope) -> Iterator[Record]:
-        return _states(s)
+    registry.register_conditions("Register", build_register_conditions)
+    registry.register_inverses("Register", [InverseSpec(
+        family="Register", op="write", guard=Guard.NONE,
+        then=(InverseCall("write", (Arg.result(),)),))])
 
-    # check_inverse resolves specs by family name; monkey-patch lookup
-    # is unnecessary — call the verifier core directly.
-    from repro.inverses import verifier as inv_verifier
-    original_get_spec = inv_verifier.get_spec
-    inv_verifier.get_spec = lambda name: spec if name == "Register" \
-        else original_get_spec(name)
-    try:
-        result = check_inverse("Register", inverse, scope)
-    finally:
-        inv_verifier.get_spec = original_get_spec
-    print(result.summary())
-    assert result.verified
+    report = session.verify("Register")
+    print(f"\n{report.summary()}")
+    assert report.all_verified
+
+    for result in session.check_inverses("Register"):
+        print(result.summary())
+        assert result.verified
+
+    # 4. The CLI sees the Register like any built-in.
+    print("\n$ python -m repro list")
+    repro_main(["list"], registry=registry)
 
 
 if __name__ == "__main__":

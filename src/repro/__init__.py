@@ -2,8 +2,19 @@
 of Semantic Commutativity Conditions and Inverse Operations on Linked
 Data Structures".
 
+The front door is :mod:`repro.api`: a pluggable :class:`~repro.api.Registry`
+mapping data-structure names to specs, condition catalogs, inverse
+catalogs, and concrete implementations, and a :class:`~repro.api.Session`
+facade running the verify -> synthesize -> execute pipeline against one
+registry.  The paper's six structures live in
+:data:`~repro.api.DEFAULT_REGISTRY`, registered through the same calls a
+downstream user makes for a custom structure (see
+``examples/custom_datastructure.py``); the historical module-level
+functions below are thin wrappers over that default registry.
+
 Layout:
 
+- :mod:`repro.api` — the Registry/Session extension and pipeline API;
 - :mod:`repro.logic` — the Jahob-flavoured specification logic;
 - :mod:`repro.specs` — abstract data-structure specifications;
 - :mod:`repro.impls` — concrete linked implementations + abstraction
@@ -29,8 +40,10 @@ from .impls import (Accumulator, ArrayList, AssociationList, HashSet,
                     HashTable, ListSet)
 from .inverses import check_all_inverses, inverse_for
 from .runtime import SpeculativeExecutor
+from .api import (DEFAULT_REGISTRY, DuplicateNameError, Registry,
+                  RegistryError, Session, UnknownNameError, datastructure)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CommutativityCondition", "Kind", "check_condition", "condition",
@@ -41,5 +54,7 @@ __all__ = [
     "ListSet",
     "check_all_inverses", "inverse_for",
     "SpeculativeExecutor",
+    "DEFAULT_REGISTRY", "DuplicateNameError", "Registry", "RegistryError",
+    "Session", "UnknownNameError", "datastructure",
     "__version__",
 ]

@@ -3,11 +3,17 @@
 Commands:
 
 - ``verify [--name NAME] [--backend symbolic|bounded]`` — verify the
-  commutativity conditions of one data structure (or all six);
-- ``inverses`` — verify the eight inverse operations (Table 5.10);
+  commutativity conditions of one data structure (or all registered);
+- ``inverses`` — verify the registered inverse operations (Table 5.10);
 - ``tables [--table N]`` — print the paper's evaluation tables;
 - ``show --name NAME --m1 OP --m2 OP [--kind K]`` — print a condition
-  and its generated testing methods (Figure 2-2 style).
+  and its generated testing methods (Figure 2-2 style);
+- ``list`` — print the registered data structures, their specification
+  families, and condition/inverse counts.
+
+Every command resolves names through a :class:`repro.api.Registry`
+(:data:`repro.api.DEFAULT_REGISTRY` unless :func:`main` is given one),
+so structures registered by downstream code appear here like built-ins.
 """
 
 from __future__ import annotations
@@ -15,24 +21,25 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .commutativity import (Kind, condition, generate_methods,
-                            verify_all, verify_data_structure)
+from .api import DEFAULT_REGISTRY, Registry, UnknownNameError
+from .commutativity import Kind, generate_methods
+from .commutativity.verifier import verify_all, verify_data_structure
 from .eval import Scope
 from .inverses import check_all_inverses
 from .reporting.tables import TableIndex
 
-ALL_NAMES = ("Accumulator", "ListSet", "HashSet", "AssociationList",
-             "HashTable", "ArrayList")
+#: Back-compat: the default registry's structure names.
+ALL_NAMES = DEFAULT_REGISTRY.names()
 
 
-def _cmd_verify(args: argparse.Namespace) -> int:
+def _cmd_verify(args: argparse.Namespace, registry: Registry) -> int:
     scope = Scope(max_seq_len=args.max_seq_len)
     failed = 0
     if args.name:
         reports = {args.name: verify_data_structure(
-            args.name, scope, backend=args.backend)}
+            args.name, scope, backend=args.backend, registry=registry)}
     else:
-        reports = verify_all(scope, backend=args.backend)
+        reports = verify_all(scope, backend=args.backend, registry=registry)
     for report in reports.values():
         print(report.summary())
         for failure in report.failures():
@@ -43,17 +50,17 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
-def _cmd_inverses(args: argparse.Namespace) -> int:
+def _cmd_inverses(args: argparse.Namespace, registry: Registry) -> int:
     scope = Scope(max_seq_len=args.max_seq_len)
     failed = 0
-    for result in check_all_inverses(scope):
+    for result in check_all_inverses(scope, registry=registry):
         print(result.summary())
         if not result.verified:
             failed += 1
     return 1 if failed else 0
 
 
-def _cmd_tables(args: argparse.Namespace) -> int:
+def _cmd_tables(args: argparse.Namespace, registry: Registry) -> int:
     tables = TableIndex.all()
     wanted = [args.table] if args.table else list(tables)
     for table_id in wanted:
@@ -71,10 +78,10 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_show(args: argparse.Namespace) -> int:
+def _cmd_show(args: argparse.Namespace, registry: Registry) -> int:
     kinds = [Kind(args.kind)] if args.kind else list(Kind)
     for kind in kinds:
-        cond = condition(args.name, args.m1, args.m2, kind)
+        cond = registry.condition(args.name, args.m1, args.m2, kind)
         print(f"[{kind}] {cond.text}")
         if args.methods:
             for method in generate_methods([cond]):
@@ -84,12 +91,32 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
-def build_parser() -> argparse.ArgumentParser:
+def _cmd_list(args: argparse.Namespace, registry: Registry) -> int:
+    headers = ["name", "family", "conditions", "inverses", "implementation"]
+    rows = [[entry.name, entry.family, str(entry.condition_count),
+             str(entry.inverse_count),
+             entry.implementation.__name__ if entry.implementation else "-"]
+            for entry in registry.describe()]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    inverse_total = sum(len(registry.inverses(family))
+                        for family in registry.families())
+    print(f"\n{len(rows)} structures, "
+          f"{registry.total_condition_count()} conditions, "
+          f"{inverse_total} inverse operations")
+    return 0
+
+
+def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
+    registry = registry if registry is not None else DEFAULT_REGISTRY
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
     verify = sub.add_parser("verify", help="verify commutativity conditions")
-    verify.add_argument("--name", choices=ALL_NAMES)
+    verify.add_argument("--name", choices=registry.names())
     verify.add_argument("--backend", default="symbolic",
                         choices=("symbolic", "bounded"))
     verify.add_argument("--max-seq-len", type=int, default=3)
@@ -110,12 +137,21 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("--kind", choices=[k.value for k in Kind])
     show.add_argument("--methods", action="store_true")
     show.set_defaults(func=_cmd_show)
+
+    list_cmd = sub.add_parser("list", help="list registered data structures")
+    list_cmd.set_defaults(func=_cmd_list)
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    return args.func(args)
+def main(argv: list[str] | None = None,
+         registry: Registry | None = None) -> int:
+    registry = registry if registry is not None else DEFAULT_REGISTRY
+    args = build_parser(registry).parse_args(argv)
+    try:
+        return args.func(args, registry)
+    except UnknownNameError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,35 @@
+"""``repro.api`` — the package's front door for extension and use.
+
+Two objects organize everything:
+
+- :class:`Registry` owns name resolution (spec, condition catalog,
+  inverse catalog, concrete implementation) and is extended with
+  ``register_spec`` / ``register_conditions`` / ``register_inverses`` /
+  ``register_implementation`` or the ``@datastructure`` decorator;
+- :class:`Session` binds a registry to a verification scope and backend
+  and runs the verify -> synthesize -> execute pipeline.
+
+:data:`DEFAULT_REGISTRY` holds the paper's six structures, registered
+through the same public calls a user makes for a custom structure; all
+legacy module-level entry points (``get_spec``, ``conditions_for``,
+``verify_data_structure``, ``check_all_inverses``, the CLI, ...)
+delegate to it.
+"""
+
+from .default import DEFAULT_REGISTRY, populate_builtins, resolve_registry
+from .errors import DuplicateNameError, RegistryError, UnknownNameError
+from .registry import Registry, RegistryEntry
+from .session import Session
+
+
+def datastructure(family, *, aliases=(), implementation=None):
+    """Module-level ``@datastructure``: register into the default registry."""
+    return DEFAULT_REGISTRY.datastructure(family, aliases=aliases,
+                                          implementation=implementation)
+
+
+__all__ = [
+    "DEFAULT_REGISTRY", "populate_builtins", "resolve_registry",
+    "DuplicateNameError", "RegistryError", "UnknownNameError",
+    "Registry", "RegistryEntry", "Session", "datastructure",
+]

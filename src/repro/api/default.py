@@ -1,0 +1,54 @@
+"""The default registry: the paper's six data structures.
+
+:func:`populate_builtins` registers Accumulator, ListSet, HashSet,
+AssociationList, HashTable, and ArrayList through the *public*
+registration calls — the exact path a downstream user takes for a custom
+structure — so the built-ins exercise the extension API on every import.
+"""
+
+from __future__ import annotations
+
+from ..commutativity.catalog import accumulator as accumulator_conditions
+from ..commutativity.catalog import (arraylist_conditions, map_conditions,
+                                     set_conditions)
+from ..impls import (Accumulator, ArrayList, AssociationList, HashSet,
+                     HashTable, ListSet)
+from ..inverses.catalog import INVERSES
+from ..specs import accumulator, arraylist_spec, map_spec, set_spec
+from .registry import Registry
+
+
+def populate_builtins(registry: Registry) -> Registry:
+    """Register the paper's six structures (four spec families)."""
+    registry.register_spec("Accumulator", accumulator.make_spec,
+                           implementation=Accumulator)
+    registry.register_spec("Set", set_spec.make_spec,
+                           aliases=("ListSet", "HashSet"))
+    registry.register_spec("Map", map_spec.make_spec,
+                           aliases=("AssociationList", "HashTable"))
+    registry.register_spec("ArrayList", arraylist_spec.make_spec,
+                           implementation=ArrayList)
+    registry.register_implementation("ListSet", ListSet)
+    registry.register_implementation("HashSet", HashSet)
+    registry.register_implementation("AssociationList", AssociationList)
+    registry.register_implementation("HashTable", HashTable)
+
+    registry.register_conditions("Accumulator", accumulator_conditions.build)
+    registry.register_conditions("Set", set_conditions.build)
+    registry.register_conditions("Map", map_conditions.build)
+    registry.register_conditions("ArrayList", arraylist_conditions.build)
+
+    for family in ("Accumulator", "Set", "Map", "ArrayList"):
+        registry.register_inverses(
+            family, [inv for inv in INVERSES if inv.family == family])
+    return registry
+
+
+#: The registry behind every module-level back-compat entry point
+#: (``get_spec``, ``conditions_for``, ``inverse_for``, the CLI, ...).
+DEFAULT_REGISTRY: Registry = populate_builtins(Registry())
+
+
+def resolve_registry(registry: Registry | None) -> Registry:
+    """The injected registry, or the package default."""
+    return registry if registry is not None else DEFAULT_REGISTRY

@@ -1,0 +1,45 @@
+"""Registry error types.
+
+:class:`UnknownNameError` doubles as a :class:`KeyError` so call sites
+written against the old dict-backed resolvers (``get_spec``,
+``catalog.condition``, ``inverse_for``) keep their exception contract,
+while new callers get structured near-miss suggestions for free.
+"""
+
+from __future__ import annotations
+
+import difflib
+
+
+class RegistryError(ValueError):
+    """Base class for registration and lookup failures."""
+
+
+class DuplicateNameError(RegistryError):
+    """A family, alias, or catalog is already registered."""
+
+
+class UnknownNameError(RegistryError, KeyError):
+    """A lookup name is not registered.
+
+    Carries the lookup ``kind`` (what was being resolved), the offending
+    ``name``, the valid ``candidates``, and close-match ``suggestions``.
+    """
+
+    def __init__(self, kind: str, name: object,
+                 candidates: tuple = ()) -> None:
+        self.kind = kind
+        self.name = name
+        self.candidates = tuple(str(c) for c in candidates)
+        self.suggestions = difflib.get_close_matches(
+            str(name), self.candidates, n=3, cutoff=0.5)
+        message = f"unknown {kind}: {name!r}"
+        if self.suggestions:
+            message += f" (did you mean: {', '.join(self.suggestions)}?)"
+        elif self.candidates:
+            message += f" (choose from: {', '.join(sorted(self.candidates))})"
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        # KeyError's __str__ reprs the argument; show the message as-is.
+        return self.args[0]

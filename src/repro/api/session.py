@@ -1,0 +1,105 @@
+"""The :class:`Session` facade: one object for the whole pipeline.
+
+A session binds a :class:`~repro.api.registry.Registry`, a verification
+:class:`~repro.eval.enumeration.Scope`, and a default backend, and
+exposes the verify -> synthesize -> run workflow against them::
+
+    session = Session(registry=registry, scope=Scope(), backend="bounded")
+    session.verify("HashSet").all_verified
+    session.check_inverses("HashSet")
+    session.synthesize("HashSet", "contains", "add", Kind.BETWEEN, atoms)
+    session.executor("HashSet").run(programs)
+
+Custom structures registered on the session's registry verify through
+exactly the same calls as the paper's six built-ins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..commutativity.conditions import CommutativityCondition, Kind
+from ..eval.enumeration import Scope
+from ..inverses.catalog import InverseSpec
+from ..specs.interface import DataStructureSpec
+from .default import DEFAULT_REGISTRY
+from .registry import Registry, _coerce_kind
+
+
+class Session:
+    """A registry + scope + backend bound into one pipeline object."""
+
+    def __init__(self, registry: Registry | None = None,
+                 scope: Scope | None = None,
+                 backend: str = "bounded") -> None:
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self.scope = scope or Scope()
+        self.backend = backend
+
+    # -- lookups -------------------------------------------------------------
+
+    def spec(self, name: str) -> DataStructureSpec:
+        return self.registry.spec(name)
+
+    def conditions(self, name: str) -> list[CommutativityCondition]:
+        return self.registry.conditions(name)
+
+    def condition(self, name: str, m1: str, m2: str,
+                  kind: Kind | str) -> CommutativityCondition:
+        return self.registry.condition(name, m1, m2, kind)
+
+    def inverses(self, name: str) -> list[InverseSpec]:
+        return self.registry.inverses(name)
+
+    # -- verification --------------------------------------------------------
+
+    def verify(self, name: str, backend: str | None = None,
+               use_dynamic: bool = False):
+        """Verify every condition of one structure; a
+        :class:`~repro.commutativity.verifier.VerificationReport`."""
+        from ..commutativity.verifier import verify_data_structure
+        return verify_data_structure(name, self.scope,
+                                     backend=backend or self.backend,
+                                     use_dynamic=use_dynamic,
+                                     registry=self.registry)
+
+    def verify_all(self, names: Sequence[str] | None = None,
+                   backend: str | None = None):
+        """Verify every registered structure (or the ``names`` given)."""
+        from ..commutativity.verifier import verify_all
+        return verify_all(self.scope, backend=backend or self.backend,
+                          names=names, registry=self.registry)
+
+    def check_inverses(self, name: str | None = None):
+        """Check Property 3 for one structure's inverses (or all)."""
+        from ..inverses.verifier import check_all_inverses, check_inverse
+        if name is None:
+            return check_all_inverses(self.scope, registry=self.registry)
+        return [check_inverse(name, inverse, self.scope,
+                              registry=self.registry)
+                for inverse in self.registry.inverses(name)]
+
+    # -- synthesis -----------------------------------------------------------
+
+    def synthesize(self, name: str, m1: str, m2: str, kind: Kind | str,
+                   atoms: Iterable[Any]):
+        """Synthesize a sound-and-complete condition over ``atoms``
+        (formula texts or pre-parsed terms)."""
+        from ..commutativity.synthesis import parse_atoms, synthesize
+        spec = self.registry.spec(name)
+        atoms = list(atoms)
+        if all(isinstance(atom, str) for atom in atoms):
+            atoms = parse_atoms(spec, m1, m2, atoms)
+        return synthesize(spec, m1, m2, _coerce_kind(kind), atoms,
+                          self.scope)
+
+    # -- runtime -------------------------------------------------------------
+
+    def executor(self, name: str, policy: str = "commutativity",
+                 seed: int = 0, **kwargs):
+        """A speculative executor over the named structure's registered
+        concrete implementation."""
+        from ..runtime.executor import SpeculativeExecutor
+        self.registry.implementation(name)  # fail early with suggestions
+        return SpeculativeExecutor(name, policy=policy, seed=seed,
+                                   registry=self.registry, **kwargs)

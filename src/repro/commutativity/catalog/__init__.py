@@ -4,53 +4,43 @@ Per the paper's counting: (3 * 2^2) + 2 * (3 * 6^2) + 2 * (3 * 7^2)
 + (3 * 9^2) = 12 + 216 + 294 + 243 = 765 conditions across the six data
 structures; ListSet/HashSet share the Set family conditions and
 AssociationList/HashTable share the Map family conditions.
+
+Name resolution and caching now live in the pluggable registry
+(:mod:`repro.api`); the functions here are back-compat wrappers over
+:data:`repro.api.DEFAULT_REGISTRY`.  The per-family ``build`` functions
+in the submodules are registered there as condition builders.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-
-from ...specs.registry import SPEC_FAMILIES
 from ..conditions import CommutativityCondition, Kind
 from . import accumulator, arraylist_conditions, map_conditions, set_conditions
 
-_BUILDERS = {
-    "Accumulator": accumulator.build,
-    "Set": set_conditions.build,
-    "Map": map_conditions.build,
-    "ArrayList": arraylist_conditions.build,
-}
 
-
-@lru_cache(maxsize=None)
-def _family_conditions(family: str) -> tuple[CommutativityCondition, ...]:
-    return tuple(_BUILDERS[family]())
+def _default_registry():
+    from ...api import DEFAULT_REGISTRY
+    return DEFAULT_REGISTRY
 
 
 def conditions_for(name: str) -> list[CommutativityCondition]:
     """Conditions for a data structure or family name."""
-    family = SPEC_FAMILIES.get(name, name)
-    return list(_family_conditions(family))
+    return _default_registry().conditions(name)
 
 
 def condition(name: str, m1: str, m2: str,
               kind: Kind) -> CommutativityCondition:
     """Look up a single condition."""
-    for cond in conditions_for(name):
-        if cond.m1 == m1 and cond.m2 == m2 and cond.kind is kind:
-            return cond
-    raise KeyError(f"no {kind} condition for {name} {m1};{m2}")
+    return _default_registry().condition(name, m1, m2, kind)
 
 
 def all_conditions() -> dict[str, list[CommutativityCondition]]:
     """Family name -> conditions."""
-    return {family: list(_family_conditions(family)) for family in _BUILDERS}
+    registry = _default_registry()
+    return {family: registry.conditions(family)
+            for family in registry.families()
+            if registry.has_conditions(family)}
 
 
 def total_condition_count() -> int:
     """The paper's headline count: 765 across the six data structures."""
-    per_family = {f: len(c) for f, c in all_conditions().items()}
-    return (per_family["Accumulator"]
-            + 2 * per_family["Set"]
-            + 2 * per_family["Map"]
-            + per_family["ArrayList"])
+    return _default_registry().total_condition_count()

@@ -20,9 +20,9 @@ TABLE: dict[tuple[str, str], tuple[str | None, str | None, str | None]] = {
 }
 
 
-def build() -> list[CommutativityCondition]:
+def build(spec=None) -> list[CommutativityCondition]:
     """All 12 Accumulator conditions."""
-    spec = get_spec("Accumulator")
+    spec = spec or get_spec("Accumulator")
     conditions = []
     for (m1, m2), texts in TABLE.items():
         for kind, text in zip((Kind.BEFORE, Kind.BETWEEN, Kind.AFTER), texts):

@@ -260,9 +260,9 @@ _entry("size", "set", None)
 _entry("size", "set_", None)
 
 
-def build() -> list[CommutativityCondition]:
+def build(spec=None) -> list[CommutativityCondition]:
     """All 243 ArrayList conditions."""
-    spec = get_spec("ArrayList")
+    spec = spec or get_spec("ArrayList")
     conditions = []
     for (m1, m2), texts in TABLE.items():
         for kind, text in zip((Kind.BEFORE, Kind.BETWEEN, Kind.AFTER), texts):

@@ -108,9 +108,9 @@ TABLE: dict[tuple[str, str], tuple[str | None, str | None, str | None]] = {
 }
 
 
-def build() -> list[CommutativityCondition]:
+def build(spec=None) -> list[CommutativityCondition]:
     """All 147 map-interface conditions."""
-    spec = get_spec("Map")
+    spec = spec or get_spec("Map")
     conditions = []
     for (m1, m2), texts in TABLE.items():
         for kind, text in zip((Kind.BEFORE, Kind.BETWEEN, Kind.AFTER), texts):

@@ -99,9 +99,9 @@ def dynamic_text(text: str) -> str:
     return text
 
 
-def build() -> list[CommutativityCondition]:
+def build(spec=None) -> list[CommutativityCondition]:
     """All 108 set-interface conditions."""
-    spec = get_spec("Set")
+    spec = spec or get_spec("Set")
     conditions = []
     for (m1, m2), texts in TABLE.items():
         for kind, text in zip((Kind.BEFORE, Kind.BETWEEN, Kind.AFTER), texts):

@@ -21,7 +21,6 @@ from dataclasses import dataclass
 from ..eval.enumeration import Scope
 from ..logic import pretty
 from ..logic import terms as t
-from ..specs import get_spec
 from .bounded import check_condition
 from .conditions import CommutativityCondition
 
@@ -65,12 +64,14 @@ def _point_condition(base: CommutativityCondition,
 
 
 def lattice_of(condition: CommutativityCondition,
-               scope: Scope | None = None) -> list[LatticePoint]:
+               scope: Scope | None = None,
+               registry=None) -> list[LatticePoint]:
     """All clause subsets of ``condition``, each classified by the
     bounded oracle.  The bottom point (no clauses, i.e. ``false``) is the
     maximally conservative sound condition; the top is the original."""
     scope = scope or Scope()
-    spec = get_spec(condition.family)
+    spec = registry.spec(condition.family) if registry is not None \
+        else condition.spec
     disjuncts = clauses_of(condition)
     points: list[LatticePoint] = []
     for r in range(len(disjuncts) + 1):

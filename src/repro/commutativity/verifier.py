@@ -16,10 +16,13 @@ import time
 from dataclasses import dataclass, field
 
 from ..eval.enumeration import Scope
-from ..specs import get_spec
 from .bounded import CheckResult, check_conditions
-from .catalog import conditions_for
 from .conditions import CommutativityCondition
+
+
+def _registry(registry):
+    from ..api import resolve_registry
+    return resolve_registry(registry)
 
 
 @dataclass
@@ -69,11 +72,13 @@ def _group_by_pair(conditions: list[CommutativityCondition]) \
 
 def verify_data_structure(name: str, scope: Scope | None = None,
                           backend: str = "bounded",
-                          use_dynamic: bool = False) -> VerificationReport:
+                          use_dynamic: bool = False,
+                          registry=None) -> VerificationReport:
     """Verify every commutativity condition of one data structure."""
     scope = scope or Scope()
-    spec = get_spec(name)
-    conditions = conditions_for(name)
+    registry = _registry(registry)
+    spec = registry.spec(name)
+    conditions = registry.conditions(name)
     report = VerificationReport(name=name, backend=backend)
     start = time.perf_counter()
     if backend == "bounded":
@@ -92,10 +97,14 @@ def verify_data_structure(name: str, scope: Scope | None = None,
 
 
 def verify_all(scope: Scope | None = None, backend: str = "bounded",
-               names: tuple[str, ...] = ("Accumulator", "ListSet", "HashSet",
-                                         "AssociationList", "HashTable",
-                                         "ArrayList")) \
-        -> dict[str, VerificationReport]:
-    """Verify the full catalog for all six data structures (Table 5.8)."""
-    return {name: verify_data_structure(name, scope, backend)
+               names: tuple[str, ...] | None = None,
+               registry=None) -> dict[str, VerificationReport]:
+    """Verify the full catalog for every registered data structure
+    (Table 5.8 for the default registry's six)."""
+    registry = _registry(registry)
+    if names is None:
+        names = tuple(name for name in registry.names()
+                      if registry.has_conditions(name))
+    return {name: verify_data_structure(name, scope, backend,
+                                        registry=registry)
             for name in names}

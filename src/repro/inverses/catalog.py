@@ -124,15 +124,16 @@ INVERSES: tuple[InverseSpec, ...] = (
 
 
 def inverses_for(family: str) -> list[InverseSpec]:
-    """Inverse specs of one specification family."""
-    from ..specs.registry import SPEC_FAMILIES
-    family = SPEC_FAMILIES.get(family, family)
-    return [inv for inv in INVERSES if inv.family == family]
+    """Inverse specs of one specification family (historical contract:
+    an unknown name has no inverses rather than being an error)."""
+    from ..api import DEFAULT_REGISTRY, UnknownNameError
+    try:
+        return DEFAULT_REGISTRY.inverses(family)
+    except UnknownNameError:
+        return []
 
 
 def inverse_for(family: str, op: str) -> InverseSpec:
     """The inverse spec for one operation (return-value variant name)."""
-    for inv in inverses_for(family):
-        if inv.op == op:
-            return inv
-    raise KeyError(f"no inverse specified for {family}.{op}")
+    from ..api import DEFAULT_REGISTRY
+    return DEFAULT_REGISTRY.inverse(family, op)

@@ -16,8 +16,13 @@ from typing import Any
 
 from ..eval.enumeration import Scope
 from ..eval.values import Record
-from ..specs import DataStructureSpec, get_spec
+from ..specs import DataStructureSpec
 from .catalog import Arg, ArgKind, Guard, InverseCall, InverseSpec
+
+
+def _registry(registry):
+    from ..api import resolve_registry
+    return resolve_registry(registry)
 
 
 class InverseError(ValueError):
@@ -93,10 +98,11 @@ class InverseCheckResult:
 
 def check_inverse(family: str, inverse: InverseSpec,
                   scope: Scope | None = None,
-                  max_counterexamples: int = 3) -> InverseCheckResult:
+                  max_counterexamples: int = 3,
+                  registry=None) -> InverseCheckResult:
     """Exhaustively check Property 3 for one inverse within a scope."""
     scope = scope or Scope()
-    spec = get_spec(family)
+    spec = _registry(registry).spec(family)
     op = spec.operations[inverse.op]
     result = InverseCheckResult(inverse=inverse)
     start = time.perf_counter()
@@ -123,11 +129,14 @@ def check_inverse(family: str, inverse: InverseSpec,
     return result
 
 
-def check_all_inverses(scope: Scope | None = None) \
+def check_all_inverses(scope: Scope | None = None, registry=None) \
         -> list[InverseCheckResult]:
-    """Check all eight inverse testing methods (Table 5.10)."""
-    from .catalog import INVERSES
-    return [check_inverse(inv.family, inv, scope) for inv in INVERSES]
+    """Check every registered inverse testing method (Table 5.10's eight
+    for the default registry)."""
+    registry = _registry(registry)
+    return [check_inverse(family, inv, scope, registry=registry)
+            for family in registry.families()
+            for inv in registry.inverses(family)]
 
 
 @dataclass
@@ -136,6 +145,8 @@ class InverseTestingMethod:
 
     family: str
     inverse: InverseSpec
+    #: Resolved through the default registry when not supplied.
+    spec: DataStructureSpec | None = None
 
     @property
     def name(self) -> str:
@@ -143,7 +154,7 @@ class InverseTestingMethod:
 
     def render_java(self) -> str:
         """Render in the paper's surface style (Figures 2-3/2-4)."""
-        spec = get_spec(self.family)
+        spec = self.spec or _registry(None).spec(self.family)
         op = spec.operations[self.inverse.op]
         java_types = {"obj": "Object", "int": "int", "bool": "boolean"}
         params = ", ".join(
@@ -187,7 +198,10 @@ class InverseTestingMethod:
         ])
 
 
-def generate_inverse_methods() -> list[InverseTestingMethod]:
-    """The eight generated inverse testing methods."""
-    from .catalog import INVERSES
-    return [InverseTestingMethod(inv.family, inv) for inv in INVERSES]
+def generate_inverse_methods(registry=None) -> list[InverseTestingMethod]:
+    """The generated inverse testing methods (the paper's eight for the
+    default registry)."""
+    registry = _registry(registry)
+    return [InverseTestingMethod(family, inv, registry.spec(family))
+            for family in registry.families()
+            for inv in registry.inverses(family)]

@@ -10,12 +10,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..commutativity.catalog import conditions_for
 from ..commutativity.conditions import Kind
 from ..commutativity.verifier import VerificationReport, verify_all
 from ..eval.enumeration import Scope
-from ..inverses.catalog import INVERSES
 from ..proof.hints import command_count_table
+
+
+def _registry(registry):
+    from ..api import resolve_registry
+    return resolve_registry(registry)
 
 
 def _format_table(headers: list[str], rows: list[list[str]]) -> str:
@@ -33,10 +36,11 @@ def _format_table(headers: list[str], rows: list[list[str]]) -> str:
 
 
 def condition_table(family: str, kind: Kind,
-                    pairs: list[tuple[str, str]] | None = None) -> str:
+                    pairs: list[tuple[str, str]] | None = None,
+                    registry=None) -> str:
     """A Tables 5.1-5.7 style condition listing."""
     rows = []
-    for cond in conditions_for(family):
+    for cond in _registry(registry).conditions(family):
         if cond.kind is not kind:
             continue
         if pairs is not None and (cond.m1, cond.m2) not in pairs:
@@ -113,10 +117,12 @@ PAPER_TIMES = {
 }
 
 
-def table_5_08(scope: Scope | None = None,
-               backend: str = "symbolic") -> tuple[str, dict[str, VerificationReport]]:
+def table_5_08(scope: Scope | None = None, backend: str = "symbolic",
+               registry=None) \
+        -> tuple[str, dict[str, VerificationReport]]:
     """Verification times per data structure (Table 5.8)."""
-    reports = verify_all(scope or Scope(), backend=backend)
+    reports = verify_all(scope or Scope(), backend=backend,
+                         registry=registry)
     rows = []
     for name, report in reports.items():
         rows.append([
@@ -158,16 +164,17 @@ def table_5_09() -> str:
 
 # -- Table 5.10: inverse operations ------------------------------------------------
 
-def table_5_10() -> str:
-    """The eight inverse operations (Table 5.10)."""
+def table_5_10(registry=None) -> str:
+    """The registered inverse operations (Table 5.10's eight)."""
+    registry = _registry(registry)
     rows = []
-    for inv in INVERSES:
-        from ..specs import get_spec
-        op = get_spec(inv.family).operations[inv.op]
-        call = f"{'r = ' if op.result_sort is not None else ''}" \
-               f"s1.{inv.op}(" \
-               + ", ".join(p.name for p in op.params) + ")"
-        rows.append([inv.family, call, inv.render()])
+    for family in registry.families():
+        for inv in registry.inverses(family):
+            op = registry.spec(family).operations[inv.op]
+            call = f"{'r = ' if op.result_sort is not None else ''}" \
+                   f"s1.{inv.op}(" \
+                   + ", ".join(p.name for p in op.params) + ")"
+            rows.append([inv.family, call, inv.render()])
     headers = ["Data Structure", "Operation", "Inverse Operation"]
     return _format_table(headers, rows)
 

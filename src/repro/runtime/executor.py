@@ -21,8 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..eval.values import Record
-from ..impls import invoke, new_instance
-from ..specs import get_spec
+from ..impls import invoke
 from .gatekeeper import Gatekeeper, LoggedOperation
 from .transaction import Transaction, TxnStatus, UndoEntry, rollback
 
@@ -58,11 +57,14 @@ class SpeculativeExecutor:
 
     def __init__(self, ds_name: str, policy: str = "commutativity",
                  seed: int = 0, max_rounds: int = 10000,
-                 conflict_mode: str = "abort") -> None:
+                 conflict_mode: str = "abort", registry=None) -> None:
         if conflict_mode not in ("abort", "block"):
             raise ValueError(f"unknown conflict mode {conflict_mode!r}")
+        from ..api import resolve_registry
+        registry = resolve_registry(registry)
         self.ds_name = ds_name
-        self.spec = get_spec(ds_name)
+        self.registry = registry
+        self.spec = registry.spec(ds_name)
         self.policy = policy
         self.seed = seed
         self.max_rounds = max_rounds
@@ -75,8 +77,9 @@ class SpeculativeExecutor:
             -> ExecutionReport:
         """Execute the transaction ``programs`` to completion."""
         rng = random.Random(self.seed)
-        impl = new_instance(self.ds_name)
-        gatekeeper = Gatekeeper(self.ds_name, self.policy)
+        impl = self.registry.new_instance(self.ds_name)
+        gatekeeper = Gatekeeper(self.ds_name, self.policy,
+                                registry=self.registry)
         transactions = [Transaction(i, list(ops))
                         for i, ops in enumerate(programs)]
         report = ExecutionReport(ds_name=self.ds_name, policy=self.policy)
@@ -149,7 +152,7 @@ class SpeculativeExecutor:
     def _abort(self, txn: Transaction, impl: Any, gatekeeper: Gatekeeper,
                report: ExecutionReport) -> None:
         """Roll back a transaction's speculative effects and retry it."""
-        rollback(impl, self.ds_name, txn.undo_log)
+        rollback(impl, self.ds_name, txn.undo_log, registry=self.registry)
         gatekeeper.release(txn.txn_id)
         txn.reset_for_retry()
         report.aborts += 1
@@ -157,7 +160,7 @@ class SpeculativeExecutor:
     def _serial_replay(self, programs: list[list[tuple[str, tuple]]],
                        order: list[int]) -> Record:
         """Replay committed transactions serially in commit order."""
-        impl = new_instance(self.ds_name)
+        impl = self.registry.new_instance(self.ds_name)
         for txn_id in order:
             for op_name, args in programs[txn_id]:
                 invoke(impl, op_name, args)

@@ -23,11 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from ..commutativity.catalog import condition
 from ..commutativity.conditions import Kind
 from ..eval.interpreter import EvalContext, evaluate
 from ..eval.values import Record
-from ..specs import DataStructureSpec, get_spec
+from ..specs import DataStructureSpec
 
 POLICIES = ("commutativity", "read-write", "mutex")
 
@@ -49,11 +48,15 @@ class LoggedOperation:
 class Gatekeeper:
     """Admission control for operations on one shared data structure."""
 
-    def __init__(self, ds_name: str, policy: str = "commutativity") -> None:
+    def __init__(self, ds_name: str, policy: str = "commutativity",
+                 registry=None) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}")
+        from ..api import resolve_registry
+        registry = resolve_registry(registry)
         self.ds_name = ds_name
-        self.spec: DataStructureSpec = get_spec(ds_name)
+        self.registry = registry
+        self.spec: DataStructureSpec = registry.spec(ds_name)
         self.policy = policy
         self._log: list[LoggedOperation] = []
         self._ctx = EvalContext(observe=self.spec.observe)
@@ -83,7 +86,8 @@ class Gatekeeper:
         op2 = self.spec.operations[op_name]
         if self.policy == "read-write":
             return not (op1.mutator or op2.mutator)
-        cond = condition(self.ds_name, logged.op_name, op_name, Kind.BETWEEN)
+        cond = self.registry.condition(self.ds_name, logged.op_name,
+                                       op_name, Kind.BETWEEN)
         env: dict[str, Any] = {
             "s1": logged.before, "s2": current,
         }

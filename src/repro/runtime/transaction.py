@@ -12,8 +12,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..inverses.catalog import ArgKind, Guard, InverseSpec, inverse_for
-from ..specs import get_spec
+from ..inverses.catalog import ArgKind, Guard, InverseSpec
 
 
 class TxnStatus(enum.Enum):
@@ -63,14 +62,17 @@ class Transaction:
         self.status = TxnStatus.RUNNING
 
 
-def rollback(impl: Any, family: str, undo_log: list[UndoEntry]) -> None:
+def rollback(impl: Any, family: str, undo_log: list[UndoEntry],
+             registry=None) -> None:
     """Undo all logged mutations, most recent first, using the verified
     inverse operations of Table 5.10."""
-    spec = get_spec(family)
+    from ..api import resolve_registry
+    registry = resolve_registry(registry)
+    spec = registry.spec(family)
     for entry in reversed(undo_log):
         op = spec.operations[entry.op_name]
         base = op.base_name or op.name
-        inverse = inverse_for(family, base)
+        inverse = registry.inverse(family, base)
         _apply_inverse_concrete(impl, inverse, op, entry)
     undo_log.clear()
 

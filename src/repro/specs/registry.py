@@ -1,19 +1,20 @@
-"""Registry of the paper's data-structure specifications.
+"""Back-compat spec resolution over :data:`repro.api.DEFAULT_REGISTRY`.
 
 ListSet/HashSet share the set specification and AssociationList/HashTable
 share the map specification (Chapter 5: "Because they implement the same
 specification, they have the same commutativity conditions and inverse
 operations").
+
+The name -> spec mapping itself now lives in the pluggable registry
+(:mod:`repro.api`); this module keeps the historical entry points and the
+paper's family tables for callers that predate the registry.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-
-from . import accumulator, arraylist_spec, map_spec, set_spec
 from .interface import DataStructureSpec
 
-#: Data structure name -> specification family name.
+#: Data structure name -> specification family name (the paper's six).
 SPEC_FAMILIES = {
     "Accumulator": "Accumulator",
     "ListSet": "Set",
@@ -29,22 +30,10 @@ FAMILY_NAMES = ("Accumulator", "Set", "Map", "ArrayList")
 
 def get_spec(family: str) -> DataStructureSpec:
     """The (cached) specification for a family or data structure name."""
-    return _build_spec(SPEC_FAMILIES.get(family, family))
-
-
-@lru_cache(maxsize=None)
-def _build_spec(family: str) -> DataStructureSpec:
-    if family == "Accumulator":
-        return accumulator.make_spec()
-    if family == "Set":
-        return set_spec.make_spec()
-    if family == "Map":
-        return map_spec.make_spec()
-    if family == "ArrayList":
-        return arraylist_spec.make_spec()
-    raise KeyError(f"unknown data structure or family: {family!r}")
+    from ..api import DEFAULT_REGISTRY
+    return DEFAULT_REGISTRY.spec(family)
 
 
 def all_specs() -> dict[str, DataStructureSpec]:
-    """All four specification families."""
+    """All four built-in specification families."""
     return {name: get_spec(name) for name in FAMILY_NAMES}

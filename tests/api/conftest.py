@@ -1,0 +1,18 @@
+"""Fixtures for the registry/session API tests."""
+
+import pytest
+
+from repro.api import Registry
+from repro.eval import Scope
+
+from register_fixture import make_register_registry
+
+
+@pytest.fixture
+def register_registry() -> Registry:
+    return make_register_registry()
+
+
+@pytest.fixture
+def register_scope() -> Scope:
+    return Scope(objects=("a", "b", "c"))

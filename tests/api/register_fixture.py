@@ -1,0 +1,90 @@
+"""Shared helpers for the registry/session API tests: a tiny custom
+Register structure (single cell; ``write`` returns the overwritten
+value)."""
+
+from typing import Any, Iterator
+
+from repro.api import Registry
+from repro.commutativity import CommutativityCondition, Kind
+from repro.eval import Record, Scope
+from repro.inverses import Arg, Guard, InverseCall, InverseSpec
+from repro.logic.sorts import Sort
+from repro.specs.interface import (DataStructureSpec, Operation, Param,
+                                   parse_pre)
+
+STATE_FIELDS = {"value": Sort.OBJ}
+
+#: Sound-and-complete before conditions (valid for every kind because
+#: they only mention before-vocabulary variables).
+REGISTER_CONDITIONS = {
+    ("write", "write"): "v1 = v2 & s1.value = v1",
+    ("write", "read"): "s1.value = v1",
+    ("read", "write"): "s1.value = v2",
+    ("read", "read"): "true",
+}
+
+
+def _write(state: Record, args: tuple[Any, ...]) -> tuple[Record, Any]:
+    (v,) = args
+    return Record(value=v), state["value"]
+
+
+def _read(state: Record, args: tuple[Any, ...]) -> tuple[Record, Any]:
+    return state, state["value"]
+
+
+def _states(scope: Scope) -> Iterator[Record]:
+    for v in scope.objects:
+        yield Record(value=v)
+
+
+def _arguments(op: Operation, scope: Scope) -> Iterator[tuple[Any, ...]]:
+    if op.params:
+        for v in scope.objects:
+            yield (v,)
+    else:
+        yield ()
+
+
+def make_register_spec() -> DataStructureSpec:
+    params = (Param("v", Sort.OBJ),)
+    operations = {
+        "write": Operation(
+            name="write", params=params, result_sort=Sort.OBJ,
+            precondition=parse_pre("v ~= null", STATE_FIELDS, params,
+                                   {}, None),
+            semantics=_write, mutator=True),
+        "read": Operation(
+            name="read", params=(), result_sort=Sort.OBJ,
+            precondition=parse_pre("true", STATE_FIELDS, (), {}, None),
+            semantics=_read, mutator=False),
+    }
+    return DataStructureSpec(
+        name="Register", state_fields=dict(STATE_FIELDS),
+        principal_field=None, operations=operations,
+        initial_state=Record(value="init"),
+        invariant=lambda state: True,
+        states=_states, arguments=_arguments)
+
+
+def build_register_conditions(spec: DataStructureSpec) \
+        -> list[CommutativityCondition]:
+    return [CommutativityCondition(family="Register", m1=m1, m2=m2,
+                                   kind=kind, text=text, spec=spec)
+            for (m1, m2), text in REGISTER_CONDITIONS.items()
+            for kind in Kind]
+
+
+REGISTER_INVERSES = (InverseSpec(
+    family="Register", op="write", guard=Guard.NONE,
+    then=(InverseCall("write", (Arg.result(),)),)),)
+
+
+def make_register_registry() -> Registry:
+    """A fresh registry with the six built-ins plus a fully registered
+    Register (spec + conditions + inverse)."""
+    registry = Registry.with_builtins()
+    registry.register_spec("Register", make_register_spec)
+    registry.register_conditions("Register", build_register_conditions)
+    registry.register_inverses("Register", REGISTER_INVERSES)
+    return registry

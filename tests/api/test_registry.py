@@ -1,0 +1,162 @@
+"""Registry registration, alias resolution, caching isolation, and the
+back-compat wrappers over the default registry."""
+
+import pytest
+
+from repro.api import (DEFAULT_REGISTRY, DuplicateNameError, Registry,
+                       UnknownNameError)
+from repro.commutativity import Kind
+from repro.commutativity.catalog import (condition, conditions_for,
+                                         total_condition_count)
+from repro.inverses.catalog import inverse_for, inverses_for
+from repro.specs import get_spec
+
+from register_fixture import make_register_spec
+
+
+def test_default_registry_population():
+    assert DEFAULT_REGISTRY.names() == (
+        "Accumulator", "ListSet", "HashSet", "AssociationList",
+        "HashTable", "ArrayList")
+    assert DEFAULT_REGISTRY.families() == (
+        "Accumulator", "Set", "Map", "ArrayList")
+    assert DEFAULT_REGISTRY.total_condition_count() == 765
+
+
+def test_alias_resolution():
+    registry = Registry.with_builtins()
+    assert registry.family_of("HashSet") == "Set"
+    assert registry.family_of("Set") == "Set"
+    assert registry.spec("ListSet") is registry.spec("HashSet")
+    assert registry.spec("ListSet") is registry.spec("Set")
+    assert "HashSet" in registry and "BTree" not in registry
+
+
+def test_registration_basics():
+    registry = Registry()
+    registry.register_spec("Register", make_register_spec)
+    assert registry.names() == ("Register",)
+    assert registry.spec("Register").name == "Register"
+    # The spec is built once and cached per registry.
+    assert registry.spec("Register") is registry.spec("Register")
+
+
+def test_register_spec_accepts_instance():
+    registry = Registry()
+    spec = make_register_spec()
+    registry.register_spec("Register", spec)
+    assert registry.spec("Register") is spec
+
+
+def test_datastructure_decorator():
+    registry = Registry()
+
+    @registry.datastructure("Register")
+    def build():
+        return make_register_spec()
+
+    assert registry.names() == ("Register",)
+    assert registry.spec("Register").name == "Register"
+
+
+def test_duplicate_names_rejected():
+    registry = Registry()
+    registry.register_spec("Register", make_register_spec)
+    with pytest.raises(DuplicateNameError):
+        registry.register_spec("Register", make_register_spec)
+    registry2 = Registry.with_builtins()
+    with pytest.raises(DuplicateNameError):
+        registry2.register_spec("HashSet", make_register_spec)
+    with pytest.raises(DuplicateNameError):
+        registry2.register_alias("ListSet", "Set")
+    with pytest.raises(DuplicateNameError):
+        registry2.register_conditions("Set", lambda spec: [])
+    with pytest.raises(DuplicateNameError):
+        registry2.register_inverses("Set", [])
+    with pytest.raises(DuplicateNameError):
+        registry2.register_implementation("HashSet", object)
+
+
+def test_failed_registration_leaves_registry_untouched():
+    """A rejected register_spec must not half-register the family."""
+    registry = Registry.with_builtins()
+    before = registry.names()
+    with pytest.raises(DuplicateNameError):
+        registry.register_spec("Deque", make_register_spec,
+                               aliases=("MyDeque", "ArrayList"))
+    assert registry.names() == before
+    assert "Deque" not in registry and "MyDeque" not in registry
+    # A corrected retry now succeeds.
+    registry.register_spec("Deque", make_register_spec,
+                           aliases=("MyDeque",))
+    assert "MyDeque" in registry
+
+
+def test_inverses_for_unknown_name_is_empty():
+    """Historical contract: unknown names have no inverses."""
+    assert inverses_for("Stack") == []
+
+
+def test_alias_requires_known_family():
+    registry = Registry()
+    with pytest.raises(UnknownNameError):
+        registry.register_alias("MySet", "Set")
+
+
+def test_independent_instances_do_not_share_caches():
+    r1 = Registry.with_builtins()
+    r2 = Registry.with_builtins()
+    assert r1.spec("Set") is not r2.spec("Set")
+    c1 = r1.conditions("HashSet")
+    c2 = r2.conditions("HashSet")
+    assert c1[0] is not c2[0]
+    # Both catalogs embed their own registry's spec, not a global one.
+    assert c1[0].spec is r1.spec("Set")
+    assert c2[0].spec is r2.spec("Set")
+    assert r1.spec("Set") is not DEFAULT_REGISTRY.spec("Set")
+
+
+def test_unknown_names_raise_with_suggestions():
+    with pytest.raises(UnknownNameError) as excinfo:
+        DEFAULT_REGISTRY.spec("HashSte")
+    assert "HashSet" in excinfo.value.suggestions
+    assert isinstance(excinfo.value, KeyError)  # back-compat contract
+    assert isinstance(excinfo.value, ValueError)
+    with pytest.raises(UnknownNameError) as excinfo:
+        DEFAULT_REGISTRY.condition("HashSet", "bogus", "add", Kind.BETWEEN)
+    assert "operation" in str(excinfo.value)
+    with pytest.raises(UnknownNameError):
+        DEFAULT_REGISTRY.inverse("HashSet", "contains")
+    with pytest.raises(UnknownNameError):
+        DEFAULT_REGISTRY.implementation("Set")  # family has no impl
+
+
+def test_conditions_accept_literal_iterable(register_registry):
+    registry = Registry()
+    registry.register_spec("Register", make_register_spec)
+    registry.register_conditions(
+        "Register", register_registry.conditions("Register"))
+    assert len(registry.conditions("Register")) == 12
+
+
+def test_backcompat_wrappers_delegate_to_default_registry():
+    assert get_spec("HashSet") is DEFAULT_REGISTRY.spec("HashSet")
+    assert conditions_for("HashSet")[0] is \
+        DEFAULT_REGISTRY.conditions("HashSet")[0]
+    assert condition("HashSet", "contains", "add", Kind.BETWEEN) is \
+        DEFAULT_REGISTRY.condition("HashSet", "contains", "add",
+                                   Kind.BETWEEN)
+    assert total_condition_count() == 765
+    assert inverses_for("HashSet") == DEFAULT_REGISTRY.inverses("Set")
+    assert inverse_for("HashSet", "add") is \
+        DEFAULT_REGISTRY.inverse("Set", "add")
+
+
+def test_describe_rows(register_registry):
+    rows = {entry.name: entry for entry in register_registry.describe()}
+    assert rows["Register"].family == "Register"
+    assert rows["Register"].condition_count == 12
+    assert rows["Register"].inverse_count == 1
+    assert rows["Register"].implementation is None
+    assert rows["HashSet"].condition_count == 108
+    assert rows["HashSet"].implementation.__name__ == "HashSet"

@@ -1,0 +1,88 @@
+"""Session facade: the custom-structure end-to-end round trip and the
+pipeline entry points over the default registry."""
+
+import pytest
+
+from repro.api import Session, UnknownNameError
+from repro.commutativity import Kind
+
+from register_fixture import REGISTER_CONDITIONS
+
+
+def test_session_defaults_to_default_registry():
+    session = Session()
+    cond = session.condition("HashSet", "contains", "add", Kind.BETWEEN)
+    assert cond.text == "v1 ~= v2 | r1"
+    assert len(session.conditions("HashSet")) == 108
+    assert session.spec("HashSet").name == "Set"
+
+
+def test_custom_spec_round_trip(register_registry, register_scope):
+    """Registry.register_spec -> Session.verify/check_inverses, exactly
+    like a built-in."""
+    session = Session(registry=register_registry, scope=register_scope)
+    report = session.verify("Register")
+    assert report.all_verified
+    assert report.condition_count == 12
+
+    results = session.check_inverses("Register")
+    assert len(results) == 1
+    assert results[0].verified and results[0].cases > 0
+
+    cond = session.condition("Register", "write", "read", Kind.BEFORE)
+    assert cond.text == REGISTER_CONDITIONS[("write", "read")]
+
+
+def test_session_verify_builtin(tiny_scope):
+    session = Session(scope=tiny_scope)
+    report = session.verify("Accumulator")
+    assert report.all_verified and report.condition_count == 12
+
+
+def test_session_verify_all_subset(tiny_scope):
+    session = Session(scope=tiny_scope)
+    reports = session.verify_all(names=("Accumulator",))
+    assert set(reports) == {"Accumulator"}
+    assert reports["Accumulator"].all_verified
+
+
+def test_session_verify_all_includes_custom(register_registry,
+                                            register_scope):
+    session = Session(registry=register_registry, scope=register_scope)
+    reports = session.verify_all(names=("Accumulator", "Register"))
+    assert reports["Register"].all_verified
+
+
+def test_session_check_all_inverses(register_registry, register_scope):
+    session = Session(registry=register_registry, scope=register_scope)
+    results = session.check_inverses()
+    # Table 5.10's eight plus the Register's one.
+    assert len(results) == 9
+    assert all(r.verified for r in results)
+
+
+def test_session_synthesize(register_registry, register_scope):
+    session = Session(registry=register_registry, scope=register_scope)
+    result = session.synthesize(
+        "Register", "write", "read", Kind.BEFORE, ["s1.value = v1"])
+    assert result.succeeded
+    assert result.text == "s1.value = v1"
+
+
+def test_session_executor_for_builtin():
+    session = Session()
+    report = session.executor("HashSet").run(
+        [[("add", ("a",))], [("add", ("b",))]])
+    assert report.serializable
+
+
+def test_session_executor_without_implementation(register_registry):
+    session = Session(registry=register_registry)
+    with pytest.raises(UnknownNameError):
+        session.executor("Register")
+
+
+def test_session_unknown_structure():
+    session = Session()
+    with pytest.raises(UnknownNameError):
+        session.verify("BTree")

@@ -7,7 +7,7 @@ from repro.__main__ import main
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_public_names_importable():
@@ -52,6 +52,58 @@ def test_cli_tables_unknown(capsys):
 def test_cli_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("Accumulator", "ListSet", "HashSet", "AssociationList",
+                 "HashTable", "ArrayList"):
+        assert name in out
+    assert "765 conditions" in out
+    assert "8 inverse operations" in out
+
+
+def test_cli_list_sees_injected_registry(capsys):
+    from repro.api import Registry
+    from repro.specs.interface import DataStructureSpec
+
+    registry = Registry.with_builtins()
+    registry.register_spec(
+        "Register",
+        DataStructureSpec(
+            name="Register", state_fields={}, principal_field=None,
+            operations={}, initial_state=None, invariant=lambda s: True,
+            states=lambda scope: iter(()),
+            arguments=lambda op, scope: iter(())))
+    assert main(["list"], registry=registry) == 0
+    out = capsys.readouterr().out
+    assert "Register" in out
+    assert "7 structures" in out
+
+
+def test_cli_show_unknown_structure_is_friendly(capsys):
+    assert main(["show", "--name", "HashSte", "--m1", "add",
+                 "--m2", "add"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "HashSet" in err  # near-miss suggestion
+    assert "Traceback" not in err
+
+
+def test_cli_show_unknown_operation_is_friendly(capsys):
+    assert main(["show", "--name", "HashSet", "--m1", "bogus",
+                 "--m2", "add"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "bogus" in err
+    assert "Traceback" not in err
+
+
+def test_cli_verify_unknown_name_exits_2(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["verify", "--name", "BTree"])
+    assert excinfo.value.code == 2
 
 
 def test_end_to_end_workflow(tiny_scope):
