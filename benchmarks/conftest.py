@@ -3,11 +3,11 @@ figure of the paper's evaluation chapter and prints the rows."""
 
 import pytest
 
-from repro.eval import Scope
+from repro.eval import Scope, paper_scope as canonical_paper_scope
 
 
-@pytest.fixture(scope="session")
-def paper_scope() -> Scope:
-    """The verification scope used for headline numbers."""
-    return Scope(objects=("a", "b", "c"), values=("x", "y"),
-                 ints=(-2, -1, 0, 1, 2), max_seq_len=3)
+@pytest.fixture(scope="session", name="paper_scope")
+def paper_scope_fixture() -> Scope:
+    """The verification scope used for headline numbers — the canonical
+    :func:`repro.eval.paper_scope`, not an ad-hoc copy."""
+    return canonical_paper_scope()

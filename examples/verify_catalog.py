@@ -7,8 +7,8 @@ Run:  python examples/verify_catalog.py [--backend symbolic|bounded]
 
 import argparse
 
-from repro import Scope
-from repro.commutativity import total_condition_count, verify_all
+from repro.commutativity import total_condition_count
+from repro.eval import paper_scope
 from repro.inverses import check_all_inverses
 from repro.proof import check_all_scripts
 from repro.reporting import (table_5_01, table_5_02, table_5_03,
@@ -23,7 +23,7 @@ def main() -> None:
                         choices=("symbolic", "bounded"))
     parser.add_argument("--max-seq-len", type=int, default=3)
     args = parser.parse_args()
-    scope = Scope(max_seq_len=args.max_seq_len)
+    scope = paper_scope(max_seq_len=args.max_seq_len)
 
     print(f"catalog size: {total_condition_count()} conditions "
           f"(paper: 765)\n")

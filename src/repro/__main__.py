@@ -2,9 +2,12 @@
 
 Commands:
 
-- ``verify [--name NAME] [--backend symbolic|bounded]`` — verify the
-  commutativity conditions of one data structure (or all registered);
+- ``verify [--name NAME] [--backend symbolic|bounded] [--jobs N]
+  [--no-cache]`` — verify the commutativity conditions of one data
+  structure (or all registered) through the sharded engine;
 - ``inverses`` — verify the registered inverse operations (Table 5.10);
+- ``bench`` — time a cold verification sweep per structure, write
+  ``BENCH_verify.json``, and optionally gate against a baseline;
 - ``tables [--table N]`` — print the paper's evaluation tables;
 - ``show --name NAME --m1 OP --m2 OP [--kind K]`` — print a condition
   and its generated testing methods (Figure 2-2 style);
@@ -19,14 +22,17 @@ so structures registered by downstream code appear here like built-ins.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from .api import DEFAULT_REGISTRY, Registry, UnknownNameError
 from .commutativity import Kind, generate_methods
 from .commutativity.verifier import verify_all, verify_data_structure
-from .eval import Scope
+from .engine import ENGINE_VERSION, resolve_jobs
+from .eval import Scope, paper_scope
 from .inverses import check_all_inverses
-from .reporting.tables import TableIndex
+from .reporting.tables import TableIndex, task_timing_table
 
 #: Back-compat: the default registry's structure names.
 ALL_NAMES = DEFAULT_REGISTRY.names()
@@ -34,14 +40,21 @@ ALL_NAMES = DEFAULT_REGISTRY.names()
 
 def _cmd_verify(args: argparse.Namespace, registry: Registry) -> int:
     scope = Scope(max_seq_len=args.max_seq_len)
+    cache = not args.no_cache
     failed = 0
     if args.name:
         reports = {args.name: verify_data_structure(
-            args.name, scope, backend=args.backend, registry=registry)}
+            args.name, scope, backend=args.backend, registry=registry,
+            jobs=args.jobs, cache=cache)}
     else:
-        reports = verify_all(scope, backend=args.backend, registry=registry)
+        reports = verify_all(scope, backend=args.backend, registry=registry,
+                             jobs=args.jobs, cache=cache)
     for report in reports.values():
         print(report.summary())
+        if report.cache_hits:
+            print(f"   cache: {report.cache_hits} of "
+                  f"{len(report.task_timings)} task shards served from "
+                  f".repro-cache/")
         for failure in report.failures():
             failed += 1
             print("  ", failure.summary())
@@ -53,11 +66,120 @@ def _cmd_verify(args: argparse.Namespace, registry: Registry) -> int:
 def _cmd_inverses(args: argparse.Namespace, registry: Registry) -> int:
     scope = Scope(max_seq_len=args.max_seq_len)
     failed = 0
-    for result in check_all_inverses(scope, registry=registry):
+    for result in check_all_inverses(scope, registry=registry,
+                                     jobs=args.jobs,
+                                     cache=not args.no_cache):
         print(result.summary())
         if not result.verified:
             failed += 1
     return 1 if failed else 0
+
+
+#: Structures whose baseline time is below this floor are compared
+#: against the floor instead (micro-timings are pure noise, and the
+#: baseline was recorded on different hardware than CI runs on).
+BENCH_FLOOR_SECONDS = 0.1
+
+
+def _cmd_bench(args: argparse.Namespace, registry: Registry) -> int:
+    """Cold per-structure verification timings -> ``BENCH_verify.json``."""
+    scope = paper_scope(max_seq_len=args.max_seq_len)
+    start = time.perf_counter()
+    reports = verify_all(scope, backend=args.backend, registry=registry,
+                         jobs=args.jobs, cache=False)
+    wall = time.perf_counter() - start
+    payload = {
+        "schema": 1,
+        "engine_version": ENGINE_VERSION,
+        "backend": args.backend,
+        "jobs": resolve_jobs(args.jobs),
+        "scope": {"objects": list(scope.objects),
+                  "values": list(scope.values),
+                  "ints": list(scope.ints),
+                  "max_seq_len": scope.max_seq_len},
+        "wall_seconds": round(wall, 4),
+        "structures": {},
+    }
+    for name, report in reports.items():
+        slowest = report.slowest_task
+        payload["structures"][name] = {
+            "conditions": report.condition_count,
+            "methods": report.method_count,
+            "elapsed": round(report.elapsed, 4),
+            "tasks": len(report.task_timings),
+            "slowest_task": ({"label": slowest.label,
+                              "elapsed": round(slowest.elapsed, 4)}
+                             if slowest is not None else None),
+            "all_verified": report.all_verified,
+        }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"bench: {len(reports)} structures via {args.backend} backend, "
+          f"jobs={payload['jobs']}, wall {wall:.2f}s -> {args.output}")
+    print(task_timing_table(reports))
+    unverified = [n for n, r in reports.items() if not r.all_verified]
+    if unverified:
+        print(f"bench: FAILED obligations in {', '.join(unverified)}",
+              file=sys.stderr)
+        return 1
+    if args.baseline:
+        return _check_bench_baseline(payload, args.baseline,
+                                     args.max_regression)
+    return 0
+
+
+def _check_bench_baseline(payload: dict, baseline_path: str,
+                          max_regression: float) -> int:
+    """Fail when any structure regresses ``max_regression``x vs baseline."""
+    try:
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"bench: unreadable baseline {baseline_path}: {exc}",
+              file=sys.stderr)
+        return 2
+    for key in ("backend", "scope"):
+        recorded = baseline.get(key)
+        if recorded is not None and recorded != payload[key]:
+            print(f"bench: baseline {baseline_path} is incompatible: "
+                  f"its {key} is {recorded!r}, this run used "
+                  f"{payload[key]!r} (regenerate the baseline)",
+                  file=sys.stderr)
+            return 2
+    baseline_structures = baseline.get("structures", {})
+    regressions = []
+    for name, entry in baseline_structures.items():
+        measured = payload["structures"].get(name)
+        if measured is None:
+            # A structure the baseline gates must not silently vanish
+            # from the sweep (unregistered or renamed).
+            regressions.append(f"{name}: in baseline but missing from "
+                               f"this run")
+            continue
+        try:
+            recorded = float(entry["elapsed"])
+        except (KeyError, TypeError, ValueError):
+            print(f"bench: malformed baseline entry for {name} in "
+                  f"{baseline_path}", file=sys.stderr)
+            return 2
+        allowed = max_regression * max(recorded, BENCH_FLOOR_SECONDS)
+        if measured["elapsed"] > allowed:
+            regressions.append(
+                f"{name}: {measured['elapsed']:.3f}s > "
+                f"{max_regression:g}x baseline {recorded:.3f}s")
+    ungated = sorted(set(payload["structures"]) - set(baseline_structures))
+    if ungated:
+        print(f"bench: not in baseline (regenerate to gate them): "
+              f"{', '.join(ungated)}", file=sys.stderr)
+    if regressions:
+        print("bench: verification time regressions vs "
+              f"{baseline_path}:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"bench: within {max_regression:g}x of baseline {baseline_path}")
+    return 0
 
 
 def _cmd_tables(args: argparse.Namespace, registry: Registry) -> int:
@@ -92,22 +214,29 @@ def _cmd_show(args: argparse.Namespace, registry: Registry) -> int:
 
 
 def _cmd_list(args: argparse.Namespace, registry: Registry) -> int:
+    from .reporting.tables import _format_table
     headers = ["name", "family", "conditions", "inverses", "implementation"]
     rows = [[entry.name, entry.family, str(entry.condition_count),
              str(entry.inverse_count),
              entry.implementation.__name__ if entry.implementation else "-"]
             for entry in registry.describe()]
-    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
-              for i, h in enumerate(headers)]
-    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
-    for row in rows:
-        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    print(_format_table(headers, rows))
     inverse_total = sum(len(registry.inverses(family))
                         for family in registry.families())
     print(f"\n{len(rows)} structures, "
           f"{registry.total_condition_count()} conditions, "
           f"{inverse_total} inverse operations")
     return 0
+
+
+def _add_engine_options(parser: argparse.ArgumentParser,
+                        no_cache: bool = True) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: $REPRO_JOBS or 1; "
+                             "0 = all CPUs)")
+    if no_cache:
+        parser.add_argument("--no-cache", action="store_true",
+                            help="ignore and don't update .repro-cache/")
 
 
 def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
@@ -120,11 +249,28 @@ def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
     verify.add_argument("--backend", default="symbolic",
                         choices=("symbolic", "bounded"))
     verify.add_argument("--max-seq-len", type=int, default=3)
+    _add_engine_options(verify)
     verify.set_defaults(func=_cmd_verify)
 
     inverses = sub.add_parser("inverses", help="verify inverse operations")
     inverses.add_argument("--max-seq-len", type=int, default=3)
+    _add_engine_options(inverses)
     inverses.set_defaults(func=_cmd_inverses)
+
+    bench = sub.add_parser(
+        "bench", help="time a cold verification sweep per structure")
+    bench.add_argument("--backend", default="symbolic",
+                       choices=("symbolic", "bounded"))
+    bench.add_argument("--max-seq-len", type=int, default=3)
+    _add_engine_options(bench, no_cache=False)  # bench is always cold
+    bench.add_argument("--output", default="BENCH_verify.json",
+                       help="where to write the timing report")
+    bench.add_argument("--baseline", default=None,
+                       help="baseline BENCH_verify.json to gate against")
+    bench.add_argument("--max-regression", type=float, default=2.0,
+                       help="fail when a structure exceeds this multiple "
+                            "of its baseline time (default 2.0)")
+    bench.set_defaults(func=_cmd_bench)
 
     tables = sub.add_parser("tables", help="print the evaluation tables")
     tables.add_argument("--table", help="e.g. 5.2 (default: all)")

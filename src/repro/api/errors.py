@@ -33,13 +33,18 @@ class UnknownNameError(RegistryError, KeyError):
         self.candidates = tuple(str(c) for c in candidates)
         self.suggestions = difflib.get_close_matches(
             str(name), self.candidates, n=3, cutoff=0.5)
-        message = f"unknown {kind}: {name!r}"
+        self.message = f"unknown {kind}: {name!r}"
         if self.suggestions:
-            message += f" (did you mean: {', '.join(self.suggestions)}?)"
+            self.message += \
+                f" (did you mean: {', '.join(self.suggestions)}?)"
         elif self.candidates:
-            message += f" (choose from: {', '.join(sorted(self.candidates))})"
-        super().__init__(message)
+            self.message += \
+                f" (choose from: {', '.join(sorted(self.candidates))})"
+        # args must mirror the constructor signature so the exception
+        # survives pickling (worker processes re-raise it in the parent
+        # via cls(*args)).
+        super().__init__(kind, name, tuple(candidates))
 
     def __str__(self) -> str:
         # KeyError's __str__ reprs the argument; show the message as-is.
-        return self.args[0]
+        return self.message

@@ -81,11 +81,15 @@ class Registry:
         """
         names = tuple(aliases) or (family,)
         # Validate everything before the first mutation so a rejected
-        # registration leaves the registry untouched.
-        for name in {family, *names}:
-            if name in self._aliases or name in self._spec_builders:
+        # registration leaves the registry untouched — including
+        # duplicates *within* this call's alias list.
+        seen: set[str] = set()
+        for name in (family, *names):
+            if name in self._aliases or name in self._spec_builders \
+                    or (name in seen and name != family):
                 raise DuplicateNameError(
                     f"data structure {name!r} is already registered")
+            seen.add(name)
         builder = spec if callable(spec) else (lambda spec=spec: spec)
         self._spec_builders[family] = builder
         for name in names:

@@ -27,14 +27,32 @@ from .registry import Registry, _coerce_kind
 
 
 class Session:
-    """A registry + scope + backend bound into one pipeline object."""
+    """A registry + scope + backend bound into one pipeline object.
+
+    ``jobs`` and ``cache`` set the session-wide defaults for the sharded
+    verification engine (:mod:`repro.engine`): ``jobs=None`` honours the
+    ``REPRO_JOBS`` environment variable (serial otherwise, ``0`` = all
+    CPUs), and ``cache=True`` — the default — serves already-proven
+    obligations from the content-addressed ``.repro-cache/`` store.
+    Every verification call accepts per-call overrides.
+    """
 
     def __init__(self, registry: Registry | None = None,
                  scope: Scope | None = None,
-                 backend: str = "bounded") -> None:
+                 backend: str = "bounded",
+                 jobs: int | None = None,
+                 cache=True) -> None:
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self.scope = scope or Scope()
         self.backend = backend
+        self.jobs = jobs
+        self.cache = cache
+
+    def _jobs(self, jobs: int | None) -> int | None:
+        return jobs if jobs is not None else self.jobs
+
+    def _cache(self, cache):
+        return cache if cache is not None else self.cache
 
     # -- lookups -------------------------------------------------------------
 
@@ -54,30 +72,37 @@ class Session:
     # -- verification --------------------------------------------------------
 
     def verify(self, name: str, backend: str | None = None,
-               use_dynamic: bool = False):
+               use_dynamic: bool = False, jobs: int | None = None,
+               cache=None):
         """Verify every condition of one structure; a
         :class:`~repro.commutativity.verifier.VerificationReport`."""
         from ..commutativity.verifier import verify_data_structure
         return verify_data_structure(name, self.scope,
                                      backend=backend or self.backend,
                                      use_dynamic=use_dynamic,
-                                     registry=self.registry)
+                                     registry=self.registry,
+                                     jobs=self._jobs(jobs),
+                                     cache=self._cache(cache))
 
     def verify_all(self, names: Sequence[str] | None = None,
-                   backend: str | None = None):
-        """Verify every registered structure (or the ``names`` given)."""
+                   backend: str | None = None, jobs: int | None = None,
+                   cache=None):
+        """Verify every registered structure (or the ``names`` given),
+        sharded over ``jobs`` workers with cache-served obligations."""
         from ..commutativity.verifier import verify_all
         return verify_all(self.scope, backend=backend or self.backend,
-                          names=names, registry=self.registry)
+                          names=names, registry=self.registry,
+                          jobs=self._jobs(jobs), cache=self._cache(cache))
 
-    def check_inverses(self, name: str | None = None):
+    def check_inverses(self, name: str | None = None,
+                       jobs: int | None = None, cache=None):
         """Check Property 3 for one structure's inverses (or all)."""
-        from ..inverses.verifier import check_all_inverses, check_inverse
-        if name is None:
-            return check_all_inverses(self.scope, registry=self.registry)
-        return [check_inverse(name, inverse, self.scope,
-                              registry=self.registry)
-                for inverse in self.registry.inverses(name)]
+        from ..engine import run_inverse_verification
+        names = None if name is None else (name,)
+        return run_inverse_verification(self.scope, names=names,
+                                        registry=self.registry,
+                                        jobs=self._jobs(jobs),
+                                        cache=self._cache(cache))
 
     # -- synthesis -----------------------------------------------------------
 

@@ -21,10 +21,10 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from ..eval.enumeration import Scope
-from ..eval.interpreter import EvalContext, evaluate
+from ..eval.interpreter import EvalContext
 from ..eval.values import Record
 from ..specs.interface import DataStructureSpec, Operation
-from .conditions import CommutativityCondition, Kind
+from .conditions import CommutativityCondition
 
 
 @dataclass(frozen=True)
@@ -59,7 +59,12 @@ class CheckResult:
     condition: CommutativityCondition
     cases: int = 0
     counterexamples: list[Counterexample] = field(default_factory=list)
-    elapsed: float = 0.0
+    #: Wall time of the shard that produced this result.  Not part of
+    #: equality: two runs of the same obligation are the same result.
+    elapsed: float = field(default=0.0, compare=False)
+    #: Served from the engine's content-addressed result cache.  Excluded
+    #: from repr/eq so warm and cold reports stay byte-identical.
+    cached: bool = field(default=False, repr=False, compare=False)
 
     @property
     def verified(self) -> bool:

@@ -81,7 +81,7 @@ for _m1 in _READS:
 
 # -- add_at as first operation -------------------------------------------------
 _entry("add_at", "add_at",
-       _conj(f"i2 <= len(s1)", _ST_AA_AA))
+       _conj("i2 <= len(s1)", _ST_AA_AA))
 _entry("add_at", "get",
        _conj(_G_I2_LT_LEN, "at(ins(s1, i1, v1), i2) = at(s1, i2)"),
        ...,

@@ -18,10 +18,10 @@ import enum
 from dataclasses import dataclass
 from functools import cached_property
 
-from ..logic import parse_formula, pretty
+from ..logic import pretty
 from ..logic import terms as t
 from ..specs.interface import DataStructureSpec, Operation
-from .conditions import CommutativityCondition, Kind, condition_symbols
+from .conditions import CommutativityCondition, Kind
 
 
 class Direction(enum.Enum):

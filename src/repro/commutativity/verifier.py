@@ -8,21 +8,22 @@ Backends:
 - ``"symbolic"`` — the unbounded-base-state symbolic engine
   (:mod:`repro.solver.engine`), which mirrors the role Jahob's integrated
   provers play in the paper.
+
+Since the sharded-engine rewrite (:mod:`repro.engine`) both entry
+points expand into per-operation-pair task shards that can fan out over
+worker processes (``jobs``) and be served from a content-addressed
+result cache (``cache``); the defaults — serial, uncached — reproduce
+the historical behaviour exactly.  A report's ``elapsed`` is the sum of
+its task times, so it is deterministic across serial, parallel, and
+cache-served runs.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..eval.enumeration import Scope
-from .bounded import CheckResult, check_conditions
-from .conditions import CommutativityCondition
-
-
-def _registry(registry):
-    from ..api import resolve_registry
-    return resolve_registry(registry)
+from .bounded import CheckResult
 
 
 @dataclass
@@ -32,7 +33,13 @@ class VerificationReport:
     name: str
     backend: str
     results: list[CheckResult] = field(default_factory=list)
-    elapsed: float = 0.0
+    #: Sum of the report's task-shard times (deterministic across serial,
+    #: parallel, and cache-served runs).  Not part of equality.
+    elapsed: float = field(default=0.0, compare=False)
+    #: Per-shard timing/cache breakdown (engine metadata; excluded from
+    #: repr/eq so warm and cold reports stay byte-identical).
+    task_timings: list = field(default_factory=list, repr=False,
+                               compare=False)
 
     @property
     def condition_count(self) -> int:
@@ -51,6 +58,24 @@ class VerificationReport:
     def all_verified(self) -> bool:
         return self.verified_count == self.condition_count
 
+    @property
+    def cache_hits(self) -> int:
+        """Task shards answered from the result cache."""
+        return sum(1 for t in self.task_timings if t.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        """Task shards that actually ran this time."""
+        return sum(1 for t in self.task_timings if not t.cached)
+
+    @property
+    def slowest_task(self):
+        """The most expensive shard (a :class:`~repro.engine.TaskTiming`),
+        or ``None`` for an empty report."""
+        if not self.task_timings:
+            return None
+        return max(self.task_timings, key=lambda t: t.elapsed)
+
     def failures(self) -> list[CheckResult]:
         return [r for r in self.results if not r.verified]
 
@@ -62,49 +87,24 @@ class VerificationReport:
                 f"backend, {status}, {self.elapsed:.2f}s")
 
 
-def _group_by_pair(conditions: list[CommutativityCondition]) \
-        -> dict[tuple[str, str], list[CommutativityCondition]]:
-    groups: dict[tuple[str, str], list[CommutativityCondition]] = {}
-    for cond in conditions:
-        groups.setdefault((cond.m1, cond.m2), []).append(cond)
-    return groups
-
-
 def verify_data_structure(name: str, scope: Scope | None = None,
                           backend: str = "bounded",
                           use_dynamic: bool = False,
-                          registry=None) -> VerificationReport:
+                          registry=None, jobs: int | None = None,
+                          cache=False) -> VerificationReport:
     """Verify every commutativity condition of one data structure."""
-    scope = scope or Scope()
-    registry = _registry(registry)
-    spec = registry.spec(name)
-    conditions = registry.conditions(name)
-    report = VerificationReport(name=name, backend=backend)
-    start = time.perf_counter()
-    if backend == "bounded":
-        for group in _group_by_pair(conditions).values():
-            report.results.extend(
-                check_conditions(spec, group, scope, use_dynamic=use_dynamic))
-    elif backend == "symbolic":
-        from ..solver.engine import check_condition_symbolic
-        for cond in conditions:
-            report.results.append(
-                check_condition_symbolic(spec, cond, scope))
-    else:
-        raise ValueError(f"unknown backend {backend!r}")
-    report.elapsed = time.perf_counter() - start
-    return report
+    from ..engine import run_verification
+    return run_verification(scope, backend=backend, names=(name,),
+                            registry=registry, jobs=jobs, cache=cache,
+                            use_dynamic=use_dynamic)[name]
 
 
 def verify_all(scope: Scope | None = None, backend: str = "bounded",
                names: tuple[str, ...] | None = None,
-               registry=None) -> dict[str, VerificationReport]:
+               registry=None, jobs: int | None = None,
+               cache=False) -> dict[str, VerificationReport]:
     """Verify the full catalog for every registered data structure
     (Table 5.8 for the default registry's six)."""
-    registry = _registry(registry)
-    if names is None:
-        names = tuple(name for name in registry.names()
-                      if registry.has_conditions(name))
-    return {name: verify_data_structure(name, scope, backend,
-                                        registry=registry)
-            for name in names}
+    from ..engine import run_verification
+    return run_verification(scope, backend=backend, names=names,
+                            registry=registry, jobs=jobs, cache=cache)

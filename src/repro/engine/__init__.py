@@ -1,0 +1,35 @@
+"""The sharded verification engine.
+
+Verification is decomposed into independent, content-addressed proof
+obligations: a :class:`TaskPlanner` expands ``(structure, condition,
+backend, scope)`` into picklable :class:`VerifyTask` shards, a
+:class:`ParallelRunner` fans them out over a process pool (serial and
+deterministic at ``--jobs 1``), and a :class:`ResultCache` skips
+already-proven obligations across runs, persisting JSON under
+``.repro-cache/``.  :func:`run_verification` and
+:func:`run_inverse_verification` tie the three together and reassemble
+:class:`~repro.commutativity.verifier.VerificationReport` /
+:class:`~repro.inverses.verifier.InverseCheckResult` values identical
+to a serial uncached run.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .fingerprint import (ENGINE_VERSION, condition_fingerprint,
+                          inverse_fingerprint, spec_fingerprint, stable_hash,
+                          task_key)
+from .pipeline import run_inverse_verification, run_verification
+from .planner import TaskPlan, TaskPlanner
+from .runner import JOBS_ENV_VAR, ParallelRunner, resolve_jobs
+from .tasks import (ObligationOutcome, TaskOutcome, TaskTiming, VerifyTask,
+                    execute_task)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR", "ResultCache",
+    "ENGINE_VERSION", "condition_fingerprint", "inverse_fingerprint",
+    "spec_fingerprint", "stable_hash", "task_key",
+    "run_inverse_verification", "run_verification",
+    "TaskPlan", "TaskPlanner",
+    "JOBS_ENV_VAR", "ParallelRunner", "resolve_jobs",
+    "ObligationOutcome", "TaskOutcome", "TaskTiming", "VerifyTask",
+    "execute_task",
+]

@@ -1,0 +1,138 @@
+"""The content-addressed verification result cache.
+
+Already-proven obligations are skipped across runs: a task whose key
+(see :mod:`.fingerprint`) appears in the cache is answered from the
+persisted entry, restoring the case count and elapsed time recorded
+when it was actually proven — so a warm rerun produces byte-identical
+reports while paying only for fingerprinting.
+
+Only fully *verified* outcomes are cached.  Failures always re-run:
+they are exactly the obligations a developer is iterating on, and
+re-running them regenerates fresh counterexamples (which, holding
+arbitrary state values, would bloat the JSON anyway).
+
+Persistence is one JSON file, ``.repro-cache/verify.json`` by default.
+Corrupt files are treated as empty; entries recorded by a different
+:data:`~repro.engine.fingerprint.ENGINE_VERSION` are dropped at load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from .fingerprint import ENGINE_VERSION
+from .tasks import ObligationOutcome, TaskOutcome, VerifyTask
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: On-disk layout version of the cache file itself.
+SCHEMA = 1
+
+
+class ResultCache:
+    """A persistent key -> verified-outcome store."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.path = self.root / "verify.json"
+        self._entries: dict[str, dict[str, Any]] | None = None
+        self._dirty = False
+
+    @classmethod
+    def resolve(cls, cache) -> "ResultCache | None":
+        """Coerce a user-facing ``cache`` argument.
+
+        ``None``/``False`` disable caching; ``True`` uses the default
+        directory; a path selects that directory; a :class:`ResultCache`
+        is used as-is.
+        """
+        if cache is None or cache is False:
+            return None
+        if cache is True:
+            return cls()
+        if isinstance(cache, ResultCache):
+            return cache
+        return cls(cache)
+
+    # -- persistence ---------------------------------------------------------
+
+    def _load(self) -> dict[str, dict[str, Any]]:
+        if self._entries is not None:
+            return self._entries
+        entries: dict[str, dict[str, Any]] = {}
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                data = json.load(handle)
+            if isinstance(data, dict) and data.get("schema") == SCHEMA:
+                raw = data.get("entries", {})
+                if isinstance(raw, dict):
+                    entries = {
+                        key: entry for key, entry in raw.items()
+                        if isinstance(entry, dict)
+                        and entry.get("engine_version") == ENGINE_VERSION}
+        except (OSError, ValueError):
+            entries = {}
+        self._entries = entries
+        return entries
+
+    def save(self) -> None:
+        """Persist new entries (atomic rename; no-op when clean)."""
+        if not self._dirty or self._entries is None:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"schema": SCHEMA, "entries": self._entries},
+                      handle, indent=1, sort_keys=True)
+        os.replace(tmp, self.path)
+        self._dirty = False
+
+    # -- lookup / store ------------------------------------------------------
+
+    def get(self, task: VerifyTask,
+            expected_results: int | None = None) -> TaskOutcome | None:
+        """The cached outcome for ``task``, or ``None`` on a miss.
+
+        ``expected_results`` guards reassembly: an entry whose result
+        list doesn't match the task's obligation count (truncated write,
+        hand edit) is treated as a miss rather than silently shrinking
+        the report.
+        """
+        entry = self._load().get(task.key)
+        if entry is None:
+            return None
+        try:
+            results = tuple(
+                ObligationOutcome(cases=int(r["cases"]),
+                                  elapsed=float(r["elapsed"]))
+                for r in entry["results"])
+            if expected_results is not None \
+                    and len(results) != expected_results:
+                return None
+            return TaskOutcome(index=task.index,
+                               elapsed=float(entry["elapsed"]),
+                               results=results, cached=True)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, task: VerifyTask, outcome: TaskOutcome) -> None:
+        """Record a fully verified outcome (failures are never cached)."""
+        if not outcome.verified or outcome.cached:
+            return
+        self._load()[task.key] = {
+            "engine_version": ENGINE_VERSION,
+            "label": task.label,
+            "kind": task.kind,
+            "backend": task.backend,
+            "elapsed": outcome.elapsed,
+            "results": [{"cases": r.cases, "elapsed": r.elapsed}
+                        for r in outcome.results],
+        }
+        self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._load())

@@ -1,0 +1,109 @@
+"""Expand verification requests into independent task shards.
+
+The :class:`TaskPlanner` turns ``(structure, condition, backend,
+scope)`` into :class:`~repro.engine.tasks.VerifyTask` shards — one per
+operation *pair* for commutativity (the pair's before/between/after
+conditions share case enumeration) and one per catalog entry for
+inverses — each stamped with its content-address key.  The resulting
+:class:`TaskPlan` keeps the parent-side payloads (condition and inverse
+objects, which are not picklable) so reports can be reassembled in
+deterministic catalog order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..eval.enumeration import Scope
+from .fingerprint import (ENGINE_VERSION, condition_fingerprint,
+                          inverse_fingerprint, spec_fingerprint, task_key)
+from .tasks import BACKENDS, COMMUTATIVITY, INVERSE, VerifyTask
+
+
+@dataclass
+class TaskPlan:
+    """Tasks plus the parent-side payloads to reassemble results."""
+
+    tasks: list[VerifyTask] = field(default_factory=list)
+    #: Task index -> tuple of conditions (commutativity) or the
+    #: :class:`~repro.inverses.catalog.InverseSpec` (inverse).
+    payloads: dict[int, Any] = field(default_factory=dict)
+    #: Structure name -> its task indexes, in catalog order.
+    structure_tasks: dict[str, list[int]] = field(default_factory=dict)
+
+    def task(self, index: int) -> VerifyTask:
+        return self.tasks[index]
+
+
+class TaskPlanner:
+    """Expand structures into content-addressed verification shards."""
+
+    def __init__(self, registry=None) -> None:
+        from ..api import resolve_registry
+        self.registry = resolve_registry(registry)
+        self._spec_fps: dict[str, dict[str, Any]] = {}
+
+    def _spec_fp(self, name: str) -> dict[str, Any]:
+        family = self.registry.family_of(name)
+        if family not in self._spec_fps:
+            self._spec_fps[family] = spec_fingerprint(
+                self.registry.spec(family))
+        return self._spec_fps[family]
+
+    # -- commutativity -------------------------------------------------------
+
+    def plan_verification(self, names: Sequence[str], scope: Scope,
+                          backend: str,
+                          use_dynamic: bool = False) -> TaskPlan:
+        """One task per (structure, operation pair)."""
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}")
+        plan = TaskPlan()
+        for name in dict.fromkeys(names):  # dedupe, preserving order
+            indexes = plan.structure_tasks.setdefault(name, [])
+            for pair, conditions in self._pair_groups(name).items():
+                index = len(plan.tasks)
+                key = task_key(
+                    kind=COMMUTATIVITY, structure=name, backend=backend,
+                    scope=scope, spec_fp=self._spec_fp(name),
+                    obligations=[condition_fingerprint(c)
+                                 for c in conditions],
+                    use_dynamic=use_dynamic,
+                    engine_version=ENGINE_VERSION)
+                plan.tasks.append(VerifyTask(
+                    index=index, kind=COMMUTATIVITY, structure=name,
+                    backend=backend, scope=scope, pair=pair,
+                    use_dynamic=use_dynamic, key=key))
+                plan.payloads[index] = tuple(conditions)
+                indexes.append(index)
+        return plan
+
+    def _pair_groups(self, name: str) -> dict[tuple[str, str], list]:
+        groups: dict[tuple[str, str], list] = {}
+        for cond in self.registry.conditions(name):
+            groups.setdefault((cond.m1, cond.m2), []).append(cond)
+        return groups
+
+    # -- inverses ------------------------------------------------------------
+
+    def plan_inverses(self, names: Sequence[str], scope: Scope) -> TaskPlan:
+        """One task per registered inverse operation."""
+        plan = TaskPlan()
+        for name in dict.fromkeys(names):  # dedupe, preserving order
+            indexes = plan.structure_tasks.setdefault(name, [])
+            for position, inverse in enumerate(self.registry.inverses(name)):
+                index = len(plan.tasks)
+                key = task_key(
+                    kind=INVERSE, structure=name, backend="bounded",
+                    scope=scope, spec_fp=self._spec_fp(name),
+                    obligations=inverse_fingerprint(inverse),
+                    engine_version=ENGINE_VERSION)
+                plan.tasks.append(VerifyTask(
+                    index=index, kind=INVERSE, structure=name,
+                    backend="bounded", scope=scope,
+                    inverse_index=position, inverse_op=inverse.op,
+                    key=key))
+                plan.payloads[index] = inverse
+                indexes.append(index)
+        return plan

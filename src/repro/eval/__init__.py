@@ -3,13 +3,14 @@
 from .values import (FMap, Record, Obj, seq_index_of, seq_last_index_of,
                      seq_insert, seq_remove, seq_update)
 from .interpreter import EvalContext, EvalError, evaluate
-from .enumeration import (Scope, subsets, partial_maps, sequences,
-                          argument_tuples)
+from .enumeration import (Scope, paper_scope, subsets, partial_maps,
+                          sequences, argument_tuples)
 
 __all__ = [
     "FMap", "Record", "Obj",
     "seq_index_of", "seq_last_index_of", "seq_insert", "seq_remove",
     "seq_update",
     "EvalContext", "EvalError", "evaluate",
-    "Scope", "subsets", "partial_maps", "sequences", "argument_tuples",
+    "Scope", "paper_scope", "subsets", "partial_maps", "sequences",
+    "argument_tuples",
 ]

@@ -35,6 +35,23 @@ class Scope:
                      ints=(-1, 0, 1), max_seq_len=2)
 
 
+def paper_scope(max_seq_len: int | None = None) -> Scope:
+    """The canonical scope behind the paper's headline numbers.
+
+    Three objects, two map values, integer increments in ``[-2, 2]``,
+    and ArrayList states up to length three — the configuration every
+    table/benchmark (Tables 5.1-5.10) and the ``bench`` CLI use.
+    ``max_seq_len`` optionally overrides the ArrayList bound (the one
+    knob the evaluation varies).
+    """
+    scope = Scope(objects=("a", "b", "c"), values=("x", "y"),
+                  ints=(-2, -1, 0, 1, 2), max_seq_len=3)
+    if max_seq_len is not None:
+        scope = Scope(objects=scope.objects, values=scope.values,
+                      ints=scope.ints, max_seq_len=max_seq_len)
+    return scope
+
+
 def subsets(objects: tuple[str, ...]) -> Iterator[frozenset[str]]:
     """All subsets of ``objects``."""
     for r in range(len(objects) + 1):

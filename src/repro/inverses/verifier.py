@@ -17,7 +17,7 @@ from typing import Any
 from ..eval.enumeration import Scope
 from ..eval.values import Record
 from ..specs import DataStructureSpec
-from .catalog import Arg, ArgKind, Guard, InverseCall, InverseSpec
+from .catalog import ArgKind, Guard, InverseCall, InverseSpec
 
 
 def _registry(registry):
@@ -83,7 +83,12 @@ class InverseCheckResult:
     inverse: InverseSpec
     cases: int = 0
     counterexamples: list[InverseCounterexample] = field(default_factory=list)
-    elapsed: float = 0.0
+    #: Wall time of the shard that produced this result.  Not part of
+    #: equality: two runs of the same obligation are the same result.
+    elapsed: float = field(default=0.0, compare=False)
+    #: Served from the engine's content-addressed result cache.  Excluded
+    #: from repr/eq so warm and cold results stay byte-identical.
+    cached: bool = field(default=False, repr=False, compare=False)
 
     @property
     def verified(self) -> bool:
@@ -129,14 +134,15 @@ def check_inverse(family: str, inverse: InverseSpec,
     return result
 
 
-def check_all_inverses(scope: Scope | None = None, registry=None) \
+def check_all_inverses(scope: Scope | None = None, registry=None,
+                       jobs: int | None = None, cache=False) \
         -> list[InverseCheckResult]:
     """Check every registered inverse testing method (Table 5.10's eight
-    for the default registry)."""
-    registry = _registry(registry)
-    return [check_inverse(family, inv, scope, registry=registry)
-            for family in registry.families()
-            for inv in registry.inverses(family)]
+    for the default registry) through the sharded engine: one task per
+    inverse, optionally parallel (``jobs``) and cache-served (``cache``)."""
+    from ..engine import run_inverse_verification
+    return run_inverse_verification(scope, registry=registry, jobs=jobs,
+                                    cache=cache)
 
 
 @dataclass
@@ -180,7 +186,7 @@ class InverseTestingMethod:
                 c.render("s") for c in self.inverse.els) + ";"
             undo = (f"    if (r != null) {{ {then_text} }} "
                     f"else {{ {els_text} }}")
-        pre_parts = [f"s ~= null"]
+        pre_parts = ["s ~= null"]
         for p in op.params:
             if p.sort.value == "obj":
                 pre_parts.append(f"{p.name} ~= null")

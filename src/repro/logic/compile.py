@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping
 
 from ..eval.interpreter import EvalContext, EvalError
-from ..eval.values import (FMap, Record, seq_index_of, seq_insert,
+from ..eval.values import (seq_index_of, seq_insert,
                            seq_last_index_of, seq_remove, seq_update)
 from . import terms as t
 from .sorts import Sort

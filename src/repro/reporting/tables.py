@@ -118,19 +118,30 @@ PAPER_TIMES = {
 
 
 def table_5_08(scope: Scope | None = None, backend: str = "symbolic",
-               registry=None) \
+               registry=None, jobs: int | None = None, cache=False) \
         -> tuple[str, dict[str, VerificationReport]]:
-    """Verification times per data structure (Table 5.8)."""
+    """Verification times per data structure (Table 5.8).
+
+    ``jobs``/``cache`` pass through to the sharded engine; the table
+    gains per-structure shard counts, cache hit/miss columns, and the
+    slowest shard so parallel runs can be load-balanced by eye.
+    """
     reports = verify_all(scope or Scope(), backend=backend,
-                         registry=registry)
+                         registry=registry, jobs=jobs, cache=cache)
     rows = []
     for name, report in reports.items():
+        slowest = report.slowest_task
+        paper = PAPER_TIMES.get(name)
         rows.append([
             name,
             str(report.condition_count),
             str(report.method_count),
             f"{report.elapsed:.2f}s",
-            f"{PAPER_TIMES[name]:.1f}s",
+            f"{paper:.1f}s" if paper is not None else "-",
+            str(len(report.task_timings)),
+            f"{report.cache_hits}/{report.cache_misses}",
+            (f"{slowest.label} ({slowest.elapsed:.2f}s)"
+             if slowest is not None else "-"),
             "yes" if report.all_verified else "NO",
         ])
     total_methods = sum(r.method_count for r in reports.values())
@@ -138,10 +149,28 @@ def table_5_08(scope: Scope | None = None, backend: str = "symbolic",
                                   for r in reports.values())),
                  str(total_methods),
                  f"{sum(r.elapsed for r in reports.values()):.2f}s",
-                 f"{sum(PAPER_TIMES.values()):.1f}s", ""])
+                 f"{sum(PAPER_TIMES.values()):.1f}s",
+                 str(sum(len(r.task_timings) for r in reports.values())),
+                 f"{sum(r.cache_hits for r in reports.values())}"
+                 f"/{sum(r.cache_misses for r in reports.values())}",
+                 "", ""])
     headers = ["Data Structure", "conditions", "methods",
-               f"measured ({backend})", "paper (Jahob)", "all verified"]
+               f"measured ({backend})", "paper (Jahob)", "tasks",
+               "cache h/m", "slowest shard", "all verified"]
     return _format_table(headers, rows), reports
+
+
+def task_timing_table(reports: dict[str, VerificationReport],
+                      limit: int = 10) -> str:
+    """The ``limit`` slowest task shards across a set of reports."""
+    timings = [t for report in reports.values()
+               for t in report.task_timings]
+    timings.sort(key=lambda t: t.elapsed, reverse=True)
+    rows = [[t.label, t.backend, f"{t.elapsed:.3f}s",
+             "hit" if t.cached else "miss"]
+            for t in timings[:limit]]
+    return _format_table(["task shard", "backend", "elapsed", "cache"],
+                         rows)
 
 
 # -- Table 5.9: proof-language command counts ------------------------------------

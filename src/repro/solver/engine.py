@@ -32,8 +32,7 @@ from ..commutativity.bounded import CheckResult, Counterexample
 from ..commutativity.conditions import CommutativityCondition
 from ..eval.enumeration import Scope
 from ..eval.interpreter import EvalContext, evaluate
-from ..eval.values import (FMap, Record, seq_index_of, seq_insert,
-                           seq_last_index_of, seq_remove, seq_update)
+from ..eval.values import FMap, Record
 from ..specs.interface import DataStructureSpec, Operation
 from .partition import partitions
 from .symbolic import SymInt, SymMap, SymSet

@@ -13,7 +13,7 @@ suite, mirroring the paper's reliance on *verified* implementations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 from ..eval.enumeration import Scope

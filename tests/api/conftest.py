@@ -8,6 +8,14 @@ from repro.eval import Scope
 from register_fixture import make_register_registry
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Session() caches to ./.repro-cache by default; run each API test
+    in its own directory so verification always executes fresh and the
+    repo root stays clean."""
+    monkeypatch.chdir(tmp_path)
+
+
 @pytest.fixture
 def register_registry() -> Registry:
     return make_register_registry()

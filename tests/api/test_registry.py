@@ -160,3 +160,14 @@ def test_describe_rows(register_registry):
     assert rows["Register"].implementation is None
     assert rows["HashSet"].condition_count == 108
     assert rows["HashSet"].implementation.__name__ == "HashSet"
+
+
+def test_duplicate_alias_within_one_call_leaves_registry_untouched():
+    registry = Registry.with_builtins()
+    with pytest.raises(DuplicateNameError):
+        registry.register_spec("Cell", make_register_spec,
+                               aliases=("X", "X"))
+    assert "Cell" not in registry and "X" not in registry
+    # A corrected retry succeeds (no half-registered leftovers).
+    registry.register_spec("Cell", make_register_spec, aliases=("X",))
+    assert "X" in registry

@@ -1,0 +1,25 @@
+"""Engine test fixtures: reuse the custom Register structure of the
+API tests so the sharded engine is exercised against a non-default,
+closure-holding (unpicklable) registry too."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "api"))
+
+from register_fixture import make_register_registry  # noqa: E402
+
+from repro.api import Registry  # noqa: E402
+from repro.eval import Scope  # noqa: E402
+
+
+@pytest.fixture
+def register_registry() -> Registry:
+    return make_register_registry()
+
+
+@pytest.fixture
+def register_scope() -> Scope:
+    return Scope(objects=("a", "b", "c"))

@@ -1,0 +1,110 @@
+"""Parallel execution: identical results to serial runs, jobs
+resolution, and the custom-registry fork path."""
+
+import pytest
+
+from repro.api import Session
+from repro.commutativity.verifier import verify_all, verify_data_structure
+from repro.engine import ParallelRunner, TaskPlanner, resolve_jobs
+from repro.engine.runner import JOBS_ENV_VAR, _fork_available
+from repro.eval import Scope
+from repro.inverses.verifier import check_all_inverses
+
+SCOPE = Scope(objects=("a", "b"), max_seq_len=2)
+
+
+@pytest.mark.parametrize("backend", ["bounded", "symbolic"])
+def test_parallel_equals_serial(backend):
+    serial = verify_data_structure("ListSet", SCOPE, backend=backend,
+                                   jobs=1)
+    parallel = verify_data_structure("ListSet", SCOPE, backend=backend,
+                                     jobs=2)
+    assert serial == parallel
+    assert serial.all_verified
+    assert [r.condition.text for r in serial.results] \
+        == [r.condition.text for r in parallel.results]
+
+
+def test_parallel_equals_serial_on_failures(register_scope):
+    """Counterexamples cross the process boundary intact."""
+    import register_fixture
+    from repro.api import Registry
+    from repro.commutativity import CommutativityCondition, Kind
+
+    registry = Registry.with_builtins()
+    registry.register_spec("Register", register_fixture.make_register_spec)
+
+    def build(spec):
+        return [CommutativityCondition(
+            family="Register", m1=m1, m2=m2, kind=Kind.BEFORE,
+            text="true", spec=spec)
+            for (m1, m2) in (("write", "write"), ("write", "read"))]
+
+    registry.register_conditions("Register", build)
+    serial = verify_data_structure("Register", register_scope,
+                                   registry=registry, jobs=1)
+    parallel = verify_data_structure("Register", register_scope,
+                                     registry=registry, jobs=2)
+    assert not serial.all_verified
+    assert serial == parallel
+    assert [r.counterexamples for r in serial.results] \
+        == [r.counterexamples for r in parallel.results]
+
+
+@pytest.mark.skipif(not _fork_available(),
+                    reason="custom registries parallelize via fork")
+def test_custom_registry_parallelizes_via_fork(register_registry,
+                                               register_scope):
+    session = Session(registry=register_registry, scope=register_scope,
+                      cache=False)
+    serial = session.verify("Register", jobs=1)
+    parallel = session.verify("Register", jobs=2)
+    assert serial == parallel and serial.all_verified
+
+
+def test_verify_all_parallel_across_structures():
+    serial = verify_all(SCOPE, backend="symbolic",
+                        names=("Accumulator", "ListSet"), jobs=1)
+    parallel = verify_all(SCOPE, backend="symbolic",
+                          names=("Accumulator", "ListSet"), jobs=2)
+    assert set(serial) == set(parallel)
+    for name in serial:
+        assert serial[name] == parallel[name]
+
+
+def test_duplicate_names_are_deduplicated():
+    reports = verify_all(SCOPE, names=("Accumulator", "Accumulator"))
+    assert reports["Accumulator"].condition_count == 12
+    from repro.engine import run_inverse_verification
+    results = run_inverse_verification(SCOPE, names=("Set", "Set"))
+    assert len(results) == 2  # add and remove, once each
+
+
+def test_inverses_parallel_equals_serial():
+    assert check_all_inverses(SCOPE, jobs=1) \
+        == check_all_inverses(SCOPE, jobs=2)
+
+
+def test_resolve_jobs_env(monkeypatch):
+    monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(3) == 3
+    monkeypatch.setenv(JOBS_ENV_VAR, "2")
+    assert resolve_jobs(None) == 2
+    assert resolve_jobs(1) == 1  # explicit beats the environment
+    monkeypatch.setenv(JOBS_ENV_VAR, "not-a-number")
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(0) >= 1  # 0 = all CPUs
+
+
+def test_runner_serial_for_single_task():
+    plan = TaskPlanner().plan_verification(("Accumulator",), SCOPE,
+                                           "bounded")
+    single = [plan.tasks[0]]
+    outcomes = ParallelRunner(jobs=8).run(single)
+    assert len(outcomes) == 1 and outcomes[0].verified
+
+
+def test_unknown_backend_rejected_before_running():
+    with pytest.raises(ValueError):
+        verify_data_structure("ListSet", SCOPE, backend="jahob", jobs=4)

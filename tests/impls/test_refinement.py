@@ -10,7 +10,7 @@ from hypothesis import given, settings, strategies as st
 from repro.eval import Scope
 from repro.impls import (IMPLEMENTATIONS, build_from_state, check_refinement,
                          invoke, new_instance)
-from repro.specs import PreconditionError, get_spec
+from repro.specs import get_spec
 
 ALL_NAMES = tuple(IMPLEMENTATIONS)
 

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.eval import Scope
 from repro.impls import new_instance
-from repro.inverses import (INVERSES, Guard, InverseError, InverseSpec,
+from repro.inverses import (INVERSES, Guard, InverseSpec,
                             InverseCall, Arg, apply_inverse,
                             check_all_inverses, check_inverse,
                             generate_inverse_methods, inverse_for,

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.logic import parse_formula, parse_term, pretty
+from repro.logic import parse_formula, pretty
 from repro.logic import terms as t
 from repro.logic.sorts import Sort
 from repro.logic.symbols import SymbolTable

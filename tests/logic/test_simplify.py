@@ -63,7 +63,6 @@ def test_nnf_equivalence_and_shape(text):
 
 
 def test_nnf_pushes_through_quantifiers():
-    formula = f("~(p & q)")
     table = SymbolTable(vars={"y": Sort.INT})
     q = parse_formula("~(ALL i. i < y)", table)
     normal = nnf(q)

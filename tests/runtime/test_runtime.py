@@ -5,9 +5,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.eval import Record
-from repro.impls import new_instance
-from repro.runtime import (Gatekeeper, LoggedOperation, SpeculativeExecutor,
-                           TxnStatus)
+from repro.runtime import (Gatekeeper, LoggedOperation,
+                           SpeculativeExecutor)
 
 
 def _logged(txn_id, op, args, result, before):

@@ -48,7 +48,8 @@ def test_simple_implication_chain():
 def _pigeonhole(holes: int) -> SatSolver:
     """holes+1 pigeons into `holes` holes — classically UNSAT."""
     pigeons = holes + 1
-    var = lambda p, h: p * holes + h + 1
+    def var(p, h):
+        return p * holes + h + 1
     s = SatSolver()
     for p in range(pigeons):
         s.add_clause([var(p, h) for h in range(holes)])
@@ -66,7 +67,8 @@ def test_pigeonhole_unsat():
 def test_pigeonhole_relaxed_sat():
     # holes pigeons into holes holes is satisfiable.
     holes = 4
-    var = lambda p, h: p * holes + h + 1
+    def var(p, h):
+        return p * holes + h + 1
     s = SatSolver()
     for p in range(holes):
         s.add_clause([var(p, h) for h in range(holes)])
@@ -99,7 +101,7 @@ def test_enumerate_models():
 def _brute_force_sat(clauses, num_vars):
     for bits in itertools.product((False, True), repeat=num_vars):
         assignment = {v + 1: bits[v] for v in range(num_vars)}
-        if all(any(assignment[abs(l)] == (l > 0) for l in clause)
+        if all(any(assignment[abs(lit)] == (lit > 0) for lit in clause)
                for clause in clauses):
             return True
     return False
@@ -122,5 +124,5 @@ def test_agrees_with_brute_force(clauses):
     if result.satisfiable:
         # The returned model must actually satisfy every clause.
         model = {v: result.model.get(v, False) for v in range(1, 6)}
-        assert all(any(model[abs(l)] == (l > 0) for l in clause)
+        assert all(any(model[abs(lit)] == (lit > 0) for lit in clause)
                    for clause in clauses)

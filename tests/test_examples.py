@@ -1,18 +1,28 @@
 """The example applications must stay runnable (deliverable smoke tests)."""
 
+import os
 import pathlib
 import subprocess
 import sys
+import tempfile
 
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 
 def _run(script: str) -> subprocess.CompletedProcess:
-    return subprocess.run(
-        [sys.executable, str(EXAMPLES / script)],
-        capture_output=True, text=True, timeout=300)
+    # A scratch cwd: examples using Session write ./.repro-cache by
+    # default, which must not land in (or be served from) the repo root.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    with tempfile.TemporaryDirectory() as scratch:
+        return subprocess.run(
+            [sys.executable, str(EXAMPLES / script)],
+            capture_output=True, text=True, timeout=300,
+            cwd=scratch, env=env)
 
 
 def test_quickstart_runs():

@@ -6,6 +6,14 @@ import repro
 from repro.__main__ import main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """CLI verify/inverses cache to ./.repro-cache by default; keep each
+    test's cache in its own directory so runs stay fresh and the repo
+    root stays clean."""
+    monkeypatch.chdir(tmp_path)
+
+
 def test_version():
     assert repro.__version__ == "1.1.0"
 
