@@ -1,0 +1,53 @@
+"""Workloads + throughput: measuring how much concurrency each
+conflict-detection policy admits.
+
+The paper's claim (Chapter 1) is quantitative: verified semantic
+commutativity conditions admit far more concurrency than read/write
+conflict detection, and verified inverses make exploiting it safe.
+This example generates seeded, deterministic workloads (op-mix profile
+x key distribution) over a shared key space, sweeps them through the
+speculative executor under all three gatekeeper policies, and prints
+the policy-comparison table — then re-runs one workload through the
+batched multi-worker executor to show the same programs surviving a
+genuinely nondeterministic interleaving.
+
+Run:  python examples/workload_throughput.py
+"""
+
+from repro.api import Session
+from repro.reporting import policy_comparison_table
+from repro.workloads import DEFAULT_WORKLOADS, ThroughputHarness
+
+# The canonical sweep specs, so the printed rows cross-reference the
+# identically-labelled entries in BENCH_runtime.json.
+WORKLOADS = DEFAULT_WORKLOADS[:2]
+
+
+def main() -> None:
+    harness = ThroughputHarness()
+    runs = harness.sweep(structures=("HashSet", "HashTable", "ArrayList"),
+                         workloads=WORKLOADS)
+    for run in runs:
+        assert run.serializable, run.summary()
+    print(policy_comparison_table(runs))
+
+    print("\n=== multi-worker execution (same generated programs) ===")
+    session = Session()
+    for workers in (1, 4):
+        report = session.run_workload(
+            "HashSet", WORKLOADS[0], policy="commutativity",
+            workers=workers)
+        assert report.serializable
+        print(f"  workers={workers}: {report.summary()} "
+              f"({report.ops_per_second:,.0f} ops/s; "
+              f"transactions ever aborted: "
+              f"{report.ever_aborted or 'none'})")
+
+    print("\nThe verified conditions admit interleavings read/write "
+          "detection rejects on every structure,\nand the multi-worker "
+          "executor keeps each nondeterministic interleaving "
+          "serializable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,7 +27,10 @@ Layout:
 - :mod:`repro.proof` — the Jahob proof language (note / assuming /
   pickWitness);
 - :mod:`repro.runtime` — speculative parallel execution with gatekeeper
-  conflict detection and inverse-based rollback;
+  conflict detection, inverse-based rollback, and a batched
+  multi-worker mode;
+- :mod:`repro.workloads` — seeded workload generation (op-mix profiles
+  x key distributions) and the execution-throughput harness;
 - :mod:`repro.reporting` — the paper's evaluation tables.
 """
 
@@ -40,10 +43,11 @@ from .impls import (Accumulator, ArrayList, AssociationList, HashSet,
                     HashTable, ListSet)
 from .inverses import check_all_inverses, inverse_for
 from .runtime import SpeculativeExecutor
+from .workloads import ThroughputHarness, WorkloadGenerator, WorkloadSpec
 from .api import (DEFAULT_REGISTRY, DuplicateNameError, Registry,
                   RegistryError, Session, UnknownNameError, datastructure)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CommutativityCondition", "Kind", "check_condition", "condition",
@@ -54,6 +58,7 @@ __all__ = [
     "ListSet",
     "check_all_inverses", "inverse_for",
     "SpeculativeExecutor",
+    "ThroughputHarness", "WorkloadGenerator", "WorkloadSpec",
     "DEFAULT_REGISTRY", "DuplicateNameError", "Registry", "RegistryError",
     "Session", "UnknownNameError", "datastructure",
     "__version__",

@@ -6,8 +6,15 @@ Commands:
   [--no-cache]`` — verify the commutativity conditions of one data
   structure (or all registered) through the sharded engine;
 - ``inverses`` — verify the registered inverse operations (Table 5.10);
-- ``bench`` — time a cold verification sweep per structure, write
-  ``BENCH_verify.json``, and optionally gate against a baseline;
+- ``run --name NAME [--policy P] [--profile P] [--distribution D]
+  [--workers N]`` — generate a seeded workload and execute it
+  speculatively (all three policies and a comparison table when
+  ``--policy`` is omitted);
+- ``bench [--suite verify|runtime]`` — ``verify``: time a cold
+  verification sweep per structure into ``BENCH_verify.json``;
+  ``runtime``: sweep the throughput harness over every structure and
+  policy into ``BENCH_runtime.json``; both optionally gate against a
+  checked-in baseline;
 - ``tables [--table N]`` — print the paper's evaluation tables;
 - ``show --name NAME --m1 OP --m2 OP [--kind K]`` — print a condition
   and its generated testing methods (Figure 2-2 style);
@@ -81,15 +88,143 @@ def _cmd_inverses(args: argparse.Namespace, registry: Registry) -> int:
 BENCH_FLOOR_SECONDS = 0.1
 
 
+def _cmd_run(args: argparse.Namespace, registry: Registry) -> int:
+    """Generate a seeded workload and execute it speculatively."""
+    from .reporting.tables import (policy_comparison_table,
+                                   workload_report_table)
+    from .runtime.gatekeeper import POLICIES
+    from .workloads import ThroughputHarness, WorkloadSpec
+    workload = WorkloadSpec(
+        profile=args.profile, distribution=args.distribution,
+        transactions=args.txns, ops_per_transaction=args.ops,
+        key_space=args.key_space, value_space=args.value_space,
+        seed=args.seed)
+    harness = ThroughputHarness(registry=registry, workers=args.workers,
+                                batch=args.batch)
+    policies = (args.policy,) if args.policy else POLICIES
+    runs = [harness.run_one(args.name, workload, policy=policy,
+                            conflict_mode=args.conflict_mode)
+            for policy in policies]
+    print(workload_report_table(runs))
+    if len(runs) > 1:
+        print()
+        print(policy_comparison_table(runs))
+    if args.txn_stats:
+        for run in runs:
+            aborted = run.report.ever_aborted
+            print(f"\n{run.policy}: per-transaction aborts "
+                  f"{run.report.txn_aborts} "
+                  f"(ever aborted: {aborted or 'none'})")
+    not_serializable = [run for run in runs if not run.serializable]
+    for run in not_serializable:
+        print(f"run: NOT SERIALIZABLE: {run.summary()}", file=sys.stderr)
+    return 1 if not_serializable else 0
+
+
 def _cmd_bench(args: argparse.Namespace, registry: Registry) -> int:
+    if args.suite == "runtime":
+        return _cmd_bench_runtime(args, registry)
+    return _cmd_bench_verify(args, registry)
+
+
+def _cmd_bench_runtime(args: argparse.Namespace, registry: Registry) -> int:
+    """Throughput-harness sweep -> ``BENCH_runtime.json``."""
+    from .reporting.tables import policy_comparison_table
+    from .runtime.gatekeeper import POLICIES
+    from .workloads import BENCH_WORKLOADS, ThroughputHarness
+    output = args.output or "BENCH_runtime.json"
+    harness = ThroughputHarness(registry=registry, workers=args.workers)
+    structures = harness.runnable_structures()
+    start = time.perf_counter()
+    runs = harness.sweep(structures=structures,
+                         workloads=BENCH_WORKLOADS)
+    wall = time.perf_counter() - start
+    payload = {
+        "schema": 1,
+        "suite": "runtime",
+        "workers": args.workers,
+        "workloads": {w.label: w.describe() for w in BENCH_WORKLOADS},
+        "wall_seconds": round(wall, 4),
+        "structures": {},
+    }
+    for name in structures:
+        mine = [r for r in runs if r.structure == name]
+        policies = {}
+        for policy in POLICIES:
+            of_policy = [r for r in mine if r.policy == policy]
+            elapsed = sum(r.wall_seconds for r in of_policy)
+            operations = sum(r.operations for r in of_policy)
+            policies[policy] = {
+                "commits": sum(r.commits for r in of_policy),
+                "aborts": sum(r.aborts for r in of_policy),
+                "operations": operations,
+                "conflicts": sum(r.conflicts for r in of_policy),
+                "conflict_checks": sum(r.conflict_checks
+                                       for r in of_policy),
+                "elapsed": round(elapsed, 4),
+                "ops_per_second": round(operations / elapsed, 1)
+                if elapsed > 0 else 0.0,
+            }
+        strict_wins = [
+            w.label for w in BENCH_WORKLOADS
+            if _aborts_of(mine, w.label, "commutativity")
+            < _aborts_of(mine, w.label, "read-write")]
+        payload["structures"][name] = {
+            "elapsed": round(sum(r.wall_seconds for r in mine), 4),
+            "operations": sum(r.operations for r in mine),
+            "policies": policies,
+            "commutativity_beats_read_write_on": strict_wins,
+        }
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"bench: {len(structures)} structures x {len(POLICIES)} "
+          f"policies x {len(BENCH_WORKLOADS)} workloads, "
+          f"workers={args.workers}, wall {wall:.2f}s -> {output}")
+    print(policy_comparison_table(runs))
+    failed = False
+    not_serializable = [r for r in runs if not r.serializable]
+    if not_serializable:
+        print("bench: NOT SERIALIZABLE: "
+              + "; ".join(r.summary() for r in not_serializable),
+              file=sys.stderr)
+        failed = True
+    if args.workers == 1:
+        # Deterministic at one worker: the paper-shaped result must hold
+        # (commutativity strictly beats read-write somewhere per
+        # structure).  Multi-worker abort counts are scheduling-
+        # dependent, so the shape is only gated serially.
+        missing = [n for n, e in payload["structures"].items()
+                   if not e["commutativity_beats_read_write_on"]]
+        if missing:
+            print("bench: commutativity did not beat read-write on any "
+                  f"workload for: {', '.join(missing)}", file=sys.stderr)
+            failed = True
+    if failed:
+        return 1
+    if args.baseline:
+        return _check_bench_baseline(payload, args.baseline,
+                                     args.max_regression)
+    return 0
+
+
+def _aborts_of(runs, workload_label: str, policy: str) -> int:
+    return sum(r.aborts for r in runs
+               if r.workload.label == workload_label
+               and r.policy == policy)
+
+
+def _cmd_bench_verify(args: argparse.Namespace, registry: Registry) -> int:
     """Cold per-structure verification timings -> ``BENCH_verify.json``."""
     scope = paper_scope(max_seq_len=args.max_seq_len)
+    output = args.output or "BENCH_verify.json"
     start = time.perf_counter()
     reports = verify_all(scope, backend=args.backend, registry=registry,
                          jobs=args.jobs, cache=False)
     wall = time.perf_counter() - start
     payload = {
         "schema": 1,
+        "suite": "verify",
         "engine_version": ENGINE_VERSION,
         "backend": args.backend,
         "jobs": resolve_jobs(args.jobs),
@@ -112,11 +247,11 @@ def _cmd_bench(args: argparse.Namespace, registry: Registry) -> int:
                              if slowest is not None else None),
             "all_verified": report.all_verified,
         }
-    with open(args.output, "w", encoding="utf-8") as handle:
+    with open(output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"bench: {len(reports)} structures via {args.backend} backend, "
-          f"jobs={payload['jobs']}, wall {wall:.2f}s -> {args.output}")
+          f"jobs={payload['jobs']}, wall {wall:.2f}s -> {output}")
     print(task_timing_table(reports))
     unverified = [n for n, r in reports.items() if not r.all_verified]
     if unverified:
@@ -139,12 +274,12 @@ def _check_bench_baseline(payload: dict, baseline_path: str,
         print(f"bench: unreadable baseline {baseline_path}: {exc}",
               file=sys.stderr)
         return 2
-    for key in ("backend", "scope"):
+    for key in ("suite", "backend", "scope", "workloads"):
         recorded = baseline.get(key)
-        if recorded is not None and recorded != payload[key]:
+        if recorded is not None and recorded != payload.get(key):
             print(f"bench: baseline {baseline_path} is incompatible: "
                   f"its {key} is {recorded!r}, this run used "
-                  f"{payload[key]!r} (regenerate the baseline)",
+                  f"{payload.get(key)!r} (regenerate the baseline)",
                   file=sys.stderr)
             return 2
     baseline_structures = baseline.get("structures", {})
@@ -257,16 +392,53 @@ def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
     _add_engine_options(inverses)
     inverses.set_defaults(func=_cmd_inverses)
 
+    from .runtime.gatekeeper import POLICIES
+    from .workloads.spec import DISTRIBUTIONS, PROFILES
+
+    run = sub.add_parser(
+        "run", help="generate a workload and execute it speculatively")
+    run.add_argument("--name", required=True, choices=registry.names())
+    run.add_argument("--policy", choices=POLICIES,
+                     help="one policy (default: all three + comparison)")
+    run.add_argument("--profile", default="mixed",
+                     choices=tuple(PROFILES))
+    run.add_argument("--distribution", default="uniform",
+                     choices=tuple(DISTRIBUTIONS))
+    run.add_argument("--txns", type=int, default=8,
+                     help="transaction count (default 8)")
+    run.add_argument("--ops", type=int, default=6,
+                     help="operations per transaction (default 6)")
+    run.add_argument("--key-space", type=int, default=16)
+    run.add_argument("--value-space", type=int, default=4)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--workers", type=int, default=1,
+                     help="executor worker threads (1 = deterministic)")
+    run.add_argument("--batch", type=int, default=1,
+                     help="ops per gatekeeper lock hold (workers > 1)")
+    run.add_argument("--conflict-mode", default="abort",
+                     choices=("abort", "block"))
+    run.add_argument("--txn-stats", action="store_true",
+                     help="print per-transaction abort counts")
+    run.set_defaults(func=_cmd_run)
+
     bench = sub.add_parser(
-        "bench", help="time a cold verification sweep per structure")
+        "bench",
+        help="regression-gated benchmarks (verification or runtime)")
+    bench.add_argument("--suite", default="verify",
+                       choices=("verify", "runtime"),
+                       help="verify: cold verification sweep; runtime: "
+                            "workload-throughput sweep")
     bench.add_argument("--backend", default="symbolic",
                        choices=("symbolic", "bounded"))
     bench.add_argument("--max-seq-len", type=int, default=3)
     _add_engine_options(bench, no_cache=False)  # bench is always cold
-    bench.add_argument("--output", default="BENCH_verify.json",
-                       help="where to write the timing report")
+    bench.add_argument("--workers", type=int, default=1,
+                       help="executor worker threads for --suite runtime")
+    bench.add_argument("--output", default=None,
+                       help="where to write the timing report (default "
+                            "BENCH_<suite>.json)")
     bench.add_argument("--baseline", default=None,
-                       help="baseline BENCH_verify.json to gate against")
+                       help="baseline BENCH_<suite>.json to gate against")
     bench.add_argument("--max-regression", type=float, default=2.0,
                        help="fail when a structure exceeds this multiple "
                             "of its baseline time (default 2.0)")

@@ -128,3 +128,48 @@ class Session:
         self.registry.implementation(name)  # fail early with suggestions
         return SpeculativeExecutor(name, policy=policy, seed=seed,
                                    registry=self.registry, **kwargs)
+
+    def run_workload(self, name: str, workload=None, *,
+                     policy: str = "commutativity",
+                     conflict_mode: str = "abort",
+                     workers: int | None = None, batch: int = 1,
+                     max_rounds: int = 200_000, **spec_fields):
+        """Generate a deterministic workload for ``name`` and execute it
+        speculatively; an :class:`~repro.runtime.executor.ExecutionReport`.
+
+        ``workload`` is a :class:`~repro.workloads.WorkloadSpec`, a
+        profile name (``"read-heavy"``, ``"mixed"``, ``"write-heavy"``),
+        or ``None``; remaining keyword fields (``distribution=``,
+        ``transactions=``, ``seed=``, ...) override spec fields.  The
+        generated programs depend only on the workload spec — never on
+        ``workers`` — so serial and multi-worker runs execute
+        byte-identical transactions.
+        """
+        from ..runtime.executor import SpeculativeExecutor
+        from ..workloads import WorkloadGenerator, resolve_workload
+        workload = resolve_workload(workload, **spec_fields)
+        self.registry.implementation(name)  # fail early with suggestions
+        programs = WorkloadGenerator(self.registry).generate(name, workload)
+        executor = SpeculativeExecutor(
+            name, policy=policy, seed=workload.seed,
+            max_rounds=max_rounds, conflict_mode=conflict_mode,
+            registry=self.registry,
+            workers=workers if workers is not None else workload.workers,
+            batch=batch)
+        return executor.run(programs)
+
+    def throughput_sweep(self, structures: Sequence[str] | None = None,
+                         workloads=None, policies=None,
+                         conflict_modes: Sequence[str] = ("abort",),
+                         workers: int | None = None):
+        """Sweep (structure x policy x workload x conflict-mode) through
+        the speculative executor; a list of
+        :class:`~repro.workloads.WorkloadRun`."""
+        from ..runtime.gatekeeper import POLICIES
+        from ..workloads import ThroughputHarness
+        harness = ThroughputHarness(registry=self.registry,
+                                    workers=workers)
+        return harness.sweep(structures=structures, workloads=workloads,
+                             policies=(policies if policies is not None
+                                       else POLICIES),
+                             conflict_modes=conflict_modes)

@@ -8,11 +8,13 @@ from .hashset import HashSet
 from .hashtable import HashTable
 from .listset import ListSet
 from .refinement import (IMPLEMENTATIONS, RefinementViolation,
-                         build_from_state, check_refinement, invoke,
+                         build_from_state, check_refinement,
+                         concrete_method_name, invoke, invoke_concrete,
                          new_instance)
 
 __all__ = [
     "Accumulator", "ArrayList", "AssociationList", "HashSet", "HashTable",
     "ListSet", "IMPLEMENTATIONS", "RefinementViolation", "build_from_state",
-    "check_refinement", "invoke", "new_instance",
+    "check_refinement", "concrete_method_name", "invoke", "invoke_concrete",
+    "new_instance",
 ]

@@ -63,14 +63,48 @@ def build_from_state(name: str, state: Record) -> Any:
     return impl
 
 
-def invoke(impl: Any, op_name: str, args: tuple[Any, ...]) -> Any:
+def concrete_method_name(op: Any) -> str:
+    """The concrete method implementing a spec operation (or operation
+    name): discard variants dispatch to their base operation's method.
+
+    This is the single source of truth for concrete dispatch.  A spec
+    :class:`~repro.specs.interface.Operation` carries ``base_name``
+    explicitly, so custom registry structures are free to name their
+    discard variants however they like; bare strings fall back to the
+    built-in trailing-underscore convention (``add_`` -> ``add``).
+    """
+    if isinstance(op, str):
+        return op.rstrip("_")
+    return op.base_name or op.name
+
+
+def invoke_concrete(impl: Any, op: Any,
+                    args: tuple[Any, ...]) -> tuple[Any, Any]:
+    """Invoke a spec operation (or operation name) on a concrete
+    structure; returns ``(raw_result, visible_result)``.
+
+    ``raw_result`` is what the concrete base method returned — a
+    rollback system must keep it even for discard variants (the paper:
+    "any system that applies such inverse operations must therefore
+    store the return value").  ``visible_result`` is what the client
+    sees: ``None`` for discard variants, matching the abstract
+    semantics.
+    """
+    method: Callable = getattr(impl, concrete_method_name(op))
+    raw = method(*args)
+    if isinstance(op, str):
+        discards = op.endswith("_")
+    else:
+        discards = op.discards_result
+    return raw, (None if discards else raw)
+
+
+def invoke(impl: Any, op: Any, args: tuple[Any, ...]) -> Any:
     """Invoke a (possibly discard-variant) operation on a concrete
-    structure; discard variants return None like their specs."""
-    method: Callable = getattr(impl, op_name.rstrip("_"))
-    result = method(*args)
-    if op_name.endswith("_"):
-        return None
-    return result
+    structure; discard variants return None like their specs.  ``op``
+    is a spec :class:`~repro.specs.interface.Operation` or an operation
+    name string."""
+    return invoke_concrete(impl, op, args)[1]
 
 
 @dataclass(frozen=True)
@@ -102,7 +136,7 @@ def check_refinement(name: str, scope: Scope | None = None,
                     continue
                 expected_state, expected_result = op.semantics(state, args)
                 impl = build_from_state(name, state)
-                actual_result = invoke(impl, op.name, args)
+                actual_result = invoke(impl, op, args)
                 actual_state = impl.abstract_state()
                 reason = None
                 if actual_result != expected_result:

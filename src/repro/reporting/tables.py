@@ -208,6 +208,58 @@ def table_5_10(registry=None) -> str:
     return _format_table(headers, rows)
 
 
+# -- runtime throughput: policy comparison -------------------------------------
+
+def workload_report_table(runs) -> str:
+    """One row per workload run (structure x workload x policy)."""
+    headers = ["structure", "workload", "policy", "mode", "workers",
+               "commits", "aborts", "conflict rate", "ops/s",
+               "serializable"]
+    rows = [[run.structure, run.workload.label, run.policy,
+             run.conflict_mode, str(run.workers), str(run.commits),
+             str(run.aborts), f"{run.conflict_rate:.0%}",
+             f"{run.ops_per_second:,.0f}",
+             "yes" if run.serializable else "NO"]
+            for run in runs]
+    return _format_table(headers, rows)
+
+
+def policy_comparison_table(runs, policies=None) -> str:
+    """The headline pivot: per (structure, workload), the abort count and
+    conflict rate each conflict-detection policy produced, plus whether
+    the verified commutativity conditions admitted strictly more
+    concurrency (fewer aborts) than read/write conflict detection — the
+    paper's Chapter 1 claim, measured.
+    """
+    from ..runtime.gatekeeper import POLICIES
+    if policies is None:
+        seen = {run.policy for run in runs}
+        policies = [p for p in POLICIES if p in seen]
+    groups: dict[tuple, dict] = {}
+    for run in runs:
+        key = (run.structure, run.workload.label, run.conflict_mode,
+               run.workers)
+        groups.setdefault(key, {})[run.policy] = run
+    rows = []
+    for (structure, label, mode, workers), by_policy in groups.items():
+        row = [structure, label]
+        for policy in policies:
+            run = by_policy.get(policy)
+            row.append("-" if run is None else
+                       f"{run.aborts} ({run.conflict_rate:.0%})")
+        comm = by_policy.get("commutativity")
+        rw = by_policy.get("read-write")
+        if comm is not None and rw is not None:
+            row.append("yes" if comm.aborts < rw.aborts else "no")
+        else:
+            row.append("-")
+        rows.append(row)
+    headers = (["structure", "workload"]
+               + [f"{p}: aborts (conflict rate)" for p in policies]
+               + ["commutativity wins"])
+    return _format_table(headers, rows)
+
+
 @dataclass
 class TableIndex:
     """Programmatic index of every reproduced table."""

@@ -4,8 +4,17 @@ Transactions execute operations on a shared concrete linked structure.
 Before each operation the gatekeeper checks the between commutativity
 conditions against every outstanding operation of other transactions; on
 conflict the requesting transaction aborts, rolls back through the
-verified inverses, and retries.  The scheduler interleaves transactions
-deterministically from a seed, so every run is reproducible.
+verified inverses, and retries.  With ``workers=1`` (the default) the
+scheduler interleaves transactions deterministically from a seed, so
+every run is reproducible.
+
+With ``workers > 1`` the executor runs a batched multi-worker mode:
+transactions are partitioned round-robin across worker threads that
+share the concrete structure and a lock-protected gatekeeper.  Each
+worker admits and applies up to ``batch`` consecutive operations of one
+transaction per lock hold.  Thread scheduling makes the interleaving
+nondeterministic, but the commutativity conditions and inverses make
+every interleaving serializable — which the executor still validates.
 
 The executor also validates serializability on the fly: at commit time
 of the final transaction, the abstract state must equal the state
@@ -17,13 +26,19 @@ conditions guarantees.
 from __future__ import annotations
 
 import random
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..eval.values import Record
-from ..impls import invoke
+from ..impls import invoke, invoke_concrete
 from .gatekeeper import Gatekeeper, LoggedOperation
-from .transaction import Transaction, TxnStatus, UndoEntry, rollback
+from .transaction import Transaction, TxnStatus, rollback
+
+#: Statuses of transactions that still have work to do: ABORTED
+#: transactions restart from scratch the next time they are scheduled.
+ACTIVE_STATUSES = (TxnStatus.RUNNING, TxnStatus.ABORTED)
 
 
 @dataclass
@@ -32,18 +47,45 @@ class ExecutionReport:
 
     ds_name: str
     policy: str
+    conflict_mode: str = "abort"
+    workers: int = 1
     commits: int = 0
     aborts: int = 0
     operations: int = 0
     conflict_checks: int = 0
     conflicts: int = 0
+    wall_seconds: float = 0.0
     commit_order: list[int] = field(default_factory=list)
+    #: Per-transaction abort counts and final statuses (txn_id keyed),
+    #: so post-run inspection can distinguish ever-aborted transactions.
+    txn_aborts: dict[int, int] = field(default_factory=dict)
+    txn_statuses: dict[int, TxnStatus] = field(default_factory=dict)
     final_state: Record | None = None
     serial_state: Record | None = None
 
     @property
     def serializable(self) -> bool:
         return self.final_state == self.serial_state
+
+    @property
+    def conflict_rate(self) -> float:
+        """Fraction of admission checks that found a conflict."""
+        if not self.conflict_checks:
+            return 0.0
+        return self.conflicts / self.conflict_checks
+
+    @property
+    def ops_per_second(self) -> float:
+        """Executed-operation throughput (committed and speculative)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.operations / self.wall_seconds
+
+    @property
+    def ever_aborted(self) -> list[int]:
+        """IDs of transactions that aborted at least once."""
+        return [txn_id for txn_id, count in sorted(self.txn_aborts.items())
+                if count > 0]
 
     def summary(self) -> str:
         return (f"{self.ds_name}/{self.policy}: {self.commits} commits, "
@@ -57,9 +99,14 @@ class SpeculativeExecutor:
 
     def __init__(self, ds_name: str, policy: str = "commutativity",
                  seed: int = 0, max_rounds: int = 10000,
-                 conflict_mode: str = "abort", registry=None) -> None:
+                 conflict_mode: str = "abort", registry=None,
+                 workers: int = 1, batch: int = 1) -> None:
         if conflict_mode not in ("abort", "block"):
             raise ValueError(f"unknown conflict mode {conflict_mode!r}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
         from ..api import resolve_registry
         registry = resolve_registry(registry)
         self.ds_name = ds_name
@@ -72,89 +119,214 @@ class SpeculativeExecutor:
         #: wait for the conflicting transaction, aborting only to break
         #: a deadlock (the waits-for cycle fallback of real systems).
         self.conflict_mode = conflict_mode
+        self.workers = workers
+        self.batch = batch
 
     def run(self, programs: list[list[tuple[str, tuple[Any, ...]]]]) \
             -> ExecutionReport:
         """Execute the transaction ``programs`` to completion."""
-        rng = random.Random(self.seed)
+        start = time.perf_counter()
         impl = self.registry.new_instance(self.ds_name)
         gatekeeper = Gatekeeper(self.ds_name, self.policy,
                                 registry=self.registry)
         transactions = [Transaction(i, list(ops))
                         for i, ops in enumerate(programs)]
-        report = ExecutionReport(ds_name=self.ds_name, policy=self.policy)
-        rounds = 0
-        blocked: set[int] = set()
-        while any(t.status is TxnStatus.RUNNING for t in transactions):
-            rounds += 1
-            if rounds > self.max_rounds:
-                raise RuntimeError("executor failed to converge")
-            runnable = [t for t in transactions
-                        if t.status is TxnStatus.RUNNING
-                        and t.txn_id not in blocked]
-            if not runnable:
-                # Every running transaction is blocked: break the
-                # deadlock by keeping the most-advanced transaction as
-                # the sole survivor and aborting the rest.  With no other
-                # holders left, the survivor's admission checks succeed
-                # trivially, so it runs to commit — guaranteeing global
-                # progress on every deadlock episode.
-                running = [t for t in transactions
-                           if t.status is TxnStatus.RUNNING]
-                survivor = max(running,
-                               key=lambda t: (t.next_op, -t.txn_id))
-                for txn in running:
-                    if txn is not survivor and txn.next_op > 0:
-                        self._abort(txn, impl, gatekeeper, report)
-                blocked = {t.txn_id for t in running
-                           if t is not survivor}
-                continue
-            txn = rng.choice(runnable)
-            if txn.finished:
-                txn.status = TxnStatus.COMMITTED
-                gatekeeper.release(txn.txn_id)
-                report.commits += 1
-                report.commit_order.append(txn.txn_id)
-                blocked.clear()  # waiters may be admissible now
-                continue
-            op_name, args = txn.current_op()
-            op = self.spec.operations[op_name]
-            before = impl.abstract_state()
-            if not gatekeeper.admits(txn.txn_id, op_name, args, before):
-                if self.conflict_mode == "block":
-                    blocked.add(txn.txn_id)
-                else:
-                    self._abort(txn, impl, gatekeeper, report)
-                continue
-            # Execute the base operation; keep the real return value for
-            # the undo log even when the client discards it (the paper:
-            # "any system that applies such inverse operations must
-            # therefore store the return value").
-            raw_result = getattr(impl, op_name.rstrip("_"))(*args)
-            visible = None if op.discards_result else raw_result
-            after = impl.abstract_state()
-            gatekeeper.record(LoggedOperation(
-                txn_id=txn.txn_id, op_name=op_name, args=args,
-                result=visible, before=before, after=after))
-            txn.results.append(visible)
-            if op.mutator:
-                base = op.base_name or op.name
-                txn.undo_log.append(UndoEntry(base, args, raw_result))
-            txn.next_op += 1
-            report.operations += 1
+        report = ExecutionReport(ds_name=self.ds_name, policy=self.policy,
+                                 conflict_mode=self.conflict_mode,
+                                 workers=self.workers)
+        if self.workers == 1 or len(transactions) <= 1:
+            self._run_serial(transactions, impl, gatekeeper, report)
+        else:
+            self._run_threaded(transactions, impl, gatekeeper, report)
+        # Throughput covers execution only; the serial-replay
+        # serializability validation below is diagnostics, not work.
+        report.wall_seconds = time.perf_counter() - start
         report.conflict_checks = gatekeeper.checks
         report.conflicts = gatekeeper.conflicts
+        report.txn_aborts = {t.txn_id: t.aborts for t in transactions}
+        report.txn_statuses = {t.txn_id: t.status for t in transactions}
         report.final_state = impl.abstract_state()
         report.serial_state = self._serial_replay(programs,
                                                   report.commit_order)
         return report
 
+    # -- deterministic serial scheduler --------------------------------------
+
+    def _run_serial(self, transactions: list[Transaction], impl: Any,
+                    gatekeeper: Gatekeeper,
+                    report: ExecutionReport) -> None:
+        rng = random.Random(self.seed)
+        rounds = 0
+        blocked: set[int] = set()
+        while any(t.status in ACTIVE_STATUSES for t in transactions):
+            rounds += 1
+            if rounds > self.max_rounds:
+                raise RuntimeError("executor failed to converge")
+            runnable = [t for t in transactions
+                        if t.status in ACTIVE_STATUSES
+                        and t.txn_id not in blocked]
+            if not runnable:
+                self._break_deadlock(transactions, blocked, impl,
+                                     gatekeeper, report)
+                continue
+            self._step(rng.choice(runnable), impl, gatekeeper, report,
+                       blocked)
+
+    # -- batched multi-worker scheduler ---------------------------------------
+
+    def _run_threaded(self, transactions: list[Transaction], impl: Any,
+                      gatekeeper: Gatekeeper,
+                      report: ExecutionReport) -> None:
+        """Thread workers over the lock-protected shared state.
+
+        One condition variable guards the structure, the gatekeeper, and
+        every transaction; workers hold it for up to ``batch`` operations
+        of one of their transactions, wait on it while all their
+        transactions are blocked, and are notified on every commit,
+        abort, or deadlock break.
+        """
+        cond = threading.Condition()
+        blocked: set[int] = set()
+        errors: list[BaseException] = []
+        budget = [self.max_rounds * self.workers]
+
+        def drive(wid: int) -> None:
+            rng = random.Random(f"{self.seed}:{wid}")
+            mine = transactions[wid::self.workers]
+            while True:
+                with cond:
+                    if errors:
+                        return
+                    active = [t for t in mine
+                              if t.status in ACTIVE_STATUSES]
+                    if not active:
+                        cond.notify_all()
+                        return
+                    runnable = [t for t in active
+                                if t.txn_id not in blocked]
+                    if not runnable:
+                        globally_active = [
+                            t for t in transactions
+                            if t.status in ACTIVE_STATUSES]
+                        if all(t.txn_id in blocked
+                               for t in globally_active):
+                            self._spend_budget(budget)
+                            self._break_deadlock(transactions, blocked,
+                                                 impl, gatekeeper, report)
+                            cond.notify_all()
+                        else:
+                            # Another worker's transaction can still run;
+                            # wake on its commit/abort (timeout is a
+                            # liveness belt-and-braces only).  Idle waits
+                            # spend no convergence budget: only batch
+                            # attempts and deadlock breaks do, so a slow
+                            # but progressing peer never fails the run.
+                            cond.wait(timeout=0.01)
+                        continue
+                    self._spend_budget(budget)
+                    txn = rng.choice(runnable)
+                    progressed = False
+                    for _ in range(self.batch):
+                        if not self._step(txn, impl, gatekeeper, report,
+                                          blocked):
+                            break
+                        progressed = True
+                        if txn.status is not TxnStatus.RUNNING:
+                            break  # committed
+                    if progressed:
+                        cond.notify_all()
+
+        def worker(wid: int) -> None:
+            try:
+                drive(wid)
+            except BaseException as exc:  # propagate to the caller
+                with cond:
+                    errors.append(exc)
+                    cond.notify_all()
+
+        threads = [threading.Thread(target=worker, args=(wid,),
+                                    name=f"repro-exec-{wid}")
+                   for wid in range(min(self.workers, len(transactions)))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
+    @staticmethod
+    def _spend_budget(budget: list[int]) -> None:
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise RuntimeError("executor failed to converge")
+
+    # -- one scheduling step ---------------------------------------------------
+
+    def _step(self, txn: Transaction, impl: Any, gatekeeper: Gatekeeper,
+              report: ExecutionReport, blocked: set[int]) -> bool:
+        """Advance ``txn`` by one operation (or commit it if finished).
+
+        Returns True when the transaction made progress, False when it
+        hit a conflict (and was aborted or blocked per the conflict
+        mode).
+        """
+        if txn.status is TxnStatus.ABORTED:
+            txn.restart()
+        if txn.finished:
+            txn.status = TxnStatus.COMMITTED
+            gatekeeper.release(txn.txn_id)
+            report.commits += 1
+            report.commit_order.append(txn.txn_id)
+            blocked.clear()  # waiters may be admissible now
+            return True
+        op_name, args = txn.current_op()
+        op = self.spec.operations[op_name]
+        before = impl.abstract_state()
+        if not gatekeeper.admits(txn.txn_id, op_name, args, before):
+            if self.conflict_mode == "block":
+                blocked.add(txn.txn_id)
+            else:
+                self._abort(txn, impl, gatekeeper, report)
+            return False
+        # Execute through the canonical concrete dispatch; keep the raw
+        # return value for the undo log even when the client discards it
+        # (the paper: "any system that applies such inverse operations
+        # must therefore store the return value").
+        raw_result, visible = invoke_concrete(impl, op, args)
+        after = impl.abstract_state()
+        gatekeeper.record(LoggedOperation(
+            txn_id=txn.txn_id, op_name=op_name, args=args,
+            result=visible, before=before, after=after))
+        txn.record(op, args, raw_result, visible)
+        report.operations += 1
+        return True
+
+    def _break_deadlock(self, transactions: list[Transaction],
+                        blocked: set[int], impl: Any,
+                        gatekeeper: Gatekeeper,
+                        report: ExecutionReport) -> Transaction:
+        """Every active transaction is blocked: break the deadlock by
+        keeping the most-advanced transaction as the sole survivor
+        (lowest txn_id on ties) and aborting the rest.  With no other
+        holders left, the survivor's admission checks succeed trivially,
+        so it runs to commit — guaranteeing global progress on every
+        deadlock episode.  Returns the survivor."""
+        active = [t for t in transactions if t.status in ACTIVE_STATUSES]
+        survivor = max(active, key=lambda t: (t.next_op, -t.txn_id))
+        for txn in active:
+            if txn is not survivor and txn.next_op > 0:
+                self._abort(txn, impl, gatekeeper, report)
+        blocked.clear()
+        blocked.update(t.txn_id for t in active if t is not survivor)
+        return survivor
+
     def _abort(self, txn: Transaction, impl: Any, gatekeeper: Gatekeeper,
                report: ExecutionReport) -> None:
-        """Roll back a transaction's speculative effects and retry it."""
+        """Roll back a transaction's speculative effects; it retries from
+        scratch the next time the scheduler picks it."""
         rollback(impl, self.ds_name, txn.undo_log, registry=self.registry)
         gatekeeper.release(txn.txn_id)
-        txn.reset_for_retry()
+        txn.mark_aborted()
         report.aborts += 1
 
     def _serial_replay(self, programs: list[list[tuple[str, tuple]]],
@@ -163,5 +335,5 @@ class SpeculativeExecutor:
         impl = self.registry.new_instance(self.ds_name)
         for txn_id in order:
             for op_name, args in programs[txn_id]:
-                invoke(impl, op_name, args)
+                invoke(impl, self.spec.operations[op_name], args)
         return impl.abstract_state()

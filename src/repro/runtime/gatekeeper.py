@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..commutativity.conditions import Kind
-from ..eval.interpreter import EvalContext, evaluate
+from ..eval.interpreter import EvalContext, EvalError, evaluate
 from ..eval.values import Record
 from ..specs import DataStructureSpec
 
@@ -97,7 +97,17 @@ class Gatekeeper:
             env[f"{param.name}2"] = value
         if op1.result_sort is not None:
             env["r1"] = logged.result
-        return bool(evaluate(cond.dynamic_formula, env, self._ctx))
+        try:
+            return bool(evaluate(cond.dynamic_formula, env, self._ctx))
+        except EvalError:
+            # The condition's vocabulary is partial: e.g. an ArrayList
+            # between condition may index the *logged* operation's older
+            # snapshot with the incoming operation's argument, which is
+            # only guaranteed in-range against the current state.  An
+            # unevaluable condition cannot certify commutativity, so
+            # report a conflict — conservative (possibly an unnecessary
+            # abort) but never an unsound admission.
+            return False
 
     # -- log maintenance ------------------------------------------------------
 

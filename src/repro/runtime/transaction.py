@@ -12,6 +12,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..impls import invoke
 from ..inverses.catalog import ArgKind, Guard, InverseSpec
 
 
@@ -47,19 +48,42 @@ class Transaction:
     def current_op(self) -> tuple[str, tuple[Any, ...]]:
         return self.ops[self.next_op]
 
-    def record(self, op_name: str, args: tuple[Any, ...],
-               result: Any, mutator: bool) -> None:
-        self.results.append(result)
-        if mutator:
-            self.undo_log.append(UndoEntry(op_name, args, result))
+    @property
+    def ever_aborted(self) -> bool:
+        return self.aborts > 0
+
+    def record(self, op: Any, args: tuple[Any, ...], raw_result: Any,
+               visible_result: Any) -> None:
+        """Log one executed operation and advance the program counter.
+
+        The undo log keys entries by the operation's *base* name
+        (``add_`` logs as ``add``) so :func:`rollback`'s inverse lookup
+        matches Table 5.10, and stores the raw concrete return value the
+        inverse needs even when the client discards it.
+        """
+        self.results.append(visible_result)
+        if op.mutator:
+            self.undo_log.append(
+                UndoEntry(op.base_name or op.name, args, raw_result))
         self.next_op += 1
 
-    def reset_for_retry(self) -> None:
+    def mark_aborted(self) -> None:
+        """Discard all speculative progress and flag the transaction
+        :data:`TxnStatus.ABORTED` until the scheduler restarts it."""
         self.aborts += 1
         self.next_op = 0
         self.undo_log.clear()
         self.results.clear()
+        self.status = TxnStatus.ABORTED
+
+    def restart(self) -> None:
+        """Begin the retry of an aborted transaction."""
         self.status = TxnStatus.RUNNING
+
+    def reset_for_retry(self) -> None:
+        """Abort and immediately restart (back-compat single step)."""
+        self.mark_aborted()
+        self.restart()
 
 
 def rollback(impl: Any, family: str, undo_log: list[UndoEntry],
@@ -96,4 +120,4 @@ def _apply_inverse_concrete(impl: Any, inverse: InverseSpec, op: Any,
                 args.append(-params[arg.name])
             else:
                 args.append(result)
-        getattr(impl, call.op.rstrip("_"))(*args)
+        invoke(impl, call.op, tuple(args))

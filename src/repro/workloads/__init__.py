@@ -1,0 +1,27 @@
+"""Parameterized workloads and the execution-throughput harness.
+
+The verification side of this reproduction got its sharded engine in
+``repro.engine``; this package gives the *runtime* side the same
+treatment: seeded, deterministic workload generation (op-mix profiles x
+key distributions) for every registered structure, and a harness that
+sweeps (structure x policy x workload x conflict-mode) through the
+speculative executor to measure how much concurrency each conflict-
+detection policy admits.
+"""
+
+from .spec import (DISTRIBUTIONS, HotKeyDistribution, KeyDistribution,
+                   OpMix, PROFILES, UniformDistribution, WorkloadSpec,
+                   ZipfianDistribution, resolve_workload)
+from .generator import (Program, WorkloadError, WorkloadGenerator,
+                        generate_workload)
+from .harness import (BENCH_WORKLOADS, DEFAULT_WORKLOADS,
+                      ThroughputHarness, WorkloadRun)
+
+__all__ = [
+    "DISTRIBUTIONS", "HotKeyDistribution", "KeyDistribution", "OpMix",
+    "PROFILES", "UniformDistribution", "WorkloadSpec",
+    "ZipfianDistribution", "resolve_workload",
+    "Program", "WorkloadError", "WorkloadGenerator", "generate_workload",
+    "BENCH_WORKLOADS", "DEFAULT_WORKLOADS", "ThroughputHarness",
+    "WorkloadRun",
+]

@@ -1,0 +1,233 @@
+"""Parameterized transaction-program generation.
+
+The paper's introduction motivates speculative execution with irregular
+parallel workloads over shared sets, maps, and lists.  This module turns
+a :class:`~repro.workloads.spec.WorkloadSpec` into concrete transaction
+programs for any registry-registered structure:
+
+- the four built-in specification families (Set, Map, ArrayList,
+  Accumulator) get tailored op palettes that honour the profile's
+  read/write mix and the key distribution;
+- every other (custom) family falls back to a generic generator that
+  enumerates candidate argument tuples from the spec itself, keeping
+  only operations whose preconditions hold in every in-scope state.
+
+Generation is deterministic: a given ``(structure, WorkloadSpec)`` pair
+always produces byte-identical programs, independent of process, hash
+randomization, and the ``workers`` execution hint.  Seeds are strings
+(``"seed:structure"``) because :class:`random.Random` hashes string
+seeds with SHA-512 — stable across interpreters — while tuple seeds fall
+back to randomized ``hash()``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any
+
+from ..eval.enumeration import Scope
+from .spec import KeyDistribution, OpMix, WorkloadSpec
+
+#: One transaction program: a list of (operation name, argument tuple).
+Program = list[tuple[str, tuple[Any, ...]]]
+
+
+class WorkloadError(ValueError):
+    """A structure offers no operations the generator can safely emit."""
+
+
+def _weighted(rng: random.Random, choices: list[tuple[int, str]]) -> str:
+    """Pick a choice with probability proportional to its weight."""
+    total = sum(weight for weight, _ in choices)
+    r = rng.random() * total
+    for weight, item in choices:
+        r -= weight
+        if r < 0:
+            return item
+    return choices[-1][1]
+
+
+class WorkloadGenerator:
+    """Emits transaction programs for a registry's structures."""
+
+    def __init__(self, registry=None) -> None:
+        from ..api import resolve_registry
+        self.registry = resolve_registry(registry)
+
+    def generate(self, ds_name: str,
+                 workload: WorkloadSpec) -> list[Program]:
+        """All transaction programs of ``workload`` for ``ds_name``."""
+        spec = self.registry.spec(ds_name)
+        family = self.registry.family_of(ds_name)
+        rng = random.Random(f"{workload.seed}:{ds_name}")
+        mix = workload.mix
+        dist = workload.make_distribution()
+        keys = [f"k{i}" for i in range(workload.key_space)]
+        values = [f"v{i}" for i in range(workload.value_space)]
+        builders = {
+            "Set": self._set_program,
+            "Map": self._map_program,
+            "ArrayList": self._arraylist_program,
+            "Accumulator": self._accumulator_program,
+        }
+        builder = builders.get(family)
+        if builder is None:
+            palette = self._generic_palette(spec)
+
+            def builder(spec, rng, mix, dist, keys, values, n):
+                return self._generic_program(palette, rng, mix, dist, n)
+        return [builder(spec, rng, mix, dist, keys, values,
+                        workload.ops_per_transaction)
+                for _ in range(workload.transactions)]
+
+    # -- built-in family palettes ---------------------------------------------
+
+    def _is_read(self, rng: random.Random, mix: OpMix) -> bool:
+        return rng.random() < mix.read_fraction
+
+    def _set_program(self, spec, rng, mix, dist: KeyDistribution,
+                     keys, values, n) -> Program:
+        ops: Program = []
+        for _ in range(n):
+            is_read = self._is_read(rng, mix)
+            key = keys[dist.pick(rng, len(keys))]
+            if is_read:
+                kind = _weighted(rng, [(3, "contains"), (1, "size")])
+            else:
+                kind = _weighted(rng, [(2, "add"), (1, "add_"),
+                                       (2, "remove"), (1, "remove_")])
+            ops.append((kind, () if kind == "size" else (key,)))
+        return ops
+
+    def _map_program(self, spec, rng, mix, dist: KeyDistribution,
+                     keys, values, n) -> Program:
+        ops: Program = []
+        for _ in range(n):
+            is_read = self._is_read(rng, mix)
+            key = keys[dist.pick(rng, len(keys))]
+            if is_read:
+                kind = _weighted(rng, [(2, "get"), (1, "containsKey"),
+                                       (1, "size")])
+                ops.append((kind, () if kind == "size" else (key,)))
+            else:
+                kind = _weighted(rng, [(2, "put"), (1, "put_"),
+                                       (1, "remove"), (1, "remove_")])
+                if kind in ("put", "put_"):
+                    value = values[rng.randrange(len(values))]
+                    ops.append((kind, (key, value)))
+                else:
+                    ops.append((kind, (key,)))
+        return ops
+
+    def _accumulator_program(self, spec, rng, mix, dist: KeyDistribution,
+                             keys, values, n) -> Program:
+        ops: Program = []
+        for _ in range(n):
+            if self._is_read(rng, mix):
+                ops.append(("read", ()))
+            else:
+                # The distribution shapes the increment magnitude.
+                ops.append(("increase", (1 + dist.pick(rng, len(keys)),)))
+        return ops
+
+    def _arraylist_program(self, spec, rng, mix, dist: KeyDistribution,
+                           keys, values, n) -> Program:
+        """Index-safe ArrayList programs via balance tracking.
+
+        ``balance`` is this transaction's net insertions over its program
+        prefix; the generator only emits indices below it (at most equal
+        for ``add_at``).  Because every generated program keeps its
+        prefix balances non-negative, every other transaction's in-flight
+        or committed contribution to the shared list's size is >= 0 at
+        all times (aborts roll whole contributions back), so the global
+        size is always >= this transaction's balance and every emitted
+        index satisfies its operation's precondition under *any*
+        interleaving.
+        """
+        ops: Program = []
+        balance = 0
+        for _ in range(n):
+            is_read = self._is_read(rng, mix)
+            if is_read:
+                choices = [(2, "indexOf"), (1, "lastIndexOf"), (1, "size")]
+                if balance > 0:
+                    choices.append((2, "get"))
+            else:
+                choices = [(3, "add_at")]
+                if balance > 0:
+                    choices += [(2, "set"), (1, "set_"),
+                                (1, "remove_at"), (1, "remove_at_")]
+            kind = _weighted(rng, choices)
+            if kind in ("indexOf", "lastIndexOf"):
+                ops.append((kind, (values[dist.pick(rng, len(values))],)))
+            elif kind == "size":
+                ops.append((kind, ()))
+            elif kind == "get":
+                ops.append((kind, (rng.randrange(balance),)))
+            elif kind == "add_at":
+                index = rng.randrange(balance + 1)
+                ops.append((kind, (index,
+                                   values[dist.pick(rng, len(values))])))
+                balance += 1
+            elif kind in ("set", "set_"):
+                ops.append((kind, (rng.randrange(balance),
+                                   values[dist.pick(rng, len(values))])))
+            else:  # remove_at / remove_at_
+                ops.append((kind, (rng.randrange(balance),)))
+                balance -= 1
+        return ops
+
+    # -- generic fallback for custom structures --------------------------------
+
+    #: Enumeration caps keeping palette construction cheap for rich specs.
+    _GENERIC_MAX_STATES = 64
+    _GENERIC_MAX_ARGS = 128
+
+    def _generic_palette(self, spec) -> tuple[list, list]:
+        """Safe (operation, candidate-args) palettes from the spec alone.
+
+        An argument tuple is *safe* when the operation's precondition
+        holds in every in-scope abstract state: such operations can be
+        issued at any point of any interleaving, which is all the
+        generator can guarantee without family knowledge.
+        """
+        scope = Scope()
+        states = list(itertools.islice(spec.states(scope),
+                                       self._GENERIC_MAX_STATES))
+        reads: list[tuple[str, list[tuple]]] = []
+        writes: list[tuple[str, list[tuple]]] = []
+        for op in spec.operations.values():
+            candidates = [
+                args for args in itertools.islice(
+                    spec.arguments(op, scope), self._GENERIC_MAX_ARGS)
+                if all(spec.precondition_holds(op, state, args)
+                       for state in states)]
+            if not candidates:
+                continue
+            (writes if op.mutator else reads).append((op.name, candidates))
+        if not reads and not writes:
+            raise WorkloadError(
+                f"no operation of {spec.name} is safely invocable in "
+                f"every in-scope state; register the structure under a "
+                f"built-in family or generate programs by hand")
+        return reads, writes
+
+    def _generic_program(self, palette, rng, mix,
+                         dist: KeyDistribution, n) -> Program:
+        reads, writes = palette
+        ops: Program = []
+        for _ in range(n):
+            pool = reads if (reads and (not writes
+                                        or self._is_read(rng, mix))) \
+                else writes
+            op_name, candidates = pool[rng.randrange(len(pool))]
+            ops.append((op_name,
+                        candidates[dist.pick(rng, len(candidates))]))
+        return ops
+
+
+def generate_workload(ds_name: str, workload: WorkloadSpec,
+                      registry=None) -> list[Program]:
+    """Convenience wrapper over :class:`WorkloadGenerator`."""
+    return WorkloadGenerator(registry).generate(ds_name, workload)

@@ -1,0 +1,159 @@
+"""Throughput harness: sweep (structure x policy x workload x
+conflict-mode) through the speculative executor.
+
+This is the execution-side sibling of the PR-2 verification bench: it
+generates deterministic workloads, runs them under every conflict-
+detection policy, and collects commits / aborts / conflict-rate /
+ops-per-second — the numbers behind the paper's thesis that verified
+semantic commutativity admits more concurrency than read/write conflict
+detection, which in turn beats a global mutex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..runtime.executor import ExecutionReport, SpeculativeExecutor
+from ..runtime.gatekeeper import POLICIES
+from .generator import WorkloadGenerator
+from .spec import WorkloadSpec
+
+
+@dataclass
+class WorkloadRun:
+    """One (structure, workload, policy, conflict-mode) execution."""
+
+    structure: str
+    workload: WorkloadSpec
+    policy: str
+    conflict_mode: str
+    workers: int
+    report: ExecutionReport
+
+    @property
+    def commits(self) -> int:
+        return self.report.commits
+
+    @property
+    def aborts(self) -> int:
+        return self.report.aborts
+
+    @property
+    def operations(self) -> int:
+        return self.report.operations
+
+    @property
+    def conflicts(self) -> int:
+        return self.report.conflicts
+
+    @property
+    def conflict_checks(self) -> int:
+        return self.report.conflict_checks
+
+    @property
+    def conflict_rate(self) -> float:
+        return self.report.conflict_rate
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.report.ops_per_second
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.report.wall_seconds
+
+    @property
+    def serializable(self) -> bool:
+        return self.report.serializable
+
+    def summary(self) -> str:
+        return (f"{self.structure} [{self.workload.label}] "
+                f"{self.report.summary()} "
+                f"({self.ops_per_second:.0f} ops/s, "
+                f"workers={self.workers})")
+
+
+#: The default sweep: three contention shapes over a shared key space
+#: (every transaction draws from the same keys, so nothing is disjoint).
+DEFAULT_WORKLOADS: tuple[WorkloadSpec, ...] = (
+    WorkloadSpec(name="mixed-uniform", profile="mixed",
+                 distribution="uniform", transactions=6,
+                 ops_per_transaction=5, key_space=8, value_space=3,
+                 seed=42),
+    WorkloadSpec(name="write-heavy-hotkey", profile="write-heavy",
+                 distribution="hot-key", transactions=6,
+                 ops_per_transaction=5, key_space=8, value_space=3,
+                 seed=43),
+    WorkloadSpec(name="read-heavy-zipfian", profile="read-heavy",
+                 distribution="zipfian", transactions=6,
+                 ops_per_transaction=5, key_space=8, value_space=3,
+                 seed=44),
+)
+
+#: The workloads the ``bench --suite runtime`` CLI sweeps (kept separate
+#: from DEFAULT_WORKLOADS so baseline-gated numbers stay stable even if
+#: the interactive defaults evolve).
+BENCH_WORKLOADS: tuple[WorkloadSpec, ...] = DEFAULT_WORKLOADS
+
+
+class ThroughputHarness:
+    """Runs workload sweeps and collects :class:`WorkloadRun` results."""
+
+    def __init__(self, registry=None, workers: int | None = None,
+                 batch: int = 1, max_rounds: int = 200_000) -> None:
+        from ..api import resolve_registry
+        self.registry = resolve_registry(registry)
+        #: None defers to each workload's ``workers`` hint; an explicit
+        #: value (1 included) overrides every hint, so a serial harness
+        #: can never be escalated to threaded execution by a spec.
+        self.workers = workers
+        self.batch = batch
+        self.max_rounds = max_rounds
+        self.generator = WorkloadGenerator(self.registry)
+
+    def runnable_structures(self) -> list[str]:
+        """Registered structures the executor can drive: they need a
+        concrete implementation and a condition catalog."""
+        return [name for name in self.registry.names()
+                if self.registry.has_implementation(name)
+                and self.registry.has_conditions(name)]
+
+    def run_one(self, structure: str, workload: WorkloadSpec,
+                policy: str = "commutativity",
+                conflict_mode: str = "abort",
+                workers: int | None = None) -> WorkloadRun:
+        """Generate ``workload`` for ``structure`` and execute it.
+
+        Worker-count precedence: the ``workers`` argument, then the
+        harness's configured ``workers``, then the workload's hint.
+        """
+        if workers is None:
+            workers = self.workers if self.workers is not None \
+                else workload.workers
+        programs = self.generator.generate(structure, workload)
+        executor = SpeculativeExecutor(
+            structure, policy=policy, seed=workload.seed,
+            max_rounds=self.max_rounds, conflict_mode=conflict_mode,
+            registry=self.registry, workers=workers, batch=self.batch)
+        return WorkloadRun(structure=structure, workload=workload,
+                           policy=policy, conflict_mode=conflict_mode,
+                           workers=workers,
+                           report=executor.run(programs))
+
+    def sweep(self, structures: Sequence[str] | None = None,
+              workloads: Iterable[WorkloadSpec] | None = None,
+              policies: Sequence[str] = POLICIES,
+              conflict_modes: Sequence[str] = ("abort",),
+              workers: int | None = None) -> list[WorkloadRun]:
+        """The full cross product, in deterministic order."""
+        structures = list(structures) if structures is not None \
+            else self.runnable_structures()
+        workloads = tuple(workloads) if workloads is not None \
+            else DEFAULT_WORKLOADS
+        return [self.run_one(structure, workload, policy=policy,
+                             conflict_mode=mode, workers=workers)
+                for structure in structures
+                for workload in workloads
+                for policy in policies
+                for mode in conflict_modes]

@@ -1,0 +1,202 @@
+"""Workload parameterization: op-mix profiles and key distributions.
+
+A :class:`WorkloadSpec` is a small, hashable description of a synthetic
+transaction mix — how many transactions, how long, how read-heavy, and
+how skewed the key traffic is.  Generation is fully determined by the
+spec (see :mod:`repro.workloads.generator`): the same spec always yields
+byte-identical programs, regardless of how many executor workers later
+run them.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass, replace
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """An op-mix profile: the fraction of observer (read) operations."""
+
+    name: str
+    read_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(
+                f"read_fraction must be in [0, 1], got {self.read_fraction}")
+
+
+#: Built-in op-mix profiles (YCSB-style shorthand names).
+PROFILES: dict[str, OpMix] = {
+    "read-heavy": OpMix("read-heavy", 0.875),
+    "mixed": OpMix("mixed", 0.5),
+    "write-heavy": OpMix("write-heavy", 0.125),
+    "write-only": OpMix("write-only", 0.0),
+}
+
+
+class KeyDistribution:
+    """How transaction operations pick keys from a finite universe.
+
+    ``pick(rng, n)`` returns an index in ``[0, n)``; subclasses only
+    shape the index distribution, so the same machinery serves set
+    elements, map keys, ArrayList values, and (for custom structures)
+    whole candidate argument tuples.
+    """
+
+    name = "abstract"
+
+    def pick(self, rng: random.Random, n: int) -> int:
+        raise NotImplementedError
+
+
+class UniformDistribution(KeyDistribution):
+    """Every key equally likely."""
+
+    name = "uniform"
+
+    def pick(self, rng: random.Random, n: int) -> int:
+        return rng.randrange(n)
+
+
+class ZipfianDistribution(KeyDistribution):
+    """Rank-based Zipfian skew: key ``i`` has weight ``1/(i+1)**skew``."""
+
+    name = "zipfian"
+
+    def __init__(self, skew: float = 1.2) -> None:
+        if skew <= 0:
+            raise ValueError(f"zipfian skew must be positive, got {skew}")
+        self.skew = skew
+        self._cdf_cache: dict[int, list[float]] = {}
+
+    def _cdf(self, n: int) -> list[float]:
+        cdf = self._cdf_cache.get(n)
+        if cdf is None:
+            weights = [1.0 / (rank + 1) ** self.skew for rank in range(n)]
+            total = sum(weights)
+            acc, cdf = 0.0, []
+            for w in weights:
+                acc += w / total
+                cdf.append(acc)
+            self._cdf_cache[n] = cdf
+        return cdf
+
+    def pick(self, rng: random.Random, n: int) -> int:
+        return min(bisect.bisect(self._cdf(n), rng.random()), n - 1)
+
+
+class HotKeyDistribution(KeyDistribution):
+    """A hot set absorbs most traffic: with probability ``hot_fraction``
+    pick uniformly among the first ``hot_keys`` keys, else uniformly
+    among the rest."""
+
+    name = "hot-key"
+
+    def __init__(self, hot_fraction: float = 0.8, hot_keys: int = 1) -> None:
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError(
+                f"hot_fraction must be in [0, 1], got {hot_fraction}")
+        if hot_keys < 1:
+            raise ValueError(f"hot_keys must be >= 1, got {hot_keys}")
+        self.hot_fraction = hot_fraction
+        self.hot_keys = hot_keys
+
+    def pick(self, rng: random.Random, n: int) -> int:
+        hot = min(self.hot_keys, n)
+        # Draw order is fixed so generation stays deterministic.
+        r = rng.random()
+        if hot >= n or r < self.hot_fraction:
+            return rng.randrange(hot)
+        return hot + rng.randrange(n - hot)
+
+
+#: Built-in key-distribution factories.
+DISTRIBUTIONS: dict[str, Callable[[], KeyDistribution]] = {
+    "uniform": UniformDistribution,
+    "zipfian": ZipfianDistribution,
+    "hot-key": HotKeyDistribution,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A parameterized, seeded, deterministic workload description.
+
+    ``workers`` is an execution hint for the throughput harness only:
+    generation MUST NOT depend on it (the property the workload tests
+    pin down), so the same spec drives serial and multi-worker runs over
+    byte-identical programs.
+    """
+
+    profile: str = "mixed"
+    distribution: str = "uniform"
+    transactions: int = 8
+    ops_per_transaction: int = 6
+    key_space: int = 16
+    value_space: int = 4
+    seed: int = 0
+    workers: int = 1
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILES:
+            raise ValueError(f"unknown profile {self.profile!r}; choose "
+                             f"from {', '.join(sorted(PROFILES))}")
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown distribution {self.distribution!r}; choose "
+                f"from {', '.join(sorted(DISTRIBUTIONS))}")
+        for field_name in ("transactions", "ops_per_transaction",
+                           "key_space", "value_space"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+    @property
+    def mix(self) -> OpMix:
+        return PROFILES[self.profile]
+
+    def make_distribution(self) -> KeyDistribution:
+        return DISTRIBUTIONS[self.distribution]()
+
+    @property
+    def label(self) -> str:
+        """A short human-readable identity for tables and JSON keys."""
+        if self.name is not None:
+            return self.name
+        return (f"{self.profile}/{self.distribution}"
+                f" {self.transactions}x{self.ops_per_transaction}"
+                f" k{self.key_space} s{self.seed}")
+
+    def describe(self) -> dict:
+        """A JSON-serializable description (benchmark payloads)."""
+        return {
+            "profile": self.profile,
+            "distribution": self.distribution,
+            "transactions": self.transactions,
+            "ops_per_transaction": self.ops_per_transaction,
+            "key_space": self.key_space,
+            "value_space": self.value_space,
+            "seed": self.seed,
+        }
+
+    def with_(self, **changes) -> "WorkloadSpec":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def resolve_workload(workload=None, **spec_fields) -> WorkloadSpec:
+    """Coerce ``None`` (defaults), a profile name, or a spec into a
+    :class:`WorkloadSpec`; keyword fields override."""
+    if workload is None:
+        return WorkloadSpec(**spec_fields)
+    if isinstance(workload, str):
+        return WorkloadSpec(profile=workload, **spec_fields)
+    if isinstance(workload, WorkloadSpec):
+        return workload.with_(**spec_fields) if spec_fields else workload
+    raise TypeError(f"cannot build a WorkloadSpec from {workload!r}")

@@ -46,3 +46,10 @@ def test_speculative_index_runs():
     result = _run("speculative_index.py")
     assert result.returncode == 0, result.stderr
     assert "serializable=True" in result.stdout
+
+
+def test_workload_throughput_runs():
+    result = _run("workload_throughput.py")
+    assert result.returncode == 0, result.stderr
+    assert "commutativity wins" in result.stdout
+    assert "workers=4" in result.stdout

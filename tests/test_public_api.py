@@ -15,7 +15,7 @@ def _isolated_cache_dir(tmp_path, monkeypatch):
 
 
 def test_version():
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
 
 
 def test_public_names_importable():

@@ -1,0 +1,17 @@
+"""Fixtures for the workloads suite: reuse the api tests' custom
+Register structure to exercise the generic generation path."""
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "api"))
+
+from register_fixture import make_register_registry
+
+
+@pytest.fixture
+def register_registry():
+    return make_register_registry()

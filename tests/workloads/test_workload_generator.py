@@ -1,0 +1,217 @@
+"""Workload generation: determinism, profiles, distributions, and the
+generic path for custom registry structures."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import DEFAULT_REGISTRY
+from repro.runtime import SpeculativeExecutor
+from repro.workloads import (PROFILES, WorkloadError, WorkloadGenerator,
+                             WorkloadSpec, generate_workload)
+
+BUILTINS = ("ListSet", "HashSet", "AssociationList", "HashTable",
+            "ArrayList", "Accumulator")
+
+
+# -- determinism ---------------------------------------------------------------
+
+@pytest.mark.parametrize("name", BUILTINS)
+def test_same_seed_same_programs(name):
+    spec = WorkloadSpec(seed=7)
+    assert generate_workload(name, spec) == generate_workload(name, spec)
+
+
+def test_different_seeds_differ():
+    a = generate_workload("HashSet", WorkloadSpec(seed=1))
+    b = generate_workload("HashSet", WorkloadSpec(seed=2))
+    assert a != b
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 1000), st.integers(2, 8), st.sampled_from(BUILTINS))
+def test_generation_byte_identical_across_workers(seed, workers, name):
+    """The satellite property: the ``workers`` execution hint MUST NOT
+    influence generation — serial and multi-worker runs execute
+    byte-identical transaction programs."""
+    base = WorkloadSpec(seed=seed, transactions=4, ops_per_transaction=4)
+    serial = generate_workload(name, base)
+    threaded = generate_workload(name, base.with_(workers=workers))
+    assert repr(serial).encode() == repr(threaded).encode()
+
+
+# -- shape ---------------------------------------------------------------------
+
+def test_counts_respected():
+    spec = WorkloadSpec(transactions=5, ops_per_transaction=9)
+    programs = generate_workload("HashSet", spec)
+    assert len(programs) == 5
+    assert all(len(ops) == 9 for ops in programs)
+
+
+def _mutator_fraction(name, programs):
+    spec = DEFAULT_REGISTRY.spec(name)
+    ops = [op for program in programs for op, _ in program]
+    mutators = sum(spec.operations[op].mutator for op in ops)
+    return mutators / len(ops)
+
+
+@pytest.mark.parametrize("name", BUILTINS)
+def test_profiles_shift_the_op_mix(name):
+    big = WorkloadSpec(transactions=20, ops_per_transaction=20, seed=5)
+    fractions = {
+        profile: _mutator_fraction(
+            name, generate_workload(name, big.with_(profile=profile)))
+        for profile in ("read-heavy", "mixed", "write-heavy")}
+    assert fractions["read-heavy"] < fractions["mixed"] \
+        < fractions["write-heavy"]
+
+
+def test_write_only_profile_has_no_observers():
+    programs = generate_workload(
+        "HashSet", WorkloadSpec(profile="write-only", transactions=10,
+                                ops_per_transaction=10))
+    assert _mutator_fraction("HashSet", programs) == 1.0
+
+
+def _key_counts(programs):
+    counts = collections.Counter()
+    for program in programs:
+        for _, args in program:
+            if args:
+                counts[args[0]] += 1
+    return counts
+
+
+def test_hot_key_distribution_concentrates_traffic():
+    spec = WorkloadSpec(profile="write-only", distribution="hot-key",
+                        transactions=30, ops_per_transaction=20,
+                        key_space=16, seed=3)
+    counts = _key_counts(generate_workload("HashSet", spec))
+    total = sum(counts.values())
+    assert counts["k0"] / total > 0.5  # hot_fraction defaults to 0.8
+
+
+def test_zipfian_distribution_skews_low_ranks():
+    spec = WorkloadSpec(profile="write-only", distribution="zipfian",
+                        transactions=30, ops_per_transaction=20,
+                        key_space=16, seed=3)
+    counts = _key_counts(generate_workload("HashSet", spec))
+    uniform = WorkloadSpec(profile="write-only", distribution="uniform",
+                           transactions=30, ops_per_transaction=20,
+                           key_space=16, seed=3)
+    uniform_counts = _key_counts(generate_workload("HashSet", uniform))
+    assert counts["k0"] > max(uniform_counts.values())
+    assert counts["k0"] == max(counts.values())
+
+
+# -- validation ----------------------------------------------------------------
+
+def test_unknown_profile_rejected():
+    with pytest.raises(ValueError, match="unknown profile"):
+        WorkloadSpec(profile="chaotic")
+
+
+def test_unknown_distribution_rejected():
+    with pytest.raises(ValueError, match="unknown distribution"):
+        WorkloadSpec(distribution="pareto")
+
+
+def test_profiles_cover_the_documented_names():
+    assert {"read-heavy", "mixed", "write-heavy"} <= set(PROFILES)
+
+
+# -- ArrayList index safety ----------------------------------------------------
+
+def test_arraylist_programs_track_a_safe_balance():
+    """Every emitted index stays below the transaction's running net
+    insertion count (at most equal for add_at), the invariant that keeps
+    preconditions valid under any interleaving."""
+    spec = WorkloadSpec(profile="write-heavy", transactions=20,
+                        ops_per_transaction=15, seed=11)
+    for program in generate_workload("ArrayList", spec):
+        balance = 0
+        for op, args in program:
+            if op == "add_at":
+                assert 0 <= args[0] <= balance
+                balance += 1
+            elif op in ("set", "set_", "get", "remove_at", "remove_at_"):
+                assert 0 <= args[0] < balance
+                if op.startswith("remove_at"):
+                    balance -= 1
+            assert balance >= 0
+
+
+@pytest.mark.parametrize("policy", ("commutativity", "read-write"))
+def test_arraylist_workload_executes_under_every_policy(policy):
+    spec = WorkloadSpec(profile="mixed", transactions=5,
+                        ops_per_transaction=6, seed=13)
+    programs = generate_workload("ArrayList", spec)
+    report = SpeculativeExecutor("ArrayList", policy, seed=13,
+                                 max_rounds=200_000).run(programs)
+    assert report.commits == 5
+    assert report.serializable
+
+
+# -- the generic path for custom structures ------------------------------------
+
+def test_custom_structure_generates_and_executes(register_registry):
+    class CellImpl:
+        def __init__(self):
+            self.value = "init"
+
+        def write(self, v):
+            old = self.value
+            self.value = v
+            return old
+
+        def read(self):
+            return self.value
+
+        def abstract_state(self):
+            from repro.eval import Record
+            return Record(value=self.value)
+
+    register_registry.register_implementation("Register", CellImpl)
+    spec = WorkloadSpec(transactions=4, ops_per_transaction=5, seed=1)
+    generator = WorkloadGenerator(register_registry)
+    programs = generator.generate("Register", spec)
+    assert programs == generator.generate("Register", spec)
+    ops = {op for program in programs for op, _ in program}
+    assert ops <= {"read", "write"}
+    assert "write" in ops
+    report = SpeculativeExecutor(
+        "Register", "commutativity", seed=1, max_rounds=200_000,
+        registry=register_registry).run(programs)
+    assert report.commits == 4
+    assert report.serializable
+
+
+def test_structure_without_safe_operations_raises():
+    from repro.api import Registry
+    from repro.eval import Record
+    from repro.logic.sorts import Sort
+    from repro.specs.interface import (DataStructureSpec, Operation,
+                                       Param, parse_pre)
+
+    params = (Param("v", Sort.OBJ),)
+    fields = {"value": Sort.OBJ}
+    # The precondition only holds in one state, so no call is safe in
+    # every in-scope state and the generic generator must refuse.
+    op = Operation(
+        name="fussy", params=params, result_sort=None,
+        precondition=parse_pre("s.value = v", fields, params, {}, None),
+        semantics=lambda state, args: (state, None), mutator=True)
+    spec = DataStructureSpec(
+        name="Fussy", state_fields=fields, principal_field=None,
+        operations={"fussy": op}, initial_state=Record(value="a"),
+        invariant=lambda state: True,
+        states=lambda scope: iter([Record(value=v)
+                                   for v in scope.objects]),
+        arguments=lambda op, scope: iter([(v,) for v in scope.objects]))
+    registry = Registry()
+    registry.register_spec("Fussy", spec)
+    with pytest.raises(WorkloadError):
+        WorkloadGenerator(registry).generate(
+            "Fussy", WorkloadSpec(transactions=1))
