@@ -1,0 +1,80 @@
+"""Sharded conflict management + contention-adaptive policies.
+
+The verified between conditions tell us statically *which* operations
+interact: Set/Map operations by key, ArrayList operations by index
+band, Accumulator increases by amount.  The sharded gatekeeper turns
+that interaction structure into a partition of the outstanding-
+operation log — one log and one lock per region — so admission checks
+on non-interacting operations skip each other's regions entirely
+instead of scanning one flat list under one lock.
+
+This example shows the three layers:
+
+1. flat vs sharded execution of the same deterministic workload —
+   identical admission decisions at ``workers=1`` (the sharded manager
+   only ever skips unconditionally-commuting pairs), with the per-shard
+   contention table showing where the checks landed;
+2. multi-worker throughput, flat single-lock vs per-shard locking, on a
+   preloaded (YCSB-style load phase) workload;
+3. the contention-adaptive policies on a hot-key write-heavy workload:
+   exponential backoff, wait-die ordering, and the hybrid policy that
+   starts speculating and falls back to blocking per tripped shard.
+
+Run:  python examples/sharded_throughput.py
+"""
+
+from repro.api import Session
+from repro.reporting import shard_contention_table
+from repro.workloads import (BENCH_WORKLOADS, SCALING_WORKLOADS,
+                             ThroughputHarness)
+
+HOTKEY = next(w for w in BENCH_WORKLOADS
+              if w.label == "write-heavy-hotkey")
+
+
+def main() -> None:
+    session = Session()
+    harness = ThroughputHarness(max_rounds=500_000)
+
+    print("=== 1. flat vs sharded: identical decisions at workers=1 ===")
+    flat = session.run_workload("HashSet", HOTKEY, shards=1)
+    sharded = session.run_workload("HashSet", HOTKEY, shards=4)
+    assert flat.serializable and sharded.serializable
+    assert flat.commit_order == sharded.commit_order
+    assert flat.aborts == sharded.aborts
+    print(f"  flat:    {flat.summary()}")
+    print(f"  sharded: {sharded.summary()}")
+    run = harness.run_one("HashSet", HOTKEY, shards=4)
+    print(shard_contention_table([run]))
+
+    print("\n=== 2. multi-worker: flat single lock vs per-shard locks ===")
+    workload = SCALING_WORKLOADS[0]
+    for shards in (1, 4):
+        report = session.run_workload(
+            "HashSet", workload, policy="commutativity",
+            conflict_mode="block", workers=4, shards=shards)
+        assert report.serializable
+        mode = "flat log, one lock" if shards == 1 \
+            else "4 shards, per-shard locks"
+        print(f"  {mode}: "
+              f"{report.committed_ops_per_second:,.0f} committed ops/s "
+              f"({report.conflict_checks} checks)")
+
+    print("\n=== 3. contention-adaptive policies (hot-key workload) ===")
+    plain = harness.run_one("HashSet", HOTKEY, workers=1)
+    print(f"  plain commutativity: {plain.aborts} aborts")
+    for adaptive in ("backoff", "wait-die", "hybrid"):
+        run = harness.run_one("HashSet", HOTKEY, workers=1,
+                              adaptive=adaptive)
+        assert run.serializable
+        print(f"  {adaptive:>9}: {run.aborts} aborts")
+
+    print("\nThe sharded gatekeeper admits non-interacting operations "
+          "without scanning one global\nlist under one lock, and the "
+          "adaptive policies stop abort storms from re-executing\n"
+          "doomed prefixes — the conditions tell the runtime which "
+          "regions interact.")
+
+
+if __name__ == "__main__":
+    main()

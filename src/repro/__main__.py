@@ -91,6 +91,7 @@ BENCH_FLOOR_SECONDS = 0.1
 def _cmd_run(args: argparse.Namespace, registry: Registry) -> int:
     """Generate a seeded workload and execute it speculatively."""
     from .reporting.tables import (policy_comparison_table,
+                                   shard_contention_table,
                                    workload_report_table)
     from .runtime.gatekeeper import POLICIES
     from .workloads import ThroughputHarness, WorkloadSpec
@@ -98,9 +99,10 @@ def _cmd_run(args: argparse.Namespace, registry: Registry) -> int:
         profile=args.profile, distribution=args.distribution,
         transactions=args.txns, ops_per_transaction=args.ops,
         key_space=args.key_space, value_space=args.value_space,
-        seed=args.seed)
+        preload=args.preload, seed=args.seed)
     harness = ThroughputHarness(registry=registry, workers=args.workers,
-                                batch=args.batch)
+                                batch=args.batch, shards=args.shards,
+                                adaptive=args.adaptive)
     policies = (args.policy,) if args.policy else POLICIES
     runs = [harness.run_one(args.name, workload, policy=policy,
                             conflict_mode=args.conflict_mode)
@@ -109,6 +111,9 @@ def _cmd_run(args: argparse.Namespace, registry: Registry) -> int:
     if len(runs) > 1:
         print()
         print(policy_comparison_table(runs))
+    if args.shard_stats:
+        print()
+        print(shard_contention_table(runs))
     if args.txn_stats:
         for run in runs:
             aborted = run.report.ever_aborted
@@ -133,7 +138,8 @@ def _cmd_bench_runtime(args: argparse.Namespace, registry: Registry) -> int:
     from .runtime.gatekeeper import POLICIES
     from .workloads import BENCH_WORKLOADS, ThroughputHarness
     output = args.output or "BENCH_runtime.json"
-    harness = ThroughputHarness(registry=registry, workers=args.workers)
+    harness = ThroughputHarness(registry=registry, workers=args.workers,
+                                shards=args.shards)
     structures = harness.runnable_structures()
     start = time.perf_counter()
     runs = harness.sweep(structures=structures,
@@ -143,6 +149,7 @@ def _cmd_bench_runtime(args: argparse.Namespace, registry: Registry) -> int:
         "schema": 1,
         "suite": "runtime",
         "workers": args.workers,
+        "shards": args.shards,
         "workloads": {w.label: w.describe() for w in BENCH_WORKLOADS},
         "wall_seconds": round(wall, 4),
         "structures": {},
@@ -175,6 +182,11 @@ def _cmd_bench_runtime(args: argparse.Namespace, registry: Registry) -> int:
             "policies": policies,
             "commutativity_beats_read_write_on": strict_wins,
         }
+    # The adaptive and scaling sections run (and mutate the payload)
+    # before it is written, so the emitted JSON carries their numbers.
+    adaptive_failed = _bench_adaptive_section(payload, registry, args)
+    scaling_failed = (args.shards > 1
+                      and _bench_scaling_section(payload, registry, args))
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -182,7 +194,7 @@ def _cmd_bench_runtime(args: argparse.Namespace, registry: Registry) -> int:
           f"policies x {len(BENCH_WORKLOADS)} workloads, "
           f"workers={args.workers}, wall {wall:.2f}s -> {output}")
     print(policy_comparison_table(runs))
-    failed = False
+    failed = adaptive_failed or scaling_failed
     not_serializable = [r for r in runs if not r.serializable]
     if not_serializable:
         print("bench: NOT SERIALIZABLE: "
@@ -206,6 +218,121 @@ def _cmd_bench_runtime(args: argparse.Namespace, registry: Registry) -> int:
         return _check_bench_baseline(payload, args.baseline,
                                      args.max_regression)
     return 0
+
+
+def _bench_adaptive_section(payload: dict, registry: Registry,
+                            args: argparse.Namespace) -> bool:
+    """Hybrid-vs-plain abort counts on the hot-key write-heavy workload
+    (serial, hence deterministic).  Returns True on gate failure: the
+    hybrid policy must strictly reduce aborts on every structure."""
+    from .workloads import BENCH_WORKLOADS, ThroughputHarness
+    hot = next(w for w in BENCH_WORKLOADS
+               if w.label == "write-heavy-hotkey")
+    harness = ThroughputHarness(registry=registry)
+    section: dict = {"workload": hot.label, "policy": "commutativity",
+                     "adaptive": "hybrid", "shards": args.shards,
+                     "structures": {}}
+    regressions = []
+    for name in harness.runnable_structures():
+        plain = harness.run_one(name, hot, policy="commutativity",
+                                workers=1, shards=args.shards)
+        hybrid = harness.run_one(name, hot, policy="commutativity",
+                                 workers=1, shards=args.shards,
+                                 adaptive="hybrid")
+        section["structures"][name] = {
+            "plain_aborts": plain.aborts,
+            "hybrid_aborts": hybrid.aborts,
+        }
+        if not (plain.serializable and hybrid.serializable):
+            regressions.append(f"{name}: not serializable")
+        elif plain.aborts and hybrid.aborts >= plain.aborts:
+            regressions.append(
+                f"{name}: hybrid {hybrid.aborts} aborts >= plain "
+                f"{plain.aborts}")
+    payload["adaptive"] = section
+    total_plain = sum(e["plain_aborts"]
+                      for e in section["structures"].values())
+    total_hybrid = sum(e["hybrid_aborts"]
+                       for e in section["structures"].values())
+    print(f"bench: adaptive hybrid on {hot.label}: "
+          f"{total_hybrid} aborts vs {total_plain} plain")
+    if regressions:
+        print("bench: hybrid policy failed to reduce aborts:\n  "
+              + "\n  ".join(regressions), file=sys.stderr)
+        return True
+    return False
+
+
+#: Repetitions per (structure, workload, config) scaling cell; the best
+#: run is kept, damping scheduler noise in the threaded comparison.
+SCALING_REPEATS = 2
+
+
+def _bench_scaling_section(payload: dict, registry: Registry,
+                           args: argparse.Namespace) -> bool:
+    """Flat-vs-sharded committed-operation throughput at ``workers>=4``
+    under blocking conflict resolution (no abort storms, so wall clock
+    measures admission work).  Returns True on gate failure: the sharded
+    gatekeeper must beat the flat log on at least one workload per
+    specification family."""
+    from .workloads import SCALING_WORKLOADS, ThroughputHarness
+    workers = max(args.workers, 4)
+    shards = args.shards
+    harness = ThroughputHarness(registry=registry, max_rounds=500_000)
+    section: dict = {"workers": workers, "shards": shards,
+                     "policy": "commutativity", "conflict_mode": "block",
+                     "workloads": {w.label: w.describe()
+                                   for w in SCALING_WORKLOADS},
+                     "structures": {}}
+    family_wins: dict[str, list[str]] = {}
+    broken = []
+    for name in harness.runnable_structures():
+        family = registry.family_of(name)
+        family_wins.setdefault(family, [])
+        entry: dict = {"family": family, "workloads": {}, "beats_flat_on": []}
+        for workload in SCALING_WORKLOADS:
+            best = {}
+            for mode, mode_shards in (("flat", 1), ("sharded", shards)):
+                throughput = 0.0
+                for _ in range(SCALING_REPEATS):
+                    run = harness.run_one(
+                        name, workload, policy="commutativity",
+                        conflict_mode="block", workers=workers,
+                        shards=mode_shards)
+                    if not run.serializable:
+                        # An invalid execution contributes a failure,
+                        # never a throughput sample.
+                        label = f"{name}/{workload.label}/{mode}"
+                        if label not in broken:
+                            broken.append(label)
+                        continue
+                    throughput = max(throughput,
+                                     run.committed_ops_per_second)
+                best[mode] = throughput
+            entry["workloads"][workload.label] = {
+                "flat_committed_ops_per_second": round(best["flat"], 1),
+                "sharded_committed_ops_per_second":
+                    round(best["sharded"], 1),
+            }
+            if best["sharded"] > best["flat"]:
+                entry["beats_flat_on"].append(workload.label)
+                family_wins[family].append(workload.label)
+        section["structures"][name] = entry
+    payload["scaling"] = section
+    losing = sorted(f for f, wins in family_wins.items() if not wins)
+    for name, entry in section["structures"].items():
+        print(f"bench: scaling {name}: sharded beats flat on "
+              f"{', '.join(entry['beats_flat_on']) or 'NOTHING'}")
+    if broken:
+        print("bench: scaling runs NOT SERIALIZABLE: "
+              + "; ".join(broken), file=sys.stderr)
+        return True
+    if losing:
+        print(f"bench: sharded gatekeeper (shards={shards}, "
+              f"workers={workers}) never beat the flat log for "
+              f"families: {', '.join(losing)}", file=sys.stderr)
+        return True
+    return False
 
 
 def _aborts_of(runs, workload_label: str, policy: str) -> int:
@@ -364,6 +491,21 @@ def _cmd_list(args: argparse.Namespace, registry: Registry) -> int:
     return 0
 
 
+def _shard_count(text: str) -> int:
+    """argparse type for ``--shards``: a power of two in [1, 64], with
+    the CLI's friendly-error convention instead of a traceback."""
+    from .runtime.sharding import VIRTUAL_REGIONS
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 1 or value > VIRTUAL_REGIONS or value & (value - 1):
+        raise argparse.ArgumentTypeError(
+            f"shards must be a power of two in [1, {VIRTUAL_REGIONS}], "
+            f"got {value}")
+    return value
+
+
 def _add_engine_options(parser: argparse.ArgumentParser,
                         no_cache: bool = True) -> None:
     parser.add_argument("--jobs", type=int, default=None,
@@ -408,17 +550,31 @@ def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
                      help="transaction count (default 8)")
     run.add_argument("--ops", type=int, default=6,
                      help="operations per transaction (default 6)")
+    from .runtime.adaptive import ADAPTIVE_POLICIES
+
     run.add_argument("--key-space", type=int, default=16)
     run.add_argument("--value-space", type=int, default=4)
+    run.add_argument("--preload", type=int, default=0,
+                     help="YCSB-style load phase: prepopulate the "
+                          "structure with this many elements")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--workers", type=int, default=1,
                      help="executor worker threads (1 = deterministic)")
     run.add_argument("--batch", type=int, default=1,
-                     help="ops per gatekeeper lock hold (workers > 1)")
+                     help="ops per gatekeeper lock hold (workers > 1, "
+                          "flat log only)")
+    run.add_argument("--shards", type=_shard_count, default=1,
+                     help="conflict-manager log shards (1 = flat log; "
+                          "powers of two)")
+    run.add_argument("--adaptive", choices=ADAPTIVE_POLICIES,
+                     help="contention-adaptive conflict response "
+                          "(default: none)")
     run.add_argument("--conflict-mode", default="abort",
                      choices=("abort", "block"))
     run.add_argument("--txn-stats", action="store_true",
                      help="print per-transaction abort counts")
+    run.add_argument("--shard-stats", action="store_true",
+                     help="print the per-shard contention table")
     run.set_defaults(func=_cmd_run)
 
     bench = sub.add_parser(
@@ -434,6 +590,10 @@ def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
     _add_engine_options(bench, no_cache=False)  # bench is always cold
     bench.add_argument("--workers", type=int, default=1,
                        help="executor worker threads for --suite runtime")
+    bench.add_argument("--shards", type=_shard_count, default=1,
+                       help="conflict-manager shards for --suite "
+                            "runtime (powers of two); > 1 adds the "
+                            "flat-vs-sharded scaling comparison")
     bench.add_argument("--output", default=None,
                        help="where to write the timing report (default "
                             "BENCH_<suite>.json)")

@@ -41,6 +41,12 @@ def populate_builtins(registry: Registry) -> Registry:
     for family in ("Accumulator", "Set", "Map", "ArrayList"):
         registry.register_inverses(
             family, [inv for inv in INVERSES if inv.family == family])
+
+    # Shard routers: how each family's verified interaction structure
+    # partitions the gatekeeper log (repro.runtime.sharding).
+    from ..runtime.sharding import FAMILY_ROUTERS
+    for family, router in FAMILY_ROUTERS.items():
+        registry.register_shard_router(family, router)
     return registry
 
 

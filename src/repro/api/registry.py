@@ -54,6 +54,8 @@ class Registry:
                           Iterable[CommutativityCondition]]] = {}
         self._inverse_specs: dict[str, tuple[InverseSpec, ...]] = {}
         self._implementations: dict[str, type] = {}
+        #: Family -> shard router (see :mod:`repro.runtime.sharding`).
+        self._shard_routers: dict[str, Callable] = {}
         # Per-instance caches (replace the old module-global lru_caches).
         self._spec_cache: dict[str, DataStructureSpec] = {}
         self._condition_cache: dict[
@@ -136,6 +138,31 @@ class Registry:
             raise DuplicateNameError(
                 f"inverses for {family!r} are already registered")
         self._inverse_specs[family] = tuple(inverses)
+
+    def register_shard_router(self, name: str, router: Callable) -> None:
+        """Register the shard router of ``name``'s family.
+
+        A router is a callable ``(op_name, args, num_shards) -> shard
+        ids | None`` (``None`` = every shard) that the sharded
+        gatekeeper uses to partition its log into interaction regions.
+        Soundness contract: the router may only place two operations in
+        disjoint shard sets when they *unconditionally* commute (their
+        between condition holds in every state) — see
+        :mod:`repro.runtime.sharding`.  Structures without a router fall
+        back to a single region (flat-log behaviour).
+        """
+        family = self.family_of(name)
+        if family in self._shard_routers:
+            raise DuplicateNameError(
+                f"shard router for {family!r} is already registered")
+        self._shard_routers[family] = router
+
+    def has_shard_router(self, name: str) -> bool:
+        return self.family_of(name) in self._shard_routers
+
+    def shard_router(self, name: str) -> Callable | None:
+        """The shard router of a structure's family, or ``None``."""
+        return self._shard_routers.get(self.family_of(name))
 
     def register_implementation(self, name: str, cls: type) -> None:
         """Bind a concrete implementation class to a structure name."""

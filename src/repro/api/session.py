@@ -133,6 +133,8 @@ class Session:
                      policy: str = "commutativity",
                      conflict_mode: str = "abort",
                      workers: int | None = None, batch: int = 1,
+                     shards: int | None = None,
+                     adaptive: str | None = None,
                      max_rounds: int = 200_000, **spec_fields):
         """Generate a deterministic workload for ``name`` and execute it
         speculatively; an :class:`~repro.runtime.executor.ExecutionReport`.
@@ -142,34 +144,46 @@ class Session:
         or ``None``; remaining keyword fields (``distribution=``,
         ``transactions=``, ``seed=``, ...) override spec fields.  The
         generated programs depend only on the workload spec — never on
-        ``workers`` — so serial and multi-worker runs execute
-        byte-identical transactions.
+        ``workers`` or ``shards`` — so serial, multi-worker, and sharded
+        runs execute byte-identical transactions.
+
+        ``shards`` partitions the conflict-manager log by interaction
+        region (``1`` = the flat-log gatekeeper); ``adaptive`` selects a
+        contention controller (``"backoff"``, ``"wait-die"``,
+        ``"hybrid"``, or ``None``).
         """
         from ..runtime.executor import SpeculativeExecutor
         from ..workloads import WorkloadGenerator, resolve_workload
         workload = resolve_workload(workload, **spec_fields)
         self.registry.implementation(name)  # fail early with suggestions
-        programs = WorkloadGenerator(self.registry).generate(name, workload)
+        generator = WorkloadGenerator(self.registry)
+        programs = generator.generate(name, workload)
+        setup = generator.generate_setup(name, workload)
         executor = SpeculativeExecutor(
             name, policy=policy, seed=workload.seed,
             max_rounds=max_rounds, conflict_mode=conflict_mode,
             registry=self.registry,
             workers=workers if workers is not None else workload.workers,
-            batch=batch)
-        return executor.run(programs)
+            batch=batch,
+            shards=shards if shards is not None else workload.shards,
+            adaptive=adaptive)
+        return executor.run(programs, setup=setup)
 
     def throughput_sweep(self, structures: Sequence[str] | None = None,
                          workloads=None, policies=None,
                          conflict_modes: Sequence[str] = ("abort",),
-                         workers: int | None = None):
-        """Sweep (structure x policy x workload x conflict-mode) through
-        the speculative executor; a list of
+                         workers: int | None = None,
+                         shard_counts: Sequence[int] | None = None,
+                         adaptive: str | None = None):
+        """Sweep (structure x policy x workload x conflict-mode
+        [x shard-count]) through the speculative executor; a list of
         :class:`~repro.workloads.WorkloadRun`."""
         from ..runtime.gatekeeper import POLICIES
         from ..workloads import ThroughputHarness
         harness = ThroughputHarness(registry=self.registry,
-                                    workers=workers)
+                                    workers=workers, adaptive=adaptive)
         return harness.sweep(structures=structures, workloads=workloads,
                              policies=(policies if policies is not None
                                        else POLICIES),
-                             conflict_modes=conflict_modes)
+                             conflict_modes=conflict_modes,
+                             shard_counts=shard_counts)

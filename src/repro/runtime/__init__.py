@@ -1,12 +1,23 @@
 """Speculative parallel execution built on verified commutativity
 conditions and inverse operations (the paper's motivating systems)."""
 
-from .gatekeeper import Gatekeeper, LoggedOperation, POLICIES
+from .adaptive import (ADAPTIVE_POLICIES, AdaptiveController,
+                       BackoffController, HybridController,
+                       WaitDieController, make_controller)
+from .gatekeeper import (ConflictManager, Gatekeeper, LoggedOperation,
+                         POLICIES, ShardedGatekeeper, conflict_manager)
+from .sharding import (FAMILY_ROUTERS, ShardRouter, single_region_router,
+                       stable_hash)
 from .transaction import Transaction, TxnStatus, UndoEntry, rollback
 from .executor import ExecutionReport, SpeculativeExecutor
 
 __all__ = [
-    "Gatekeeper", "LoggedOperation", "POLICIES",
+    "ConflictManager", "Gatekeeper", "ShardedGatekeeper",
+    "conflict_manager", "LoggedOperation", "POLICIES",
+    "ADAPTIVE_POLICIES", "AdaptiveController", "BackoffController",
+    "WaitDieController", "HybridController", "make_controller",
+    "FAMILY_ROUTERS", "ShardRouter", "single_region_router",
+    "stable_hash",
     "Transaction", "TxnStatus", "UndoEntry", "rollback",
     "ExecutionReport", "SpeculativeExecutor",
 ]

@@ -1,0 +1,164 @@
+"""Contention-adaptive conflict-response policies.
+
+The gatekeeper *detects* conflicts; what the executor does next — abort
+immediately or block and wait — is the conflict mode.  On hot-key
+write-heavy workloads the naive response wastes work: an aborted
+transaction restarts instantly, re-executes the same doomed prefix, and
+aborts again (the ROADMAP's "abort storm").  These controllers wrap the
+response with classical contention management, composable with every
+detection policy:
+
+- ``"backoff"`` — exponential backoff with jitter: after its ``k``-th
+  abort a transaction is deferred for ~``2**k`` scheduling rounds
+  (serial) or milliseconds (threaded) before retrying, so a storm
+  spreads out instead of re-colliding.
+- ``"wait-die"`` — Rosenkrantz wait-die ordering on transaction age
+  (lower ``txn_id`` = older): an older requester *waits* for the
+  conflicting holder, a younger requester *dies* (aborts).  Waits-for
+  edges only ever point from older to younger, so no cycle can form,
+  and an old transaction — the one with the most work at stake — rides
+  out a storm blocked instead of repeatedly re-executing its prefix.
+  (A young transaction may still die more than once against a
+  long-running holder; compose with ``backoff`` semantics by choosing
+  ``"backoff"`` instead when that dominates.)
+- ``"hybrid"`` — starts in pure speculation and falls back to blocking
+  *per shard*: each shard keeps a sliding window of its admission
+  outcomes, and once the window's conflict rate trips the threshold,
+  conflicts touching that shard block instead of aborting until the
+  window cools down.  Cold regions keep full commutativity-mode
+  concurrency; hot regions degrade to pessimism — the lattice of
+  mechanisms, chosen dynamically.
+
+Controllers are consulted from the executor's scheduling loop (hot
+paths hold the relevant shard locks already; controller state is only
+mutated there or under the scheduler's condition variable).  With
+``adaptive=None`` the executor never constructs one, keeping the
+default paths byte-for-byte identical to the historical scheduler.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Sequence
+
+#: The selectable contention-adaptive policies (``None``/"none" = off).
+ADAPTIVE_POLICIES = ("backoff", "wait-die", "hybrid")
+
+
+class AdaptiveController:
+    """No-op base: hooks the executor calls around each admission."""
+
+    name = "none"
+
+    def deferred(self, txn, now) -> bool:
+        """Whether the scheduler should skip ``txn`` at time ``now``
+        (scheduling rounds when serial, ``time.monotonic()`` when
+        threaded)."""
+        return False
+
+    def on_outcome(self, shard_ids: Sequence[int],
+                   conflicted: bool) -> None:
+        """Every admission attempt, with the shards it touched."""
+
+    def on_conflict(self, txn, holder_txn_id: int | None,
+                    shard_ids: Sequence[int], default: str) -> str:
+        """The response to a detected conflict: ``"abort"`` or
+        ``"block"`` (``default`` is the executor's conflict mode)."""
+        return default
+
+    def on_abort(self, txn, now) -> None:
+        """``txn`` was just aborted and rolled back at time ``now``."""
+
+    def on_commit(self, txn) -> None:
+        """``txn`` just committed."""
+
+
+class BackoffController(AdaptiveController):
+    """Exponential backoff with jitter after each abort."""
+
+    name = "backoff"
+
+    #: Exponent cap: delays never exceed ``unit * 2**MAX_EXPONENT``.
+    MAX_EXPONENT = 5
+
+    def __init__(self, seed: int = 0, wall_clock: bool = False) -> None:
+        #: One scheduling round when serial, one millisecond threaded.
+        self.unit = 0.001 if wall_clock else 1.0
+        self._rng = random.Random(f"backoff:{seed}")
+
+    def deferred(self, txn, now) -> bool:
+        return now < txn.backoff_until
+
+    def on_abort(self, txn, now) -> None:
+        exponent = min(max(txn.aborts - 1, 0), self.MAX_EXPONENT)
+        delay = self.unit * (2 ** exponent)
+        # Full jitter: a random fraction of the exponential window, so
+        # simultaneous aborters spread out instead of re-colliding.
+        txn.backoff_until = now + delay * (0.5 + self._rng.random())
+
+
+class WaitDieController(AdaptiveController):
+    """Wait-die ordering on transaction age (lower txn_id = older)."""
+
+    name = "wait-die"
+
+    def on_conflict(self, txn, holder_txn_id, shard_ids, default) -> str:
+        if holder_txn_id is None:
+            return default
+        # Older requester waits for the younger holder; younger dies.
+        return "block" if txn.age < holder_txn_id else "abort"
+
+
+class HybridController(AdaptiveController):
+    """Commutativity-first with a per-shard pessimistic fallback."""
+
+    name = "hybrid"
+
+    def __init__(self, window: int = 12, threshold: float = 0.5) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be in (0, 1], got {threshold}")
+        self.window = window
+        self.threshold = threshold
+        self._outcomes: dict[int, deque[bool]] = {}
+
+    def _window(self, shard_id: int) -> deque[bool]:
+        window = self._outcomes.get(shard_id)
+        if window is None:
+            window = self._outcomes[shard_id] = deque(maxlen=self.window)
+        return window
+
+    def tripped(self, shard_id: int) -> bool:
+        """Whether this shard's sliding-window conflict rate is past the
+        threshold (needs at least half a window of evidence)."""
+        window = self._window(shard_id)
+        if len(window) < self.window // 2:
+            return False
+        return sum(window) / len(window) >= self.threshold
+
+    def on_outcome(self, shard_ids, conflicted) -> None:
+        for sid in shard_ids:
+            self._window(sid).append(conflicted)
+
+    def on_conflict(self, txn, holder_txn_id, shard_ids, default) -> str:
+        if any(self.tripped(sid) for sid in shard_ids):
+            return "block"
+        return default
+
+
+def make_controller(adaptive: str | None, seed: int = 0,
+                    wall_clock: bool = False) -> AdaptiveController | None:
+    """The controller for an ``adaptive=`` setting (``None`` for off)."""
+    if adaptive is None or adaptive == "none":
+        return None
+    if adaptive == "backoff":
+        return BackoffController(seed=seed, wall_clock=wall_clock)
+    if adaptive == "wait-die":
+        return WaitDieController()
+    if adaptive == "hybrid":
+        return HybridController()
+    raise ValueError(f"unknown adaptive policy {adaptive!r}; choose "
+                     f"from {', '.join(ADAPTIVE_POLICIES)}")

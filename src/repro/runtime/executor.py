@@ -1,26 +1,39 @@
 """Deterministic speculative executor (the usage scenario of Chapter 1).
 
 Transactions execute operations on a shared concrete linked structure.
-Before each operation the gatekeeper checks the between commutativity
-conditions against every outstanding operation of other transactions; on
-conflict the requesting transaction aborts, rolls back through the
-verified inverses, and retries.  With ``workers=1`` (the default) the
-scheduler interleaves transactions deterministically from a seed, so
-every run is reproducible.
+Before each operation the conflict manager checks the between
+commutativity conditions against every outstanding operation of other
+transactions; on conflict the requesting transaction aborts, rolls back
+through the verified inverses, and retries.  With ``workers=1`` (the
+default) the scheduler interleaves transactions deterministically from a
+seed, so every run is reproducible.
 
-With ``workers > 1`` the executor runs a batched multi-worker mode:
-transactions are partitioned round-robin across worker threads that
-share the concrete structure and a lock-protected gatekeeper.  Each
-worker admits and applies up to ``batch`` consecutive operations of one
-transaction per lock hold.  Thread scheduling makes the interleaving
-nondeterministic, but the commutativity conditions and inverses make
-every interleaving serializable — which the executor still validates.
+With ``workers > 1`` the executor runs one of two threaded modes:
 
-The executor also validates serializability on the fly: at commit time
-of the final transaction, the abstract state must equal the state
-produced by replaying the committed transactions serially in commit
-order — which is exactly what the soundness of the commutativity
-conditions guarantees.
+- ``shards=1`` — the batched single-lock mode: worker threads share the
+  concrete structure and a lock-protected flat-log gatekeeper, each
+  admitting and applying up to ``batch`` consecutive operations of one
+  transaction per lock hold.
+- ``shards > 1`` — the fine-grained sharded mode: the gatekeeper log is
+  partitioned into region shards (see :mod:`~repro.runtime.sharding`),
+  each with its own lock.  A worker acquires only the shards its
+  operation can interact with (plus the shards its transaction already
+  touched, so an abort can always roll back under locks it holds), in
+  deterministic ascending order — so operations in disjoint regions
+  admit and apply concurrently instead of serializing on one lock.
+  The global condition variable is reduced to scheduling bookkeeping
+  (blocked transactions, deadlock detection) and is never acquired
+  while shard locks are held.
+
+Thread scheduling makes the interleaving nondeterministic, but the
+commutativity conditions and inverses make every interleaving
+serializable — which the executor still validates: at commit time of
+the final transaction, the abstract state must equal the state produced
+by replaying the committed transactions serially in commit order.
+
+``adaptive=`` wraps the conflict *response* with a contention
+controller (:mod:`~repro.runtime.adaptive`): exponential backoff,
+wait-die ordering, or the per-shard hybrid fallback to blocking.
 """
 
 from __future__ import annotations
@@ -33,7 +46,9 @@ from typing import Any
 
 from ..eval.values import Record
 from ..impls import invoke, invoke_concrete
-from .gatekeeper import Gatekeeper, LoggedOperation
+from .adaptive import AdaptiveController, make_controller
+from .gatekeeper import ConflictManager, LoggedOperation, conflict_manager
+from .sharding import VIRTUAL_REGIONS
 from .transaction import Transaction, TxnStatus, rollback
 
 #: Statuses of transactions that still have work to do: ABORTED
@@ -49,6 +64,8 @@ class ExecutionReport:
     policy: str
     conflict_mode: str = "abort"
     workers: int = 1
+    shards: int = 1
+    adaptive: str | None = None
     commits: int = 0
     aborts: int = 0
     operations: int = 0
@@ -60,11 +77,19 @@ class ExecutionReport:
     #: so post-run inspection can distinguish ever-aborted transactions.
     txn_aborts: dict[int, int] = field(default_factory=dict)
     txn_statuses: dict[int, TxnStatus] = field(default_factory=dict)
+    #: Per-shard admission statistics (one dict per shard: shard id,
+    #: checks, conflicts, outstanding), from the conflict manager.
+    shard_stats: list[dict[str, int]] = field(default_factory=list)
     final_state: Record | None = None
     serial_state: Record | None = None
 
     @property
     def serializable(self) -> bool:
+        """Whether the execution matched its serial replay.  ``False``
+        until both states are populated by a run — an un-run report must
+        never read as vacuously serializable."""
+        if self.final_state is None or self.serial_state is None:
+            return False
         return self.final_state == self.serial_state
 
     @property
@@ -80,6 +105,18 @@ class ExecutionReport:
         if self.wall_seconds <= 0:
             return 0.0
         return self.operations / self.wall_seconds
+
+    #: Operations of committed transactions (set by :meth:`run`).
+    committed_operations: int = 0
+
+    @property
+    def committed_ops_per_second(self) -> float:
+        """Committed-operation throughput: retried (speculative) work
+        does not count, so this is the honest wall-clock metric for
+        comparing configurations that abort different amounts."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.committed_operations / self.wall_seconds
 
     @property
     def ever_aborted(self) -> list[int]:
@@ -100,13 +137,22 @@ class SpeculativeExecutor:
     def __init__(self, ds_name: str, policy: str = "commutativity",
                  seed: int = 0, max_rounds: int = 10000,
                  conflict_mode: str = "abort", registry=None,
-                 workers: int = 1, batch: int = 1) -> None:
+                 workers: int = 1, batch: int = 1, shards: int = 1,
+                 adaptive: str | None = None) -> None:
         if conflict_mode not in ("abort", "block"):
             raise ValueError(f"unknown conflict mode {conflict_mode!r}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
+        if shards < 1 or shards > VIRTUAL_REGIONS \
+                or shards & (shards - 1):
+            raise ValueError(
+                f"shards must be a power of two in "
+                f"[1, {VIRTUAL_REGIONS}], got {shards}")
+        if adaptive == "none":
+            adaptive = None
+        make_controller(adaptive)  # validate the name eagerly
         from ..api import resolve_registry
         registry = resolve_registry(registry)
         self.ds_name = ds_name
@@ -121,73 +167,167 @@ class SpeculativeExecutor:
         self.conflict_mode = conflict_mode
         self.workers = workers
         self.batch = batch
+        self.shards = shards
+        self.adaptive = adaptive
 
-    def run(self, programs: list[list[tuple[str, tuple[Any, ...]]]]) \
+    def run(self, programs: list[list[tuple[str, tuple[Any, ...]]]],
+            setup: list[tuple[str, tuple[Any, ...]]] | None = None) \
             -> ExecutionReport:
-        """Execute the transaction ``programs`` to completion."""
-        start = time.perf_counter()
+        """Execute the transaction ``programs`` to completion.
+
+        ``setup`` is an optional load-phase program: applied to the
+        fresh structure before speculation starts, outside any
+        transaction — never logged, never rolled back, and excluded
+        from the timed window and the operation counts.
+        """
         impl = self.registry.new_instance(self.ds_name)
-        gatekeeper = Gatekeeper(self.ds_name, self.policy,
-                                registry=self.registry)
+        for op_name, args in (setup or ()):
+            invoke(impl, self.spec.operations[op_name], args)
+        start = time.perf_counter()
+        manager = conflict_manager(self.ds_name, self.policy,
+                                   shards=self.shards,
+                                   registry=self.registry)
         transactions = [Transaction(i, list(ops))
                         for i, ops in enumerate(programs)]
         report = ExecutionReport(ds_name=self.ds_name, policy=self.policy,
                                  conflict_mode=self.conflict_mode,
-                                 workers=self.workers)
+                                 workers=self.workers, shards=self.shards,
+                                 adaptive=self.adaptive)
         if self.workers == 1 or len(transactions) <= 1:
-            self._run_serial(transactions, impl, gatekeeper, report)
+            self._run_serial(transactions, impl, manager, report)
+        elif self.shards > 1:
+            self._run_threaded_sharded(transactions, impl, manager, report)
         else:
-            self._run_threaded(transactions, impl, gatekeeper, report)
+            self._run_threaded(transactions, impl, manager, report)
         # Throughput covers execution only; the serial-replay
         # serializability validation below is diagnostics, not work.
         report.wall_seconds = time.perf_counter() - start
-        report.conflict_checks = gatekeeper.checks
-        report.conflicts = gatekeeper.conflicts
+        report.conflict_checks = manager.checks
+        report.conflicts = manager.conflicts
+        report.shard_stats = manager.shard_stats()
         report.txn_aborts = {t.txn_id: t.aborts for t in transactions}
         report.txn_statuses = {t.txn_id: t.status for t in transactions}
+        report.committed_operations = sum(
+            len(programs[txn_id]) for txn_id in report.commit_order)
         report.final_state = impl.abstract_state()
         report.serial_state = self._serial_replay(programs,
-                                                  report.commit_order)
+                                                  report.commit_order,
+                                                  setup)
         return report
 
     # -- deterministic serial scheduler --------------------------------------
 
     def _run_serial(self, transactions: list[Transaction], impl: Any,
-                    gatekeeper: Gatekeeper,
+                    manager: ConflictManager,
                     report: ExecutionReport) -> None:
         rng = random.Random(self.seed)
+        controller = make_controller(self.adaptive, seed=self.seed)
         rounds = 0
         blocked: set[int] = set()
         while any(t.status in ACTIVE_STATUSES for t in transactions):
             rounds += 1
             if rounds > self.max_rounds:
                 raise RuntimeError("executor failed to converge")
-            runnable = [t for t in transactions
-                        if t.status in ACTIVE_STATUSES
-                        and t.txn_id not in blocked]
+            candidates = [t for t in transactions
+                          if t.status in ACTIVE_STATUSES
+                          and t.txn_id not in blocked]
+            if controller is not None:
+                runnable = [t for t in candidates
+                            if not controller.deferred(t, rounds)]
+                if candidates and not runnable:
+                    continue  # everyone is backing off: let rounds tick
+            else:
+                runnable = candidates
             if not runnable:
                 self._break_deadlock(transactions, blocked, impl,
-                                     gatekeeper, report)
+                                     manager, report)
                 continue
-            self._step(rng.choice(runnable), impl, gatekeeper, report,
-                       blocked)
+            self._step(rng.choice(runnable), impl, manager, report,
+                       blocked, controller=controller, now=rounds)
 
     # -- batched multi-worker scheduler ---------------------------------------
 
     def _run_threaded(self, transactions: list[Transaction], impl: Any,
-                      gatekeeper: Gatekeeper,
+                      manager: ConflictManager,
                       report: ExecutionReport) -> None:
         """Thread workers over the lock-protected shared state.
 
-        One condition variable guards the structure, the gatekeeper, and
-        every transaction; workers hold it for up to ``batch`` operations
-        of one of their transactions, wait on it while all their
-        transactions are blocked, and are notified on every commit,
-        abort, or deadlock break.
+        One condition variable guards the structure, the conflict
+        manager, and every transaction; workers hold it for up to
+        ``batch`` operations of one of their transactions, wait on it
+        while all their transactions are blocked, and are notified on
+        every commit, abort, or deadlock break.
         """
         cond = threading.Condition()
         blocked: set[int] = set()
         errors: list[BaseException] = []
+        controller = make_controller(self.adaptive, seed=self.seed,
+                                     wall_clock=True)
+
+        def attempt(txn: Transaction) -> None:
+            # Runs with ``cond`` held: the whole batch is one lock hold.
+            progressed = False
+            for _ in range(self.batch):
+                if not self._step(txn, impl, manager, report, blocked,
+                                  controller=controller,
+                                  now=time.monotonic()):
+                    break
+                progressed = True
+                if txn.status is not TxnStatus.RUNNING:
+                    break  # committed
+            if progressed:
+                cond.notify_all()
+
+        self._run_workers(transactions, impl, manager, report, cond,
+                          blocked, errors, controller, attempt,
+                          step_inside_cond=True)
+
+    # -- fine-grained sharded scheduler ----------------------------------------
+
+    def _run_threaded_sharded(self, transactions: list[Transaction],
+                              impl: Any, manager: ConflictManager,
+                              report: ExecutionReport) -> None:
+        """Per-shard lock acquisition in deterministic (ascending) shard
+        order; the global condition variable only coordinates blocked
+        transactions and deadlock breaks.
+
+        Lock order is ``cond > shard locks (ascending) > state lock``:
+        the deadlock breaker acquires shard locks *under* ``cond`` (its
+        victims are provably quiescent — a transaction being stepped is
+        never in ``blocked``, and the breaker only fires when every
+        active transaction is), while the step path acquires ``cond``
+        only *after* releasing its shard locks, so no cycle can form.
+        """
+        cond = threading.Condition()
+        #: Innermost lock: the concrete structure and report counters.
+        state_lock = threading.Lock()
+        blocked: set[int] = set()
+        errors: list[BaseException] = []
+        controller = make_controller(self.adaptive, seed=self.seed,
+                                     wall_clock=True)
+
+        def attempt(txn: Transaction) -> None:
+            # Runs outside ``cond``: admission and application only
+            # hold the shards the operation (and its transaction's
+            # history) can interact with.
+            self._step_sharded(txn, impl, manager, report, blocked,
+                               cond, state_lock, controller)
+
+        self._run_workers(transactions, impl, manager, report, cond,
+                          blocked, errors, controller, attempt,
+                          step_inside_cond=False)
+
+    def _run_workers(self, transactions: list[Transaction], impl: Any,
+                     manager: ConflictManager, report: ExecutionReport,
+                     cond: threading.Condition, blocked: set[int],
+                     errors: list[BaseException],
+                     controller: AdaptiveController | None,
+                     attempt, step_inside_cond: bool) -> None:
+        """The scheduling loop shared by both threaded modes: pick a
+        runnable owned transaction under ``cond``, detect global
+        deadlock, and hand the transaction to ``attempt`` — with
+        ``cond`` still held (flat batched mode) or after releasing it
+        (fine-grained sharded mode)."""
         budget = [self.max_rounds * self.workers]
 
         def drive(wid: int) -> None:
@@ -204,6 +344,10 @@ class SpeculativeExecutor:
                         return
                     runnable = [t for t in active
                                 if t.txn_id not in blocked]
+                    if controller is not None:
+                        runnable = [t for t in runnable
+                                    if not controller.deferred(
+                                        t, time.monotonic())]
                     if not runnable:
                         globally_active = [
                             t for t in transactions
@@ -212,29 +356,23 @@ class SpeculativeExecutor:
                                for t in globally_active):
                             self._spend_budget(budget)
                             self._break_deadlock(transactions, blocked,
-                                                 impl, gatekeeper, report)
+                                                 impl, manager, report)
                             cond.notify_all()
                         else:
                             # Another worker's transaction can still run;
                             # wake on its commit/abort (timeout is a
                             # liveness belt-and-braces only).  Idle waits
-                            # spend no convergence budget: only batch
+                            # spend no convergence budget: only step
                             # attempts and deadlock breaks do, so a slow
                             # but progressing peer never fails the run.
                             cond.wait(timeout=0.01)
                         continue
                     self._spend_budget(budget)
                     txn = rng.choice(runnable)
-                    progressed = False
-                    for _ in range(self.batch):
-                        if not self._step(txn, impl, gatekeeper, report,
-                                          blocked):
-                            break
-                        progressed = True
-                        if txn.status is not TxnStatus.RUNNING:
-                            break  # committed
-                    if progressed:
-                        cond.notify_all()
+                    if step_inside_cond:
+                        attempt(txn)
+                        continue
+                attempt(txn)
 
         def worker(wid: int) -> None:
             try:
@@ -246,7 +384,8 @@ class SpeculativeExecutor:
 
         threads = [threading.Thread(target=worker, args=(wid,),
                                     name=f"repro-exec-{wid}")
-                   for wid in range(min(self.workers, len(transactions)))]
+                   for wid in range(min(self.workers,
+                                        len(transactions)))]
         for thread in threads:
             thread.start()
         for thread in threads:
@@ -262,31 +401,57 @@ class SpeculativeExecutor:
 
     # -- one scheduling step ---------------------------------------------------
 
-    def _step(self, txn: Transaction, impl: Any, gatekeeper: Gatekeeper,
-              report: ExecutionReport, blocked: set[int]) -> bool:
+    def _step(self, txn: Transaction, impl: Any,
+              manager: ConflictManager, report: ExecutionReport,
+              blocked: set[int],
+              controller: AdaptiveController | None = None,
+              now: float = 0.0) -> bool:
         """Advance ``txn`` by one operation (or commit it if finished).
 
         Returns True when the transaction made progress, False when it
         hit a conflict (and was aborted or blocked per the conflict
-        mode).
+        mode and the adaptive controller).
         """
         if txn.status is TxnStatus.ABORTED:
             txn.restart()
         if txn.finished:
             txn.status = TxnStatus.COMMITTED
-            gatekeeper.release(txn.txn_id)
+            manager.release(txn.txn_id)
             report.commits += 1
             report.commit_order.append(txn.txn_id)
+            if controller is not None:
+                controller.on_commit(txn)
             blocked.clear()  # waiters may be admissible now
             return True
         op_name, args = txn.current_op()
         op = self.spec.operations[op_name]
         before = impl.abstract_state()
-        if not gatekeeper.admits(txn.txn_id, op_name, args, before):
-            if self.conflict_mode == "block":
+        shard_ids = manager.shards_for(op_name, args)
+        admitted, holder = manager.admits_ex(txn.txn_id, op_name, args,
+                                             before, shard_ids=shard_ids)
+        if controller is not None:
+            controller.on_outcome(shard_ids, not admitted)
+        if not admitted:
+            action = self.conflict_mode
+            if controller is not None:
+                action = controller.on_conflict(txn, holder, shard_ids,
+                                                action)
+            if action == "block":
                 blocked.add(txn.txn_id)
             else:
-                self._abort(txn, impl, gatekeeper, report)
+                self._abort(txn, impl, manager, report)
+                if controller is not None:
+                    controller.on_abort(txn, now)
+                    # The abort released this transaction's outstanding
+                    # operations, so a blocked waiter's conflict partner
+                    # may be gone: wake them all (a spurious wake just
+                    # re-blocks).  Without this, adaptive modes that mix
+                    # block and abort responses can livelock — the abort
+                    # churn keeps the scheduler busy, the deadlock
+                    # breaker never fires, and blocked transactions
+                    # starve.  Pure modes never mix the two responses,
+                    # so their behaviour is unchanged.
+                    blocked.clear()
             return False
         # Execute through the canonical concrete dispatch; keep the raw
         # return value for the undo log even when the client discards it
@@ -294,16 +459,96 @@ class SpeculativeExecutor:
         # must therefore store the return value").
         raw_result, visible = invoke_concrete(impl, op, args)
         after = impl.abstract_state()
-        gatekeeper.record(LoggedOperation(
+        manager.record(LoggedOperation(
             txn_id=txn.txn_id, op_name=op_name, args=args,
             result=visible, before=before, after=after))
         txn.record(op, args, raw_result, visible)
         report.operations += 1
         return True
 
+    def _step_sharded(self, txn: Transaction, impl: Any,
+                      manager: ConflictManager, report: ExecutionReport,
+                      blocked: set[int], cond: threading.Condition,
+                      state_lock: threading.Lock,
+                      controller: AdaptiveController | None) -> bool:
+        """One step of the fine-grained threaded mode.
+
+        Admission, application, and logging happen while holding exactly
+        the shard locks the operation can interact with, plus every
+        shard the transaction already touched (so a conflict can roll
+        the whole transaction back without acquiring further locks).
+        ``cond`` is only taken after the shard locks are released.
+        """
+        if txn.status is TxnStatus.ABORTED:
+            txn.restart()
+        if txn.finished:
+            with manager.locked(manager.touched(txn.txn_id)):
+                manager.release(txn.txn_id)
+            txn.status = TxnStatus.COMMITTED
+            with cond:
+                report.commits += 1
+                report.commit_order.append(txn.txn_id)
+                if controller is not None:
+                    controller.on_commit(txn)
+                blocked.clear()  # waiters may be admissible now
+                cond.notify_all()
+            return True
+        op_name, args = txn.current_op()
+        op = self.spec.operations[op_name]
+        op_shards = manager.shards_for(op_name, args)
+        lockset = set(op_shards).union(manager.touched(txn.txn_id))
+        outcome = "block"
+        holder: int | None = None
+        with manager.locked(lockset):
+            with state_lock:
+                before = impl.abstract_state()
+            admitted, holder = manager.admits_ex(
+                txn.txn_id, op_name, args, before, shard_ids=op_shards)
+            if controller is not None:
+                controller.on_outcome(op_shards, not admitted)
+            if admitted:
+                with state_lock:
+                    raw_result, visible = invoke_concrete(impl, op, args)
+                    after = impl.abstract_state()
+                    report.operations += 1
+                manager.record(LoggedOperation(
+                    txn_id=txn.txn_id, op_name=op_name, args=args,
+                    result=visible, before=before, after=after))
+                txn.record(op, args, raw_result, visible)
+                outcome = "admitted"
+            else:
+                action = self.conflict_mode
+                if controller is not None:
+                    action = controller.on_conflict(txn, holder,
+                                                    op_shards, action)
+                if action == "abort":
+                    # The lockset covers every shard this transaction
+                    # logged into, so the rollback and release happen
+                    # atomically w.r.t. any interacting admission.
+                    with state_lock:
+                        rollback(impl, self.ds_name, txn.undo_log,
+                                 registry=self.registry)
+                    manager.release(txn.txn_id)
+                    txn.mark_aborted()
+                    outcome = "abort"
+        # cond is never acquired while shard locks are held (lock order).
+        if outcome == "abort":
+            with cond:
+                report.aborts += 1
+                if controller is not None:
+                    controller.on_abort(txn, time.monotonic())
+                    # As in _step: the released log may unblock waiters;
+                    # only adaptive modes mix abort and block responses.
+                    blocked.clear()
+                cond.notify_all()
+        elif outcome == "block":
+            with cond:
+                blocked.add(txn.txn_id)
+        return outcome == "admitted"
+
     def _break_deadlock(self, transactions: list[Transaction],
                         blocked: set[int], impl: Any,
-                        gatekeeper: Gatekeeper,
+                        manager: ConflictManager,
                         report: ExecutionReport) -> Transaction:
         """Every active transaction is blocked: break the deadlock by
         keeping the most-advanced transaction as the sole survivor
@@ -315,24 +560,29 @@ class SpeculativeExecutor:
         survivor = max(active, key=lambda t: (t.next_op, -t.txn_id))
         for txn in active:
             if txn is not survivor and txn.next_op > 0:
-                self._abort(txn, impl, gatekeeper, report)
+                self._abort(txn, impl, manager, report)
         blocked.clear()
         blocked.update(t.txn_id for t in active if t is not survivor)
         return survivor
 
-    def _abort(self, txn: Transaction, impl: Any, gatekeeper: Gatekeeper,
+    def _abort(self, txn: Transaction, impl: Any,
+               manager: ConflictManager,
                report: ExecutionReport) -> None:
         """Roll back a transaction's speculative effects; it retries from
         scratch the next time the scheduler picks it."""
         rollback(impl, self.ds_name, txn.undo_log, registry=self.registry)
-        gatekeeper.release(txn.txn_id)
+        manager.release(txn.txn_id)
         txn.mark_aborted()
         report.aborts += 1
 
     def _serial_replay(self, programs: list[list[tuple[str, tuple]]],
-                       order: list[int]) -> Record:
+                       order: list[int],
+                       setup: list[tuple[str, tuple]] | None = None) \
+            -> Record:
         """Replay committed transactions serially in commit order."""
         impl = self.registry.new_instance(self.ds_name)
+        for op_name, args in (setup or ()):
+            invoke(impl, self.spec.operations[op_name], args)
         for txn_id in order:
             for op_name, args in programs[txn_id]:
                 invoke(impl, self.spec.operations[op_name], args)

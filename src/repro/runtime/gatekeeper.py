@@ -1,11 +1,12 @@
-"""Gatekeeper: dynamic commutativity checking (Sections 1, 2.4, 6).
+"""Conflict managers: dynamic commutativity checking (Sections 1, 2.4, 6).
 
 "A system would use such a between condition just before executing the
 add(v2) operation to dynamically check if this operation commutes with a
-previously executed contains(v1) operation."  The gatekeeper holds, per
-outstanding (uncommitted) operation, the abstract state snapshot before
-it ran and its return value; an incoming operation is admitted only if
-the between condition of every (logged op; incoming op) pair holds.
+previously executed contains(v1) operation."  The conflict manager
+holds, per outstanding (uncommitted) operation, the abstract state
+snapshot before it ran and its return value; an incoming operation is
+admitted only if the between condition of every (logged op; incoming op)
+pair holds.
 
 Conflict-detection policies (the lattice of mechanisms from [29], see
 Chapter 6):
@@ -16,19 +17,43 @@ Chapter 6):
   conflict iff they touch the same structure and at least one mutates) —
   sound but far less permissive;
 - ``"mutex"``: any two operations conflict — serial execution.
+
+Two concrete managers share the pair-checking machinery:
+
+- :class:`Gatekeeper` — the flat log: one list of outstanding
+  operations, scanned in full on every admission.  One shard, one lock.
+- :class:`ShardedGatekeeper` — the log partitioned into region shards
+  by a per-family :mod:`~repro.runtime.sharding` router.  Each shard
+  has its own lock and its own log; an incoming operation is checked
+  only against the shards it can interact with, so operations in
+  disjoint regions admit concurrently without scanning (or locking) one
+  global list.
+
+Counters are kept per shard and incremented under that shard's lock, so
+concurrent admission never loses an update; ``checks``/``conflicts``
+aggregate over shards and :meth:`ConflictManager.shard_stats` surfaces
+the per-shard breakdown.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterable, Sequence
 
 from ..commutativity.conditions import Kind
 from ..eval.interpreter import EvalContext, EvalError, evaluate
 from ..eval.values import Record
+from ..logic.free_vars import free_vars
 from ..specs import DataStructureSpec
+from .sharding import (ShardRouter, VIRTUAL_REGIONS, normalize_route,
+                       single_region_router)
 
 POLICIES = ("commutativity", "read-write", "mutex")
+
+#: Abstract-state variables a condition formula may mention.
+_STATE_VARS = frozenset({"s1", "s2", "s3"})
 
 
 @dataclass(frozen=True)
@@ -45,38 +70,157 @@ class LoggedOperation:
     after: Record
 
 
-class Gatekeeper:
-    """Admission control for operations on one shared data structure."""
+class _Shard:
+    """One region of the outstanding-operation log: its entries, its
+    lock, and its admission counters (all mutated under the lock)."""
+
+    __slots__ = ("shard_id", "lock", "log", "checks", "conflicts")
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.lock = threading.RLock()
+        self.log: list[LoggedOperation] = []
+        self.checks = 0
+        self.conflicts = 0
+
+
+class ConflictManager:
+    """Admission control for operations on one shared data structure.
+
+    The base class owns the shard array, the pair-commutativity check,
+    and the log-maintenance protocol; subclasses only decide *routing*
+    (:meth:`shards_for`).  Callers that need admission and application
+    to be atomic (the threaded executor) hold the relevant shard locks
+    across the whole step via :meth:`locked`; the locks are reentrant,
+    so the internal locking here composes with that.
+    """
 
     def __init__(self, ds_name: str, policy: str = "commutativity",
-                 registry=None) -> None:
+                 registry=None, shards: int = 1) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}")
+        if shards < 1 or shards > VIRTUAL_REGIONS \
+                or shards & (shards - 1):
+            raise ValueError(
+                f"shards must be a power of two in "
+                f"[1, {VIRTUAL_REGIONS}], got {shards}")
         from ..api import resolve_registry
         registry = resolve_registry(registry)
         self.ds_name = ds_name
         self.registry = registry
         self.spec: DataStructureSpec = registry.spec(ds_name)
         self.policy = policy
-        self._log: list[LoggedOperation] = []
+        self.num_shards = shards
+        self._shards = [_Shard(i) for i in range(shards)]
+        #: The family's router doubles as the universal-commutation
+        #: oracle inside _pair_commutes (for every manager, flat
+        #: included) — see :data:`~repro.runtime.sharding.VIRTUAL_REGIONS`.
+        self._family_router: ShardRouter | None = \
+            registry.shard_router(ds_name)
+        self._virtual_routes: dict[tuple[str, tuple], frozenset[int] | None] = {}
+        #: txn_id -> shard ids holding at least one of its entries.
+        self._touched: dict[int, set[int]] = {}
+        #: (m1, m2) -> whether the pair's between condition mentions
+        #: abstract state (see the drift guard in _pair_commutes).
+        self._drift_fragile: dict[tuple[str, str], bool] = {}
         self._ctx = EvalContext(observe=self.spec.observe)
-        self.checks = 0
-        self.conflicts = 0
 
-    # -- admission ----------------------------------------------------------
+    # -- routing (subclass hooks) ----------------------------------------------
+
+    def store_regions(self, op_name: str,
+                      args: tuple[Any, ...]) -> tuple[int, ...]:
+        """The regions a logged ``op_name(args)`` entry is stored in."""
+        return (0,)
+
+    def scan_regions(self, op_name: str,
+                     args: tuple[Any, ...]) -> tuple[int, ...]:
+        """The regions an incoming ``op_name(args)`` admission scans.
+
+        Invariant (what makes skipping sound *and* complete): for every
+        pair of operations that do not unconditionally commute, the
+        incoming operation's scan regions intersect the logged
+        operation's store regions.
+        """
+        return (0,)
+
+    def shards_for(self, op_name: str,
+                   args: tuple[Any, ...]) -> tuple[int, ...]:
+        """The regions ``op_name(args)`` can interact with (its scan
+        set) — the lock set an atomic admit+apply step must hold."""
+        return self.scan_regions(op_name, args)
+
+    def touched(self, txn_id: int) -> tuple[int, ...]:
+        """The shards holding outstanding operations of ``txn_id``."""
+        return tuple(sorted(self._touched.get(txn_id, ())))
+
+    @contextmanager
+    def locked(self, shard_ids: Iterable[int]):
+        """Hold the given shard locks, in ascending id order (every
+        caller uses the same order, so lock acquisition cannot cycle)."""
+        ids = sorted(set(shard_ids))
+        for sid in ids:
+            self._shards[sid].lock.acquire()
+        try:
+            yield
+        finally:
+            for sid in reversed(ids):
+                self._shards[sid].lock.release()
+
+    # -- admission ------------------------------------------------------------
 
     def admits(self, txn_id: int, op_name: str, args: tuple[Any, ...],
                current: Record) -> bool:
         """Whether ``txn_id`` may run ``op_name(args)`` now, given the
         outstanding operations of other transactions."""
-        for logged in self._log:
-            if logged.txn_id == txn_id:
-                continue
-            self.checks += 1
-            if not self._pair_commutes(logged, op_name, args, current):
-                self.conflicts += 1
-                return False
-        return True
+        return self.admits_ex(txn_id, op_name, args, current)[0]
+
+    def admits_ex(self, txn_id: int, op_name: str, args: tuple[Any, ...],
+                  current: Record,
+                  shard_ids: Sequence[int] | None = None) \
+            -> tuple[bool, int | None]:
+        """:meth:`admits`, plus the id of the first conflicting
+        transaction (for wait-die ordering); checks only ``shard_ids``
+        when given (they must equal ``shards_for(op_name, args)``).
+
+        An operation logged in several shards (e.g. ``size``) is checked
+        once: scanning shards in ascending id order and deduplicating by
+        entry identity keeps the counters exact under multi-shard
+        routing, so aggregated reports never double- or under-count.
+        """
+        if shard_ids is None:
+            shard_ids = self.shards_for(op_name, args)
+        seen: set[int] = set()
+        multi = len(shard_ids) > 1
+        for sid in shard_ids:
+            shard = self._shards[sid]
+            with shard.lock:
+                for logged in shard.log:
+                    if logged.txn_id == txn_id:
+                        continue
+                    if multi:
+                        if id(logged) in seen:
+                            continue
+                        seen.add(id(logged))
+                    shard.checks += 1
+                    if not self._pair_commutes(logged, op_name, args,
+                                               current):
+                        shard.conflicts += 1
+                        return False, logged.txn_id
+        return True, None
+
+    def _virtual_route(self, op_name: str,
+                       args: tuple[Any, ...]) -> frozenset[int] | None:
+        """The operation's interaction regions at the fixed virtual
+        granularity (None = interacts with everything); memoized."""
+        key = (op_name, args)
+        try:
+            return self._virtual_routes[key]
+        except KeyError:
+            ids = self._family_router(op_name, args, VIRTUAL_REGIONS)
+            route = None if ids is None else frozenset(
+                normalize_route(ids, VIRTUAL_REGIONS))
+            self._virtual_routes[key] = route
+            return route
 
     def _pair_commutes(self, logged: LoggedOperation, op_name: str,
                        args: tuple[Any, ...], current: Record) -> bool:
@@ -88,6 +232,23 @@ class Gatekeeper:
             return not (op1.mutator or op2.mutator)
         cond = self.registry.condition(self.ds_name, logged.op_name,
                                        op_name, Kind.BETWEEN)
+        if current != logged.after and self._references_state(cond):
+            # Drift guard.  The between conditions are verified in the
+            # environment where ``s2`` is the state *immediately after*
+            # the logged operation ran; once other operations have
+            # executed, that environment is gone, and a condition that
+            # mentions abstract state (ArrayList's index arithmetic,
+            # the size conditions) may evaluate against stale contents
+            # — e.g. a value-coincidence ``add_at;set`` admission that
+            # is wrong in the drifted list.  Conditions over arguments
+            # and return values only were verified to match the commute
+            # relation in *every* enumerated state, so they transfer to
+            # any context; state-referencing ones are only trusted in
+            # the exact state they were verified for.  The router
+            # oracle still admits region-disjoint pairs (they commute
+            # in every state); everything else is a conservative
+            # conflict — possibly an unnecessary abort, never unsound.
+            return self._virtually_disjoint(logged, op_name, args)
         env: dict[str, Any] = {
             "s1": logged.before, "s2": current,
         }
@@ -105,21 +266,167 @@ class Gatekeeper:
             # snapshot with the incoming operation's argument, which is
             # only guaranteed in-range against the current state.  An
             # unevaluable condition cannot certify commutativity, so
-            # report a conflict — conservative (possibly an unnecessary
-            # abort) but never an unsound admission.
+            # fall back to the router oracle, then report a conflict —
+            # conservative (possibly an unnecessary abort) but never an
+            # unsound admission.
+            return self._virtually_disjoint(logged, op_name, args)
+
+    def _virtually_disjoint(self, logged: LoggedOperation, op_name: str,
+                            args: tuple[Any, ...]) -> bool:
+        """The universal-commutation oracle behind both conservative
+        paths: operations whose routes at the fixed virtual granularity
+        are disjoint commute in *every* state (the router soundness
+        contract), so they may be admitted even when the condition
+        cannot be trusted or evaluated.  Physical shard counts are
+        powers of two dividing the virtual granularity, so every pair a
+        sharded scan prunes is virtually disjoint too — which is why
+        flat and sharded managers decide identically."""
+        if self._family_router is None:
             return False
+        route1 = self._virtual_route(logged.op_name, logged.args)
+        route2 = self._virtual_route(op_name, args)
+        return route1 is not None and route2 is not None \
+            and not (route1 & route2)
+
+    def _references_state(self, cond) -> bool:
+        """Whether the pair's dynamic formula mentions abstract state
+        (cached per operation pair)."""
+        key = (cond.m1, cond.m2)
+        fragile = self._drift_fragile.get(key)
+        if fragile is None:
+            fragile = bool(_STATE_VARS & free_vars(cond.dynamic_formula))
+            self._drift_fragile[key] = fragile
+        return fragile
 
     # -- log maintenance ------------------------------------------------------
 
-    def record(self, entry: LoggedOperation) -> None:
-        """Log an executed operation as outstanding."""
-        self._log.append(entry)
+    def record(self, entry: LoggedOperation) -> tuple[int, ...]:
+        """Log an executed operation as outstanding, in every region it
+        is stored in; returns the region ids."""
+        shard_ids = self.store_regions(entry.op_name, entry.args)
+        for sid in shard_ids:
+            shard = self._shards[sid]
+            with shard.lock:
+                shard.log.append(entry)
+        self._touched.setdefault(entry.txn_id, set()).update(shard_ids)
+        return shard_ids
 
     def release(self, txn_id: int) -> None:
         """Drop all outstanding operations of ``txn_id`` (commit/abort)."""
-        self._log = [e for e in self._log if e.txn_id != txn_id]
+        for sid in sorted(self._touched.pop(txn_id, ())):
+            shard = self._shards[sid]
+            with shard.lock:
+                shard.log = [e for e in shard.log if e.txn_id != txn_id]
 
     def outstanding(self, txn_id: int | None = None) -> list[LoggedOperation]:
-        if txn_id is None:
-            return list(self._log)
-        return [e for e in self._log if e.txn_id == txn_id]
+        entries: list[LoggedOperation] = []
+        seen: set[int] = set()
+        for shard in self._shards:
+            with shard.lock:
+                for e in shard.log:
+                    if id(e) in seen:
+                        continue
+                    seen.add(id(e))
+                    if txn_id is None or e.txn_id == txn_id:
+                        entries.append(e)
+        return entries
+
+    # -- counters -------------------------------------------------------------
+
+    @property
+    def checks(self) -> int:
+        """Pair checks across all shards (each increment happens under
+        its shard's lock, so the sum never loses concurrent updates)."""
+        return sum(s.checks for s in self._shards)
+
+    @property
+    def conflicts(self) -> int:
+        """Conflicting pair checks across all shards."""
+        return sum(s.conflicts for s in self._shards)
+
+    def shard_stats(self) -> list[dict[str, int]]:
+        """Per-shard admission statistics, for contention reporting."""
+        return [{"shard": s.shard_id, "checks": s.checks,
+                 "conflicts": s.conflicts, "outstanding": len(s.log)}
+                for s in self._shards]
+
+
+class Gatekeeper(ConflictManager):
+    """The flat-log conflict manager: one shard, one lock, every
+    admission scans the whole outstanding list — exactly the paper's
+    gatekeeper sketch, and the deterministic baseline the sharded
+    manager is validated against."""
+
+    def __init__(self, ds_name: str, policy: str = "commutativity",
+                 registry=None) -> None:
+        super().__init__(ds_name, policy, registry=registry, shards=1)
+
+
+class ShardedGatekeeper(ConflictManager):
+    """The region-partitioned conflict manager.
+
+    A routed operation stores, scans, and *locks* exactly its own
+    shards, so operations in disjoint regions admit and apply truly
+    concurrently — no shared lock anywhere on their path.  A
+    globally-interacting operation (``size``, ``indexOf``, ...) is
+    replicated into every shard: that keeps every routed operation's
+    scan self-contained (its own shards already hold every entry it
+    could conflict with) at the cost of duplicate storage, and the
+    identity-dedup in :meth:`ConflictManager.admits_ex` keeps counters
+    exact when a multi-shard scan meets a replicated entry.
+
+    Routing only partitions under the ``commutativity`` policy: the
+    verified between conditions are what justify skipping a pair check
+    (a router may only separate unconditionally-commuting operations).
+    ``read-write`` and ``mutex`` conflict regardless of arguments, so
+    under those policies every operation routes to shard 0 and the
+    manager degenerates to the flat log — decisions are identical to
+    :class:`Gatekeeper` under *every* policy.
+    """
+
+    def __init__(self, ds_name: str, policy: str = "commutativity",
+                 registry=None, shards: int = 2,
+                 router: ShardRouter | None = None) -> None:
+        super().__init__(ds_name, policy, registry=registry, shards=shards)
+        if router is None:
+            router = self.registry.shard_router(ds_name)
+        if router is None:
+            router = single_region_router
+        self.router = router
+        # Physical pruning and the virtual oracle must agree on the
+        # interaction structure (an explicitly-injected router replaces
+        # the family default for both; the single-region fallback never
+        # declares any pair disjoint, matching the flat manager's
+        # oracle-less behaviour for unrouted custom structures).
+        self._family_router = router if router is not single_region_router \
+            else None
+
+    def _route(self, op_name: str,
+               args: tuple[Any, ...]) -> tuple[int, ...]:
+        """The operation's shard set (globally-interacting operations
+        touch every shard); non-commutativity policies collapse to
+        shard 0."""
+        if self.policy != "commutativity" or self.num_shards == 1:
+            return (0,)
+        return normalize_route(self.router(op_name, args, self.num_shards),
+                               self.num_shards)
+
+    def store_regions(self, op_name: str,
+                      args: tuple[Any, ...]) -> tuple[int, ...]:
+        return self._route(op_name, args)
+
+    def scan_regions(self, op_name: str,
+                     args: tuple[Any, ...]) -> tuple[int, ...]:
+        return self._route(op_name, args)
+
+
+def conflict_manager(ds_name: str, policy: str = "commutativity",
+                     shards: int = 1, registry=None,
+                     router: ShardRouter | None = None) -> ConflictManager:
+    """The conflict manager for a shard count: the flat
+    :class:`Gatekeeper` at ``shards=1`` (byte-for-byte the historical
+    behaviour), a :class:`ShardedGatekeeper` above."""
+    if shards == 1 and router is None:
+        return Gatekeeper(ds_name, policy, registry=registry)
+    return ShardedGatekeeper(ds_name, policy, registry=registry,
+                             shards=shards, router=router)

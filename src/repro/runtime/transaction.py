@@ -40,10 +40,20 @@ class Transaction:
     undo_log: list[UndoEntry] = field(default_factory=list)
     aborts: int = 0
     results: list[Any] = field(default_factory=list)
+    #: Earliest time this transaction may be rescheduled (scheduling
+    #: rounds when serial, ``time.monotonic()`` when threaded); set by
+    #: the backoff contention controller, ignored otherwise.
+    backoff_until: float = 0.0
 
     @property
     def finished(self) -> bool:
         return self.next_op >= len(self.ops)
+
+    @property
+    def age(self) -> int:
+        """Priority for wait-die ordering: transactions are numbered in
+        submission order, so a lower id is an older transaction."""
+        return self.txn_id
 
     def current_op(self) -> tuple[str, tuple[Any, ...]]:
         return self.ops[self.next_op]

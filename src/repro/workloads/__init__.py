@@ -10,18 +10,19 @@ detection policy admits.
 """
 
 from .spec import (DISTRIBUTIONS, HotKeyDistribution, KeyDistribution,
-                   OpMix, PROFILES, UniformDistribution, WorkloadSpec,
+                   OpMix, PROFILES, ShiftingHotKeyDistribution,
+                   UniformDistribution, WorkloadSpec,
                    ZipfianDistribution, resolve_workload)
 from .generator import (Program, WorkloadError, WorkloadGenerator,
                         generate_workload)
 from .harness import (BENCH_WORKLOADS, DEFAULT_WORKLOADS,
-                      ThroughputHarness, WorkloadRun)
+                      SCALING_WORKLOADS, ThroughputHarness, WorkloadRun)
 
 __all__ = [
     "DISTRIBUTIONS", "HotKeyDistribution", "KeyDistribution", "OpMix",
-    "PROFILES", "UniformDistribution", "WorkloadSpec",
-    "ZipfianDistribution", "resolve_workload",
+    "PROFILES", "ShiftingHotKeyDistribution", "UniformDistribution",
+    "WorkloadSpec", "ZipfianDistribution", "resolve_workload",
     "Program", "WorkloadError", "WorkloadGenerator", "generate_workload",
-    "BENCH_WORKLOADS", "DEFAULT_WORKLOADS", "ThroughputHarness",
-    "WorkloadRun",
+    "BENCH_WORKLOADS", "DEFAULT_WORKLOADS", "SCALING_WORKLOADS",
+    "ThroughputHarness", "WorkloadRun",
 ]

@@ -75,11 +75,38 @@ class WorkloadGenerator:
         if builder is None:
             palette = self._generic_palette(spec)
 
-            def builder(spec, rng, mix, dist, keys, values, n):
+            def builder(spec, rng, mix, dist, keys, values, n,
+                        preload=0):
                 return self._generic_program(palette, rng, mix, dist, n)
         return [builder(spec, rng, mix, dist, keys, values,
-                        workload.ops_per_transaction)
+                        workload.ops_per_transaction,
+                        preload=workload.preload)
                 for _ in range(workload.transactions)]
+
+    def generate_setup(self, ds_name: str,
+                       workload: WorkloadSpec) -> Program:
+        """The YCSB-style load-phase program of ``workload``: applied to
+        the shared structure once, outside any transaction, before the
+        generated transactions run.  Deterministic, like generation."""
+        if workload.preload <= 0:
+            return []
+        family = self.registry.family_of(ds_name)
+        rng = random.Random(f"setup:{workload.seed}:{ds_name}")
+        keys = [f"k{i}" for i in range(workload.key_space)]
+        values = [f"v{i}" for i in range(workload.value_space)]
+        if family == "Set":
+            return [("add_", (keys[i],))
+                    for i in range(min(workload.preload, len(keys)))]
+        if family == "Map":
+            return [("put_", (keys[i], values[rng.randrange(len(values))]))
+                    for i in range(min(workload.preload, len(keys)))]
+        if family == "ArrayList":
+            return [("add_at", (i, values[rng.randrange(len(values))]))
+                    for i in range(workload.preload)]
+        if family == "Accumulator":
+            return [("increase", (workload.preload,))]
+        # Custom structures: no family knowledge, no safe generic setup.
+        return []
 
     # -- built-in family palettes ---------------------------------------------
 
@@ -87,7 +114,7 @@ class WorkloadGenerator:
         return rng.random() < mix.read_fraction
 
     def _set_program(self, spec, rng, mix, dist: KeyDistribution,
-                     keys, values, n) -> Program:
+                     keys, values, n, preload=0) -> Program:
         ops: Program = []
         for _ in range(n):
             is_read = self._is_read(rng, mix)
@@ -101,7 +128,7 @@ class WorkloadGenerator:
         return ops
 
     def _map_program(self, spec, rng, mix, dist: KeyDistribution,
-                     keys, values, n) -> Program:
+                     keys, values, n, preload=0) -> Program:
         ops: Program = []
         for _ in range(n):
             is_read = self._is_read(rng, mix)
@@ -121,7 +148,7 @@ class WorkloadGenerator:
         return ops
 
     def _accumulator_program(self, spec, rng, mix, dist: KeyDistribution,
-                             keys, values, n) -> Program:
+                             keys, values, n, preload=0) -> Program:
         ops: Program = []
         for _ in range(n):
             if self._is_read(rng, mix):
@@ -132,18 +159,22 @@ class WorkloadGenerator:
         return ops
 
     def _arraylist_program(self, spec, rng, mix, dist: KeyDistribution,
-                           keys, values, n) -> Program:
+                           keys, values, n, preload=0) -> Program:
         """Index-safe ArrayList programs via balance tracking.
 
         ``balance`` is this transaction's net insertions over its program
-        prefix; the generator only emits indices below it (at most equal
-        for ``add_at``).  Because every generated program keeps its
-        prefix balances non-negative, every other transaction's in-flight
-        or committed contribution to the shared list's size is >= 0 at
-        all times (aborts roll whole contributions back), so the global
-        size is always >= this transaction's balance and every emitted
-        index satisfies its operation's precondition under *any*
-        interleaving.
+        prefix; the generator only emits indices below ``preload +
+        balance`` (at most equal for ``add_at``).  Because every
+        generated program keeps its prefix balances non-negative, every
+        other transaction's in-flight or committed contribution to the
+        shared list's size is >= 0 at all times (aborts roll whole
+        contributions back), so the global size is always >= the
+        preloaded ``preload`` elements plus this transaction's balance,
+        and every emitted index satisfies its operation's precondition
+        under *any* interleaving.  (Removals stay gated on ``balance >
+        0`` — a transaction never shrinks the list below its own net
+        contribution — but their *indices* may fall in the preloaded
+        range.)
         """
         ops: Program = []
         balance = 0
@@ -151,30 +182,34 @@ class WorkloadGenerator:
             is_read = self._is_read(rng, mix)
             if is_read:
                 choices = [(2, "indexOf"), (1, "lastIndexOf"), (1, "size")]
-                if balance > 0:
-                    choices.append((2, "get"))
+                if preload + balance > 0:
+                    # Over a preloaded list positional reads dominate
+                    # (the YCSB-C analogue for lists); without a load
+                    # phase the historical weights are kept exactly.
+                    choices.append((12 if preload else 2, "get"))
             else:
                 choices = [(3, "add_at")]
+                if preload + balance > 0:
+                    choices += [(2, "set"), (1, "set_")]
                 if balance > 0:
-                    choices += [(2, "set"), (1, "set_"),
-                                (1, "remove_at"), (1, "remove_at_")]
+                    choices += [(1, "remove_at"), (1, "remove_at_")]
             kind = _weighted(rng, choices)
             if kind in ("indexOf", "lastIndexOf"):
                 ops.append((kind, (values[dist.pick(rng, len(values))],)))
             elif kind == "size":
                 ops.append((kind, ()))
             elif kind == "get":
-                ops.append((kind, (rng.randrange(balance),)))
+                ops.append((kind, (rng.randrange(preload + balance),)))
             elif kind == "add_at":
-                index = rng.randrange(balance + 1)
+                index = rng.randrange(preload + balance + 1)
                 ops.append((kind, (index,
                                    values[dist.pick(rng, len(values))])))
                 balance += 1
             elif kind in ("set", "set_"):
-                ops.append((kind, (rng.randrange(balance),
+                ops.append((kind, (rng.randrange(preload + balance),
                                    values[dist.pick(rng, len(values))])))
             else:  # remove_at / remove_at_
-                ops.append((kind, (rng.randrange(balance),)))
+                ops.append((kind, (rng.randrange(preload + balance),)))
                 balance -= 1
         return ops
 

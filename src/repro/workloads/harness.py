@@ -30,6 +30,8 @@ class WorkloadRun:
     conflict_mode: str
     workers: int
     report: ExecutionReport
+    shards: int = 1
+    adaptive: str | None = None
 
     @property
     def commits(self) -> int:
@@ -60,6 +62,10 @@ class WorkloadRun:
         return self.report.ops_per_second
 
     @property
+    def committed_ops_per_second(self) -> float:
+        return self.report.committed_ops_per_second
+
+    @property
     def wall_seconds(self) -> float:
         return self.report.wall_seconds
 
@@ -67,11 +73,15 @@ class WorkloadRun:
     def serializable(self) -> bool:
         return self.report.serializable
 
+    @property
+    def shard_stats(self) -> list[dict[str, int]]:
+        return self.report.shard_stats
+
     def summary(self) -> str:
         return (f"{self.structure} [{self.workload.label}] "
                 f"{self.report.summary()} "
                 f"({self.ops_per_second:.0f} ops/s, "
-                f"workers={self.workers})")
+                f"workers={self.workers}, shards={self.shards})")
 
 
 #: The default sweep: three contention shapes over a shared key space
@@ -89,6 +99,10 @@ DEFAULT_WORKLOADS: tuple[WorkloadSpec, ...] = (
                  distribution="zipfian", transactions=6,
                  ops_per_transaction=5, key_space=8, value_space=3,
                  seed=44),
+    WorkloadSpec(name="shifting-hotspot", profile="write-heavy",
+                 distribution="shifting-hot-key", transactions=6,
+                 ops_per_transaction=5, key_space=8, value_space=3,
+                 seed=45),
 )
 
 #: The workloads the ``bench --suite runtime`` CLI sweeps (kept separate
@@ -96,12 +110,44 @@ DEFAULT_WORKLOADS: tuple[WorkloadSpec, ...] = (
 #: the interactive defaults evolve).
 BENCH_WORKLOADS: tuple[WorkloadSpec, ...] = DEFAULT_WORKLOADS
 
+#: Larger workloads for the flat-vs-sharded scaling comparison: enough
+#: transactions and operations that the outstanding log has real depth
+#: (the flat gatekeeper's full-log scans are what sharding removes), a
+#: key space wide enough that most operation pairs are key-disjoint,
+#: and a YCSB-style load phase so ArrayList indices spread over bands.
+#: Still non-disjoint: every transaction draws from one shared key
+#: space over one shared (preloaded) structure.
+SCALING_WORKLOADS: tuple[WorkloadSpec, ...] = (
+    WorkloadSpec(name="scale-mixed-uniform", profile="mixed",
+                 distribution="uniform", transactions=16,
+                 ops_per_transaction=12, key_space=128, value_space=4,
+                 preload=32, seed=52),
+    WorkloadSpec(name="scale-write-uniform", profile="write-heavy",
+                 distribution="uniform", transactions=16,
+                 ops_per_transaction=12, key_space=128, value_space=4,
+                 preload=32, seed=53),
+    WorkloadSpec(name="scale-read-uniform", profile="read-heavy",
+                 distribution="uniform", transactions=16,
+                 ops_per_transaction=12, key_space=128, value_space=4,
+                 preload=32, seed=54),
+    # YCSB workload C: pure reads over the preloaded structure.  No
+    # mutation means no drift, so the outstanding log grows to full
+    # depth and admission cost is pure pair-scan volume — the quantity
+    # sharding cuts.
+    WorkloadSpec(name="scale-readonly-zipfian", profile="read-only",
+                 distribution="zipfian", transactions=16,
+                 ops_per_transaction=18, key_space=128, value_space=4,
+                 preload=64, seed=55),
+)
+
 
 class ThroughputHarness:
     """Runs workload sweeps and collects :class:`WorkloadRun` results."""
 
     def __init__(self, registry=None, workers: int | None = None,
-                 batch: int = 1, max_rounds: int = 200_000) -> None:
+                 batch: int = 1, max_rounds: int = 200_000,
+                 shards: int | None = None,
+                 adaptive: str | None = None) -> None:
         from ..api import resolve_registry
         self.registry = resolve_registry(registry)
         #: None defers to each workload's ``workers`` hint; an explicit
@@ -110,6 +156,10 @@ class ThroughputHarness:
         self.workers = workers
         self.batch = batch
         self.max_rounds = max_rounds
+        #: Same precedence scheme as ``workers``: None defers to each
+        #: workload's ``shards`` hint.
+        self.shards = shards
+        self.adaptive = adaptive
         self.generator = WorkloadGenerator(self.registry)
 
     def runnable_structures(self) -> list[str]:
@@ -122,38 +172,60 @@ class ThroughputHarness:
     def run_one(self, structure: str, workload: WorkloadSpec,
                 policy: str = "commutativity",
                 conflict_mode: str = "abort",
-                workers: int | None = None) -> WorkloadRun:
+                workers: int | None = None,
+                shards: int | None = None,
+                adaptive: str | None = None) -> WorkloadRun:
         """Generate ``workload`` for ``structure`` and execute it.
 
-        Worker-count precedence: the ``workers`` argument, then the
-        harness's configured ``workers``, then the workload's hint.
+        Worker/shard-count precedence: the argument, then the harness's
+        configured value, then the workload's hint.  The generated
+        programs depend on none of them.
         """
         if workers is None:
             workers = self.workers if self.workers is not None \
                 else workload.workers
+        if shards is None:
+            shards = self.shards if self.shards is not None \
+                else workload.shards
+        if adaptive is None:
+            adaptive = self.adaptive
         programs = self.generator.generate(structure, workload)
+        setup = self.generator.generate_setup(structure, workload)
         executor = SpeculativeExecutor(
             structure, policy=policy, seed=workload.seed,
             max_rounds=self.max_rounds, conflict_mode=conflict_mode,
-            registry=self.registry, workers=workers, batch=self.batch)
+            registry=self.registry, workers=workers, batch=self.batch,
+            shards=shards, adaptive=adaptive)
         return WorkloadRun(structure=structure, workload=workload,
                            policy=policy, conflict_mode=conflict_mode,
-                           workers=workers,
-                           report=executor.run(programs))
+                           workers=workers, shards=shards,
+                           adaptive=adaptive,
+                           report=executor.run(programs, setup=setup))
 
     def sweep(self, structures: Sequence[str] | None = None,
               workloads: Iterable[WorkloadSpec] | None = None,
               policies: Sequence[str] = POLICIES,
               conflict_modes: Sequence[str] = ("abort",),
-              workers: int | None = None) -> list[WorkloadRun]:
-        """The full cross product, in deterministic order."""
+              workers: int | None = None,
+              shard_counts: Sequence[int] | None = None,
+              adaptive: str | None = None) -> list[WorkloadRun]:
+        """The full cross product, in deterministic order.
+
+        ``shard_counts`` adds a sharding dimension to the sweep (e.g.
+        ``(1, 4)`` runs every cell with the flat log and with four
+        shards); ``None`` keeps the harness/workload default.
+        """
         structures = list(structures) if structures is not None \
             else self.runnable_structures()
         workloads = tuple(workloads) if workloads is not None \
             else DEFAULT_WORKLOADS
+        shard_axis: tuple[int | None, ...] = (
+            tuple(shard_counts) if shard_counts is not None else (None,))
         return [self.run_one(structure, workload, policy=policy,
-                             conflict_mode=mode, workers=workers)
+                             conflict_mode=mode, workers=workers,
+                             shards=shards, adaptive=adaptive)
                 for structure in structures
                 for workload in workloads
                 for policy in policies
-                for mode in conflict_modes]
+                for mode in conflict_modes
+                for shards in shard_axis]

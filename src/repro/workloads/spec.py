@@ -29,8 +29,10 @@ class OpMix:
                 f"read_fraction must be in [0, 1], got {self.read_fraction}")
 
 
-#: Built-in op-mix profiles (YCSB-style shorthand names).
+#: Built-in op-mix profiles (YCSB-style shorthand names; ``read-only``
+#: is YCSB workload C — meaningful over a preloaded structure).
 PROFILES: dict[str, OpMix] = {
+    "read-only": OpMix("read-only", 1.0),
     "read-heavy": OpMix("read-heavy", 0.875),
     "mixed": OpMix("mixed", 0.5),
     "write-heavy": OpMix("write-heavy", 0.125),
@@ -114,11 +116,46 @@ class HotKeyDistribution(KeyDistribution):
         return hot + rng.randrange(n - hot)
 
 
+class ShiftingHotKeyDistribution(KeyDistribution):
+    """A time-varying hotspot: the hot key rotates through the key
+    space every ``period`` picks.
+
+    Early transactions hammer one key, later transactions a different
+    one — so per-region contention *changes over the run*, which is
+    exactly the shape a contention-adaptive policy (per-shard sliding
+    windows) has to track.  The distribution is stateful but
+    deterministic: picks are made in generation order, so the same spec
+    always produces the same key sequence.
+    """
+
+    name = "shifting-hot-key"
+
+    def __init__(self, hot_fraction: float = 0.8, period: int = 24) -> None:
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError(
+                f"hot_fraction must be in [0, 1], got {hot_fraction}")
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self.hot_fraction = hot_fraction
+        self.period = period
+        self._tick = 0
+
+    def pick(self, rng: random.Random, n: int) -> int:
+        hot = (self._tick // self.period) % n
+        self._tick += 1
+        # Draw order is fixed so generation stays deterministic.
+        if n == 1 or rng.random() < self.hot_fraction:
+            return hot
+        other = rng.randrange(n - 1)
+        return other if other < hot else other + 1
+
+
 #: Built-in key-distribution factories.
 DISTRIBUTIONS: dict[str, Callable[[], KeyDistribution]] = {
     "uniform": UniformDistribution,
     "zipfian": ZipfianDistribution,
     "hot-key": HotKeyDistribution,
+    "shifting-hot-key": ShiftingHotKeyDistribution,
 }
 
 
@@ -126,10 +163,10 @@ DISTRIBUTIONS: dict[str, Callable[[], KeyDistribution]] = {
 class WorkloadSpec:
     """A parameterized, seeded, deterministic workload description.
 
-    ``workers`` is an execution hint for the throughput harness only:
-    generation MUST NOT depend on it (the property the workload tests
-    pin down), so the same spec drives serial and multi-worker runs over
-    byte-identical programs.
+    ``workers`` and ``shards`` are execution hints for the throughput
+    harness only: generation MUST NOT depend on them (the property the
+    workload tests pin down), so the same spec drives serial,
+    multi-worker, and sharded runs over byte-identical programs.
     """
 
     profile: str = "mixed"
@@ -138,8 +175,14 @@ class WorkloadSpec:
     ops_per_transaction: int = 6
     key_space: int = 16
     value_space: int = 4
+    #: YCSB-style load phase: the structure is prepopulated with this
+    #: many elements (family-specific: Set/Map keys, ArrayList slots,
+    #: Accumulator increments) before speculation starts.  The setup
+    #: program is applied outside any transaction and is never logged.
+    preload: int = 0
     seed: int = 0
     workers: int = 1
+    shards: int = 1
     name: str | None = None
 
     def __post_init__(self) -> None:
@@ -156,6 +199,10 @@ class WorkloadSpec:
                 raise ValueError(f"{field_name} must be >= 1")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.preload < 0:
+            raise ValueError("preload must be >= 0")
 
     @property
     def mix(self) -> OpMix:
@@ -182,6 +229,7 @@ class WorkloadSpec:
             "ops_per_transaction": self.ops_per_transaction,
             "key_space": self.key_space,
             "value_space": self.value_space,
+            "preload": self.preload,
             "seed": self.seed,
         }
 

@@ -138,6 +138,28 @@ def test_report_timing_fields():
     assert report.conflict_rate == 0.0
 
 
+def test_unrun_report_is_not_serializable():
+    """Regression: with both states still None, ``None == None`` made a
+    never-executed report read as vacuously serializable."""
+    report = ExecutionReport(ds_name="HashSet", policy="commutativity")
+    assert report.final_state is None and report.serial_state is None
+    assert report.serializable is False
+    report = SpeculativeExecutor("HashSet").run([[("add", ("a",))]])
+    assert report.serializable is True
+
+
+def test_committed_operations_exclude_retried_work():
+    programs = [
+        [("contains", ("x",)), ("add", ("x",))],
+        [("add", ("x",)), ("remove", ("x",))],
+    ]
+    report = SpeculativeExecutor("HashSet", "read-write",
+                                 seed=1).run(programs)
+    assert report.committed_operations == 4  # one copy of each program
+    assert report.operations >= report.committed_operations
+    assert report.committed_ops_per_second > 0
+
+
 # -- unified concrete dispatch -------------------------------------------------
 
 def test_invoke_concrete_keeps_raw_result_for_discard_variants():
@@ -316,6 +338,44 @@ def test_threaded_serializability_property(programs, seed, workers):
         .run(programs)
     assert report.commits == len(programs)
     assert report.serializable
+
+
+@settings(max_examples=15, deadline=None)
+@given(_programs, st.integers(0, 100), st.integers(2, 4),
+       st.sampled_from((2, 4, 8)))
+def test_threaded_sharded_serializability_property(programs, seed,
+                                                   workers, shards):
+    """The fine-grained sharded mode: per-shard lock acquisition in
+    ascending order, admission only against interacting regions — every
+    thread interleaving must still equal its serial replay."""
+    report = SpeculativeExecutor("HashSet", "commutativity", seed=seed,
+                                 workers=workers, shards=shards,
+                                 max_rounds=100_000).run(programs)
+    assert report.commits == len(programs)
+    assert report.serializable
+
+
+@settings(max_examples=10, deadline=None)
+@given(_programs, st.integers(0, 100))
+def test_threaded_sharded_block_mode_property(programs, seed):
+    report = SpeculativeExecutor("HashSet", "commutativity", seed=seed,
+                                 workers=3, shards=4,
+                                 conflict_mode="block",
+                                 max_rounds=100_000).run(programs)
+    assert report.commits == len(programs)
+    assert report.serializable
+
+
+def test_setup_program_prepopulates_and_replays():
+    """A load-phase program seeds the structure outside any transaction
+    and is counted in neither operations nor the serial replay's
+    transaction order — but both executions start from it."""
+    setup = [("add", ("warm",))]
+    programs = [[("contains", ("warm",)), ("add", ("cold",))]]
+    report = SpeculativeExecutor("HashSet").run(programs, setup=setup)
+    assert report.operations == 2  # the setup op is not counted
+    assert report.serializable
+    assert report.final_state["contents"] == frozenset({"warm", "cold"})
 
 
 @settings(max_examples=10, deadline=None)

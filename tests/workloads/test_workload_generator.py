@@ -215,3 +215,81 @@ def test_structure_without_safe_operations_raises():
     with pytest.raises(WorkloadError):
         WorkloadGenerator(registry).generate(
             "Fussy", WorkloadSpec(transactions=1))
+
+
+# -- time-varying hotspot ------------------------------------------------------
+
+def test_shifting_hot_key_distribution_moves_the_hotspot():
+    """The hot key must rotate over the pick stream: early and late
+    picks concentrate on different keys."""
+    import random
+    from repro.workloads import ShiftingHotKeyDistribution
+    dist = ShiftingHotKeyDistribution(hot_fraction=1.0, period=10)
+    rng = random.Random(0)
+    picks = [dist.pick(rng, 4) for _ in range(40)]
+    assert picks[:10] == [0] * 10
+    assert picks[10:20] == [1] * 10
+    assert picks[30:] == [3] * 10
+
+
+def test_shifting_hotspot_workload_generates_and_executes():
+    spec = WorkloadSpec(profile="write-heavy",
+                        distribution="shifting-hot-key",
+                        transactions=4, ops_per_transaction=4,
+                        key_space=6, seed=9)
+    programs = generate_workload("HashSet", spec)
+    assert generate_workload("HashSet", spec) == programs
+    report = SpeculativeExecutor("HashSet", "commutativity",
+                                 seed=9, max_rounds=100_000).run(programs)
+    assert report.commits == 4
+    assert report.serializable
+
+
+def test_shifting_hot_key_validation():
+    from repro.workloads import ShiftingHotKeyDistribution
+    with pytest.raises(ValueError):
+        ShiftingHotKeyDistribution(hot_fraction=1.5)
+    with pytest.raises(ValueError):
+        ShiftingHotKeyDistribution(period=0)
+
+
+# -- YCSB-style load phase -----------------------------------------------------
+
+@pytest.mark.parametrize("name", BUILTINS)
+def test_preload_zero_keeps_generation_byte_identical(name):
+    """preload is additive: at preload=0 both the programs and the
+    (empty) setup are exactly the historical generation."""
+    base = WorkloadSpec(seed=13)
+    generator = WorkloadGenerator()
+    assert generator.generate(name, base) \
+        == generator.generate(name, base.with_(preload=0))
+    assert generator.generate_setup(name, base) == []
+
+
+@pytest.mark.parametrize("name", BUILTINS)
+def test_preload_setup_is_deterministic_and_executes(name):
+    spec = WorkloadSpec(profile="mixed", transactions=4,
+                        ops_per_transaction=5, key_space=12,
+                        preload=8, seed=21)
+    generator = WorkloadGenerator()
+    setup = generator.generate_setup(name, spec)
+    assert setup == generator.generate_setup(name, spec)
+    assert setup  # every built-in family has a load phase
+    programs = generator.generate(name, spec)
+    report = SpeculativeExecutor(name, "commutativity", seed=21,
+                                 max_rounds=200_000) \
+        .run(programs, setup=setup)
+    assert report.commits == 4
+    assert report.serializable
+
+
+def test_preload_spreads_arraylist_indices():
+    """The whole point of the load phase for ArrayList: indices range
+    over the preloaded region, not just the transaction's own balance."""
+    spec = WorkloadSpec(profile="write-heavy", transactions=6,
+                        ops_per_transaction=8, preload=32, seed=3)
+    programs = WorkloadGenerator().generate("ArrayList", spec)
+    indices = [args[0] for ops in programs for op, args in ops
+               if op in ("get", "set", "set_", "add_at", "remove_at",
+                         "remove_at_")]
+    assert max(indices) >= 16  # far beyond any own-balance bound

@@ -162,3 +162,75 @@ def test_workload_report_table_shape():
     table = workload_report_table(runs)
     assert "ops/s" in table and "serializable" in table
     assert "HashSet" in table
+
+
+# -- sharding ------------------------------------------------------------------
+
+def test_run_one_shards_precedence():
+    """Same precedence scheme as workers: argument, then harness
+    setting, then the workload's hint."""
+    hinted = SMALL.with_(shards=4)
+    assert ThroughputHarness().run_one("HashSet", SMALL).shards == 1
+    assert ThroughputHarness().run_one("HashSet", hinted).shards == 4
+    assert ThroughputHarness(shards=1).run_one("HashSet",
+                                               hinted).shards == 1
+    assert ThroughputHarness(shards=2).run_one(
+        "HashSet", hinted, shards=8).shards == 8
+
+
+def test_sweep_over_shard_counts():
+    harness = ThroughputHarness()
+    runs = harness.sweep(structures=("HashSet",), workloads=(SMALL,),
+                         policies=("commutativity",),
+                         shard_counts=(1, 4))
+    assert [run.shards for run in runs] == [1, 4]
+    assert all(run.serializable for run in runs)
+    # Identical decisions either way at workers=1 (the sharded manager
+    # only skips unconditionally-commuting pairs).
+    assert runs[0].aborts == runs[1].aborts
+    assert runs[0].report.commit_order == runs[1].report.commit_order
+
+
+def test_sharded_multi_worker_run_is_serializable():
+    harness = ThroughputHarness(workers=4, shards=4,
+                                max_rounds=500_000)
+    run = harness.run_one("HashTable", SMALL.with_(transactions=8))
+    assert run.shards == 4 and run.workers == 4
+    assert run.commits == 8
+    assert run.serializable
+    assert len(run.shard_stats) == 4
+
+
+def test_scaling_workloads_are_non_disjoint():
+    """The flat-vs-sharded comparison must stay honest: scaling
+    workloads share one key space (and one preloaded structure)."""
+    from repro.workloads import SCALING_WORKLOADS
+    for workload in SCALING_WORKLOADS:
+        harness = ThroughputHarness()
+        programs = harness.generator.generate("HashSet", workload)
+        keysets = [{args[0] for _, args in ops if args}
+                   for ops in programs]
+        assert any(keysets[i] & keysets[j]
+                   for i in range(len(keysets))
+                   for j in range(i + 1, len(keysets)))
+
+
+# -- reporting: speedup + shard contention -------------------------------------
+
+def test_policy_comparison_table_has_speedup_columns():
+    harness = ThroughputHarness()
+    runs = harness.sweep(structures=("HashSet",), workloads=(SMALL,))
+    table = policy_comparison_table(runs)
+    assert "commutativity speedup vs mutex" in table
+    assert "read-write speedup vs mutex" in table
+    assert "x" in table  # rendered ratios like 1.25x
+
+
+def test_shard_contention_table_shape():
+    from repro.reporting import shard_contention_table
+    harness = ThroughputHarness(shards=4)
+    runs = [harness.run_one("HashSet", SMALL)]
+    table = shard_contention_table(runs)
+    assert "shard" in table and "conflicts" in table
+    # One row per shard.
+    assert len(table.splitlines()) == 2 + 4
