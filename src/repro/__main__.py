@@ -7,14 +7,20 @@ Commands:
   structure (or all registered) through the sharded engine;
 - ``inverses`` — verify the registered inverse operations (Table 5.10);
 - ``run --name NAME [--policy P] [--profile P] [--distribution D]
-  [--workers N]`` — generate a seeded workload and execute it
-  speculatively (all three policies and a comparison table when
-  ``--policy`` is omitted);
-- ``bench [--suite verify|runtime]`` — ``verify``: time a cold
-  verification sweep per structure into ``BENCH_verify.json``;
-  ``runtime``: sweep the throughput harness over every structure and
-  policy into ``BENCH_runtime.json``; both optionally gate against a
-  checked-in baseline;
+  [--workers N] [--stable]`` — generate a seeded workload and execute
+  it speculatively (all three policies and a comparison table when
+  ``--policy`` is omitted); ``--stable`` compiles drift-stable
+  conditions first and arms the gatekeeper's drift guard with them;
+- ``stability [--name NAME]`` — compile every between condition into a
+  drift-stability verdict (stable / weakened / fragile) plus, where
+  possible, a drift-stable weakening, through the cached engine;
+- ``bench [--suite verify|runtime] [--stable] [--seeds N]`` —
+  ``verify``: time a cold verification sweep per structure into
+  ``BENCH_verify.json``; ``runtime``: sweep the throughput harness
+  over every structure and policy into ``BENCH_runtime.json``
+  (``--stable`` adds the drift-admission gate on preloaded hot-key
+  workloads, ``--seeds N`` the p50/p95 seed matrix); both optionally
+  gate against a checked-in baseline;
 - ``tables [--table N]`` — print the paper's evaluation tables;
 - ``show --name NAME --m1 OP --m2 OP [--kind K]`` — print a condition
   and its generated testing methods (Figure 2-2 style);
@@ -88,9 +94,53 @@ def _cmd_inverses(args: argparse.Namespace, registry: Registry) -> int:
 BENCH_FLOOR_SECONDS = 0.1
 
 
+#: The verification scope stability compilation uses for runtime
+#: consumption.  The full paper scope, NOT its smoke-test reduction: the
+#: quantified re-verifier needs a scope that can *represent* the
+#: refuting cases (at ``max_seq_len=2`` no list is long enough to run
+#: ``remove_at(i1); get(i2)`` with ``i1 < i2``, and an unsound index
+#: weakening would survive).  Compiled verdicts are served from
+#: ``.repro-cache/`` on reruns.
+STABILITY_SCOPE_SEQ_LEN = 3
+
+
+def _compile_stable(registry: Registry, names, jobs=None,
+                    cache=True, max_seq_len: int = STABILITY_SCOPE_SEQ_LEN):
+    """Compile and register drift-stable conditions for ``names``."""
+    from .engine import run_stability_compilation
+    scope = paper_scope(max_seq_len=max_seq_len)
+    reports = run_stability_compilation(scope, names=names,
+                                        registry=registry, jobs=jobs,
+                                        cache=cache)
+    for name, report in reports.items():
+        registry.register_stable_conditions(
+            name, report.stable_conditions(registry.spec(name)),
+            replace=True)
+    return reports
+
+
+def _cmd_stability(args: argparse.Namespace, registry: Registry) -> int:
+    """Compile drift-stability verdicts and print the per-pair table."""
+    from .reporting.tables import stability_table
+    names = (args.name,) if args.name else None
+    reports = _compile_stable(registry, names, jobs=args.jobs,
+                              cache=not args.no_cache,
+                              max_seq_len=args.max_seq_len)
+    print(stability_table(reports))
+    print()
+    for report in reports.values():
+        line = report.summary()
+        if report.cache_hits:
+            line += (f" [{report.cache_hits}/"
+                     f"{len(report.task_timings)} groups cached]")
+        print(line)
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace, registry: Registry) -> int:
     """Generate a seeded workload and execute it speculatively."""
-    from .reporting.tables import (policy_comparison_table,
+    from .reporting.tables import (drift_admission_table,
+                                   policy_comparison_table,
                                    shard_contention_table,
                                    workload_report_table)
     from .runtime.gatekeeper import POLICIES
@@ -100,9 +150,12 @@ def _cmd_run(args: argparse.Namespace, registry: Registry) -> int:
         transactions=args.txns, ops_per_transaction=args.ops,
         key_space=args.key_space, value_space=args.value_space,
         preload=args.preload, seed=args.seed)
+    if args.stable:
+        _compile_stable(registry, (args.name,))
     harness = ThroughputHarness(registry=registry, workers=args.workers,
                                 batch=args.batch, shards=args.shards,
-                                adaptive=args.adaptive)
+                                adaptive=args.adaptive,
+                                stable=args.stable)
     policies = (args.policy,) if args.policy else POLICIES
     runs = [harness.run_one(args.name, workload, policy=policy,
                             conflict_mode=args.conflict_mode)
@@ -114,6 +167,9 @@ def _cmd_run(args: argparse.Namespace, registry: Registry) -> int:
     if args.shard_stats:
         print()
         print(shard_contention_table(runs))
+    if args.stable:
+        print()
+        print(drift_admission_table(runs))
     if args.txn_stats:
         for run in runs:
             aborted = run.report.ever_aborted
@@ -182,11 +238,18 @@ def _cmd_bench_runtime(args: argparse.Namespace, registry: Registry) -> int:
             "policies": policies,
             "commutativity_beats_read_write_on": strict_wins,
         }
-    # The adaptive and scaling sections run (and mutate the payload)
-    # before it is written, so the emitted JSON carries their numbers.
+    # The adaptive, scaling, stability, and seed-matrix sections run
+    # (and mutate the payload) before it is written, so the emitted
+    # JSON carries their numbers.
     adaptive_failed = _bench_adaptive_section(payload, registry, args)
     scaling_failed = (args.shards > 1
                       and _bench_scaling_section(payload, registry, args))
+    stability_failed = (args.stable
+                        and _bench_stability_section(payload, registry,
+                                                     args))
+    seeds_failed = (args.seeds > 1
+                    and _bench_seed_matrix_section(payload, registry,
+                                                   args))
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -194,7 +257,8 @@ def _cmd_bench_runtime(args: argparse.Namespace, registry: Registry) -> int:
           f"policies x {len(BENCH_WORKLOADS)} workloads, "
           f"workers={args.workers}, wall {wall:.2f}s -> {output}")
     print(policy_comparison_table(runs))
-    failed = adaptive_failed or scaling_failed
+    failed = (adaptive_failed or scaling_failed or stability_failed
+              or seeds_failed)
     not_serializable = [r for r in runs if not r.serializable]
     if not_serializable:
         print("bench: NOT SERIALIZABLE: "
@@ -259,6 +323,140 @@ def _bench_adaptive_section(payload: dict, registry: Registry,
     if regressions:
         print("bench: hybrid policy failed to reduce aborts:\n  "
               + "\n  ".join(regressions), file=sys.stderr)
+        return True
+    return False
+
+
+#: The drift-admission gate's pinned workloads: write-heavy hot-key
+#: traffic over *preloaded* structures — deep enough that admission
+#: checks routinely outlive their verified environment, which is
+#: exactly where the PR 4 drift guard turns conservative and the
+#: compiled stable conditions earn their keep.  Serial and seeded, so
+#: the gate is deterministic.
+def _stability_gate_workloads():
+    from .workloads import WorkloadSpec
+    shape = dict(profile="write-heavy", distribution="hot-key",
+                 transactions=12, ops_per_transaction=6, key_space=24,
+                 value_space=3, seed=5)
+    return (
+        ("ArrayList", WorkloadSpec(name="stability-hotkey-arraylist",
+                                   preload=20, **shape)),
+        ("HashTable", WorkloadSpec(name="stability-hotkey-map",
+                                   preload=20, **shape)),
+    )
+
+
+def _bench_stability_section(payload: dict, registry: Registry,
+                             args: argparse.Namespace) -> bool:
+    """Drift-admission comparison on preloaded hot-key workloads
+    (serial, hence deterministic).  Returns True on gate failure:
+    ``--stable`` must strictly reduce conservative-fallback admissions
+    vs the plain PR 4 drift guard on every gated structure, restore at
+    least one semantic admission under drift, and keep both executions
+    serializable — with flat and sharded decisions identical.
+    """
+    from .reporting.tables import drift_admission_table
+    from .workloads import ThroughputHarness
+    reports = _compile_stable(registry, None)
+    harness = ThroughputHarness(registry=registry)
+    section: dict = {
+        "policy": "commutativity", "shards": args.shards,
+        "compiled": {name: {"stable": report.stable_count,
+                            "weakened": report.weakened_count,
+                            "fragile": report.fragile_count}
+                     for name, report in reports.items()},
+        "structures": {}}
+    regressions = []
+    runs = []
+    for name, workload in _stability_gate_workloads():
+        plain = harness.run_one(name, workload, policy="commutativity",
+                                workers=1, shards=args.shards)
+        stable = harness.run_one(name, workload, policy="commutativity",
+                                 workers=1, shards=args.shards,
+                                 stable=True)
+        runs += [plain, stable]
+        section["structures"][name] = {
+            "workload": workload.label,
+            "plain_fallbacks": plain.drift_fallbacks,
+            "stable_fallbacks": stable.drift_fallbacks,
+            "stable_hits": stable.stable_hits,
+            "plain_aborts": plain.aborts,
+            "stable_aborts": stable.aborts,
+            "undo_refusals": stable.report.undo_refusals,
+        }
+        if not (plain.serializable and stable.serializable):
+            regressions.append(f"{name}: not serializable")
+            continue
+        if stable.stable_hits == 0:
+            regressions.append(f"{name}: no semantic admission was "
+                               f"restored under drift")
+        if stable.drift_fallbacks >= plain.drift_fallbacks:
+            regressions.append(
+                f"{name}: {stable.drift_fallbacks} conservative "
+                f"fallbacks with --stable >= {plain.drift_fallbacks} "
+                f"without")
+        if args.shards > 1:
+            flat = harness.run_one(name, workload,
+                                   policy="commutativity", workers=1,
+                                   shards=1, stable=True)
+            if (flat.commits, flat.aborts, flat.report.commit_order) \
+                    != (stable.commits, stable.aborts,
+                        stable.report.commit_order):
+                regressions.append(f"{name}: flat and sharded stable "
+                                   f"decisions diverged")
+    payload["stability"] = section
+    print(drift_admission_table(runs))
+    for name, entry in section["structures"].items():
+        print(f"bench: stability {name}: fallbacks "
+              f"{entry['plain_fallbacks']} -> {entry['stable_fallbacks']}"
+              f", {entry['stable_hits']} stable hits")
+    if regressions:
+        print("bench: drift-stable admission gate failed:\n  "
+              + "\n  ".join(regressions), file=sys.stderr)
+        return True
+    return False
+
+
+def _bench_seed_matrix_section(payload: dict, registry: Registry,
+                               args: argparse.Namespace) -> bool:
+    """The ``--seeds N`` matrix: rerun the bench sweep over N seeds and
+    report p50/p95 percentiles per (structure, workload, policy).
+    Returns True on gate failure (a non-serializable cell)."""
+    from .reporting.tables import percentile, seed_matrix_table
+    from .runtime.gatekeeper import POLICIES
+    from .workloads import BENCH_WORKLOADS, ThroughputHarness
+    harness = ThroughputHarness(registry=registry, workers=args.workers,
+                                shards=args.shards)
+    structures = harness.runnable_structures()
+    runs = [harness.run_one(structure, workload.with_(
+                seed=workload.seed + offset), policy=policy)
+            for structure in structures
+            for workload in BENCH_WORKLOADS
+            for policy in POLICIES
+            for offset in range(args.seeds)]
+    section: dict = {"seeds": args.seeds, "structures": {}}
+    for run in runs:
+        cell = section["structures"] \
+            .setdefault(run.structure, {}) \
+            .setdefault(run.workload.label, {}) \
+            .setdefault(run.policy, {"ops_per_second": [], "aborts": []})
+        cell["ops_per_second"].append(round(run.ops_per_second, 1))
+        cell["aborts"].append(run.aborts)
+    for by_workload in section["structures"].values():
+        for by_policy in by_workload.values():
+            for cell in by_policy.values():
+                cell["ops_per_second_p50"] = percentile(
+                    cell["ops_per_second"], 50)
+                cell["ops_per_second_p95"] = percentile(
+                    cell["ops_per_second"], 95)
+                cell["aborts_p50"] = percentile(cell["aborts"], 50)
+                cell["aborts_p95"] = percentile(cell["aborts"], 95)
+    payload["seed_matrix"] = section
+    print(seed_matrix_table(runs))
+    broken = [run.summary() for run in runs if not run.serializable]
+    if broken:
+        print("bench: seed matrix NOT SERIALIZABLE: "
+              + "; ".join(broken), file=sys.stderr)
         return True
     return False
 
@@ -571,11 +769,23 @@ def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
                           "(default: none)")
     run.add_argument("--conflict-mode", default="abort",
                      choices=("abort", "block"))
+    run.add_argument("--stable", action="store_true",
+                     help="compile drift-stable conditions first and "
+                          "arm the drift guard with them")
     run.add_argument("--txn-stats", action="store_true",
                      help="print per-transaction abort counts")
     run.add_argument("--shard-stats", action="store_true",
                      help="print the per-shard contention table")
     run.set_defaults(func=_cmd_run)
+
+    stability = sub.add_parser(
+        "stability",
+        help="compile between conditions into drift-stability verdicts")
+    stability.add_argument("--name", choices=registry.names())
+    stability.add_argument("--max-seq-len", type=int,
+                           default=STABILITY_SCOPE_SEQ_LEN)
+    _add_engine_options(stability)
+    stability.set_defaults(func=_cmd_stability)
 
     bench = sub.add_parser(
         "bench",
@@ -594,6 +804,12 @@ def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
                        help="conflict-manager shards for --suite "
                             "runtime (powers of two); > 1 adds the "
                             "flat-vs-sharded scaling comparison")
+    bench.add_argument("--stable", action="store_true",
+                       help="--suite runtime: add the drift-stable "
+                            "admission section and its gate")
+    bench.add_argument("--seeds", type=int, default=1,
+                       help="--suite runtime: rerun the sweep over this "
+                            "many seeds and report p50/p95 percentiles")
     bench.add_argument("--output", default=None,
                        help="where to write the timing report (default "
                             "BENCH_<suite>.json)")

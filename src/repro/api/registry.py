@@ -53,6 +53,9 @@ class Registry:
             str, Callable[[DataStructureSpec],
                           Iterable[CommutativityCondition]]] = {}
         self._inverse_specs: dict[str, tuple[InverseSpec, ...]] = {}
+        #: Family -> compiled drift-stable conditions (artifacts of the
+        #: :mod:`repro.stability` compiler, keyed like conditions).
+        self._stable_conditions: dict[str, tuple] = {}
         self._implementations: dict[str, type] = {}
         #: Family -> shard router (see :mod:`repro.runtime.sharding`).
         self._shard_routers: dict[str, Callable] = {}
@@ -138,6 +141,36 @@ class Registry:
             raise DuplicateNameError(
                 f"inverses for {family!r} are already registered")
         self._inverse_specs[family] = tuple(inverses)
+
+    def register_stable_conditions(self, name: str, conditions,
+                                   replace: bool = False) -> None:
+        """Register compiled drift-stable conditions for ``name``'s family.
+
+        ``conditions`` is an iterable of
+        :class:`~repro.stability.StableCondition` — the artifacts of
+        :meth:`repro.api.Session.compile_stable`.  Unlike the
+        source-of-truth catalogs, stable conditions are *derived* data:
+        recompiling (e.g. with a different scope) is legitimate, so
+        ``replace=True`` overwrites a previous registration instead of
+        raising.
+        """
+        family = self.family_of(name)
+        if family in self._stable_conditions and not replace:
+            raise DuplicateNameError(
+                f"stable conditions for {family!r} are already "
+                f"registered (pass replace=True to recompile)")
+        self._stable_conditions[family] = tuple(conditions)
+
+    def has_stable_conditions(self, name: str) -> bool:
+        return self.family_of(name) in self._stable_conditions
+
+    def stable_conditions(self, name: str) -> list:
+        """The compiled drift-stable conditions of a structure's family."""
+        family = self.family_of(name)
+        if family not in self._stable_conditions:
+            raise UnknownNameError("stable-condition catalog", family,
+                                   tuple(self._stable_conditions))
+        return list(self._stable_conditions[family])
 
     def register_shard_router(self, name: str, router: Callable) -> None:
         """Register the shard router of ``name``'s family.

@@ -104,6 +104,34 @@ class Session:
                                         jobs=self._jobs(jobs),
                                         cache=self._cache(cache))
 
+    def compile_stable(self, names: Sequence[str] | None = None,
+                       scope: Scope | None = None,
+                       jobs: int | None = None, cache=None,
+                       register: bool = True):
+        """Compile drift-stable conditions for the named structures (or
+        every structure with a condition catalog) and register the
+        artifacts on this session's registry.
+
+        Returns ``{name: StabilityReport}``.  Runs through the sharded
+        engine — compiled verdicts are content-addressed and served
+        from ``.repro-cache/`` on reruns — and by default registers
+        each family's weakenings via
+        :meth:`~repro.api.Registry.register_stable_conditions`
+        (``replace=True``: recompiling with a new scope is routine), so
+        a subsequent :meth:`run_workload` with ``stable=True`` picks
+        them up.
+        """
+        from ..engine import run_stability_compilation
+        reports = run_stability_compilation(
+            scope or self.scope, names=names, registry=self.registry,
+            jobs=self._jobs(jobs), cache=self._cache(cache))
+        if register:
+            for name, report in reports.items():
+                self.registry.register_stable_conditions(
+                    name, report.stable_conditions(self.spec(name)),
+                    replace=True)
+        return reports
+
     # -- synthesis -----------------------------------------------------------
 
     def synthesize(self, name: str, m1: str, m2: str, kind: Kind | str,
@@ -135,6 +163,7 @@ class Session:
                      workers: int | None = None, batch: int = 1,
                      shards: int | None = None,
                      adaptive: str | None = None,
+                     stable: bool = False,
                      max_rounds: int = 200_000, **spec_fields):
         """Generate a deterministic workload for ``name`` and execute it
         speculatively; an :class:`~repro.runtime.executor.ExecutionReport`.
@@ -150,7 +179,9 @@ class Session:
         ``shards`` partitions the conflict-manager log by interaction
         region (``1`` = the flat-log gatekeeper); ``adaptive`` selects a
         contention controller (``"backoff"``, ``"wait-die"``,
-        ``"hybrid"``, or ``None``).
+        ``"hybrid"``, or ``None``); ``stable=True`` arms the drift
+        guard with the conditions a prior :meth:`compile_stable`
+        registered.
         """
         from ..runtime.executor import SpeculativeExecutor
         from ..workloads import WorkloadGenerator, resolve_workload
@@ -166,7 +197,7 @@ class Session:
             workers=workers if workers is not None else workload.workers,
             batch=batch,
             shards=shards if shards is not None else workload.shards,
-            adaptive=adaptive)
+            adaptive=adaptive, stable=stable)
         return executor.run(programs, setup=setup)
 
     def throughput_sweep(self, structures: Sequence[str] | None = None,

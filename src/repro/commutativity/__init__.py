@@ -1,6 +1,7 @@
 """Semantic commutativity analysis (the paper's primary contribution)."""
 
-from .conditions import CommutativityCondition, Kind, VocabularyError
+from .conditions import (CommutativityCondition, Kind, STATE_VARS,
+                         VocabularyError, formula_references_state)
 from .bounded import (Case, CheckResult, Counterexample, check_condition,
                       check_conditions, commutes, enumerate_cases,
                       exact_condition_table)
@@ -10,7 +11,8 @@ from .generator import Direction, TestingMethod, generate_methods
 from .verifier import VerificationReport, verify_all, verify_data_structure
 
 __all__ = [
-    "CommutativityCondition", "Kind", "VocabularyError",
+    "CommutativityCondition", "Kind", "STATE_VARS", "VocabularyError",
+    "formula_references_state",
     "Case", "CheckResult", "Counterexample", "check_condition",
     "check_conditions", "commutes", "enumerate_cases",
     "exact_condition_table",

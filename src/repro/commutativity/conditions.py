@@ -39,6 +39,21 @@ class Kind(enum.Enum):
         return self.value
 
 
+#: Abstract-state variables a condition formula may mention.  Formulas
+#: over arguments and return values only were verified to match the
+#: commute relation in *every* enumerated state, so their verdict
+#: transfers to any runtime context; formulas mentioning any of these
+#: are only trusted in the exact environment they were verified for
+#: (see the drift guard in :mod:`repro.runtime.gatekeeper` and the
+#: stability compiler in :mod:`repro.stability`).
+STATE_VARS = frozenset({"s1", "s2", "s3"})
+
+
+def formula_references_state(term: t.Term) -> bool:
+    """Whether a formula mentions any abstract-state variable."""
+    return bool(STATE_VARS & free_vars(term))
+
+
 class VocabularyError(ValueError):
     """A condition references variables its kind does not permit."""
 
@@ -119,6 +134,14 @@ class CommutativityCondition:
             return self.formula
         table = condition_symbols(self.spec, self.op1, self.op2)
         return parse_formula(self.dynamic_text, table)
+
+    @cached_property
+    def drift_fragile(self) -> bool:
+        """Whether the dynamically-checkable formula mentions abstract
+        state — if so, its runtime verdict is only trustworthy in the
+        environment it was verified for (the drift guard refuses it once
+        the gatekeeper's state has moved on)."""
+        return formula_references_state(self.dynamic_formula)
 
     def _validate_vocabulary(self) -> None:
         allowed = allowed_variables(self.kind, self.op1, self.op2)

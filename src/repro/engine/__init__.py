@@ -15,9 +15,10 @@ to a serial uncached run.
 
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .fingerprint import (ENGINE_VERSION, condition_fingerprint,
-                          inverse_fingerprint, spec_fingerprint, stable_hash,
-                          task_key)
-from .pipeline import run_inverse_verification, run_verification
+                          inverse_fingerprint, spec_fingerprint,
+                          stability_fingerprint, stable_hash, task_key)
+from .pipeline import (run_inverse_verification, run_stability_compilation,
+                       run_verification)
 from .planner import TaskPlan, TaskPlanner
 from .runner import JOBS_ENV_VAR, ParallelRunner, resolve_jobs
 from .tasks import (ObligationOutcome, TaskOutcome, TaskTiming, VerifyTask,
@@ -26,8 +27,9 @@ from .tasks import (ObligationOutcome, TaskOutcome, TaskTiming, VerifyTask,
 __all__ = [
     "DEFAULT_CACHE_DIR", "ResultCache",
     "ENGINE_VERSION", "condition_fingerprint", "inverse_fingerprint",
-    "spec_fingerprint", "stable_hash", "task_key",
-    "run_inverse_verification", "run_verification",
+    "spec_fingerprint", "stability_fingerprint", "stable_hash", "task_key",
+    "run_inverse_verification", "run_stability_compilation",
+    "run_verification",
     "TaskPlan", "TaskPlanner",
     "JOBS_ENV_VAR", "ParallelRunner", "resolve_jobs",
     "ObligationOutcome", "TaskOutcome", "TaskTiming", "VerifyTask",

@@ -108,7 +108,8 @@ class ResultCache:
         try:
             results = tuple(
                 ObligationOutcome(cases=int(r["cases"]),
-                                  elapsed=float(r["elapsed"]))
+                                  elapsed=float(r["elapsed"]),
+                                  payload=r.get("payload"))
                 for r in entry["results"])
             if expected_results is not None \
                     and len(results) != expected_results:
@@ -129,8 +130,14 @@ class ResultCache:
             "kind": task.kind,
             "backend": task.backend,
             "elapsed": outcome.elapsed,
-            "results": [{"cases": r.cases, "elapsed": r.elapsed}
-                        for r in outcome.results],
+            "results": [
+                {"cases": r.cases, "elapsed": r.elapsed,
+                 # Payloads are JSON-shaped by construction (stability
+                 # verdicts); omitted entirely for classic proof tasks
+                 # so their entries keep the historical shape.
+                 **({"payload": r.payload} if r.payload is not None
+                    else {})}
+                for r in outcome.results],
         }
         self._dirty = True
 

@@ -119,6 +119,25 @@ def condition_fingerprint(cond) -> dict[str, Any]:
     }
 
 
+def stability_fingerprint(conditions, has_router: bool) -> dict[str, Any]:
+    """Fingerprint of one stability-compilation group.
+
+    Covers the condition formulas (candidates are derived from them),
+    whether the structure has a shard router (it gates the footprint
+    candidate atoms, so registering one must retire routerless
+    verdicts), and the compiler version (candidate generation and the
+    quantified check live outside the condition content, so their
+    evolution must retire cached verdicts the way
+    :data:`ENGINE_VERSION` retires proofs).
+    """
+    from ..stability.compiler import STABILITY_COMPILER_VERSION
+    return {
+        "compiler_version": STABILITY_COMPILER_VERSION,
+        "has_router": bool(has_router),
+        "conditions": [condition_fingerprint(c) for c in conditions],
+    }
+
+
 def inverse_fingerprint(inverse) -> dict[str, Any]:
     """Fingerprint of one inverse catalog entry (its undo program)."""
     return {

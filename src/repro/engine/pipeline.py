@@ -98,6 +98,57 @@ def run_verification(scope: Scope | None = None, backend: str = "bounded",
     return reports
 
 
+def run_stability_compilation(scope: Scope | None = None,
+                              names: Sequence[str] | None = None,
+                              registry=None, jobs: int | None = None,
+                              cache=False):
+    """Compile drift-stability verdicts as a sharded task graph.
+
+    Returns ``{structure name: StabilityReport}``.  Verdicts for
+    arg/result-only conditions are assembled parent-side (they need no
+    computation); only drift-fragile condition groups become tasks, so
+    the plan parallelizes and caches exactly the expensive part.
+    """
+    from ..commutativity.conditions import Kind
+    from ..stability.compiler import pair_from_payload
+    from ..stability.quantified import PairStability
+    from ..stability.report import StabilityReport
+    registry = _resolve(registry)
+    scope = scope or Scope()
+    if names is None:
+        names = tuple(name for name in registry.names()
+                      if registry.has_conditions(name))
+    names = tuple(dict.fromkeys(names))
+    planner = TaskPlanner(registry)
+    plan = planner.plan_stability(names, scope)
+    outcomes = _execute_plan(plan, registry, jobs, cache)
+    reports: dict[str, "StabilityReport"] = {}
+    for name in names:
+        report = StabilityReport(name=name,
+                                 family=registry.family_of(name))
+        compiled: dict[tuple[str, str], PairStability] = {}
+        for index in plan.structure_tasks[name]:
+            outcome = outcomes[index]
+            for cond, result in zip(plan.payloads[index],
+                                    outcome.results):
+                compiled[(cond.m1, cond.m2)] = pair_from_payload(
+                    result.payload, elapsed=result.elapsed)
+            report.task_timings.append(_timing(plan, index, outcome))
+        # Report entries follow catalog order, fragile or not.
+        for cond in registry.conditions(name):
+            if cond.kind is not Kind.BETWEEN:
+                continue
+            if cond.drift_fragile:
+                report.pairs.append(compiled[(cond.m1, cond.m2)])
+            else:
+                report.pairs.append(PairStability(
+                    m1=cond.m1, m2=cond.m2, verdict="stable"))
+        report.elapsed = math.fsum(t.elapsed
+                                   for t in report.task_timings)
+        reports[name] = report
+    return reports
+
+
 def run_inverse_verification(scope: Scope | None = None,
                              names: Sequence[str] | None = None,
                              registry=None, jobs: int | None = None,

@@ -17,8 +17,9 @@ from typing import Any, Sequence
 
 from ..eval.enumeration import Scope
 from .fingerprint import (ENGINE_VERSION, condition_fingerprint,
-                          inverse_fingerprint, spec_fingerprint, task_key)
-from .tasks import BACKENDS, COMMUTATIVITY, INVERSE, VerifyTask
+                          inverse_fingerprint, spec_fingerprint,
+                          stability_fingerprint, task_key)
+from .tasks import BACKENDS, COMMUTATIVITY, INVERSE, STABILITY, VerifyTask
 
 
 @dataclass
@@ -84,6 +85,39 @@ class TaskPlanner:
         for cond in self.registry.conditions(name):
             groups.setdefault((cond.m1, cond.m2), []).append(cond)
         return groups
+
+    # -- stability compilation -----------------------------------------------
+
+    def plan_stability(self, names: Sequence[str],
+                       scope: Scope) -> TaskPlan:
+        """One task per (structure, first-operation group) of
+        drift-fragile between conditions — grouping by ``m1`` lets a
+        task share spec setup across the pairs it compiles, and keeps
+        shard counts close to the commutativity plan's."""
+        from ..commutativity.conditions import Kind
+        plan = TaskPlan()
+        for name in dict.fromkeys(names):  # dedupe, preserving order
+            indexes = plan.structure_tasks.setdefault(name, [])
+            groups: dict[str, list] = {}
+            for cond in self.registry.conditions(name):
+                if cond.kind is Kind.BETWEEN and cond.drift_fragile:
+                    groups.setdefault(cond.m1, []).append(cond)
+            has_router = self.registry.has_shard_router(name)
+            for group, conditions in groups.items():
+                index = len(plan.tasks)
+                key = task_key(
+                    kind=STABILITY, structure=name, backend="bounded",
+                    scope=scope, spec_fp=self._spec_fp(name),
+                    obligations=stability_fingerprint(conditions,
+                                                      has_router),
+                    engine_version=ENGINE_VERSION)
+                plan.tasks.append(VerifyTask(
+                    index=index, kind=STABILITY, structure=name,
+                    backend="bounded", scope=scope, group=group,
+                    key=key))
+                plan.payloads[index] = tuple(conditions)
+                indexes.append(index)
+        return plan
 
     # -- inverses ------------------------------------------------------------
 

@@ -12,12 +12,14 @@ reattaches conditions and inverse specs when assembling reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from ..eval.enumeration import Scope
 
 #: Task kinds.
 COMMUTATIVITY = "commutativity"
 INVERSE = "inverse"
+STABILITY = "stability"
 
 #: Verification backends for commutativity tasks.
 BACKENDS = ("bounded", "symbolic")
@@ -52,6 +54,9 @@ class VerifyTask:
     #: operation name for display.
     inverse_index: int | None = None
     inverse_op: str | None = None
+    #: Stability: the first operation of the compiled condition group
+    #: (one task covers every fragile pair sharing it).
+    group: str | None = None
     use_dynamic: bool = False
     #: Content-address of the obligation (see :mod:`.fingerprint`).
     key: str = ""
@@ -60,6 +65,8 @@ class VerifyTask:
     def label(self) -> str:
         if self.kind == COMMUTATIVITY:
             return f"{self.structure} {self.pair[0]};{self.pair[1]}"
+        if self.kind == STABILITY:
+            return f"{self.structure} {self.group};* stability"
         return f"{self.structure} {self.inverse_op}^-1"
 
 
@@ -70,6 +77,10 @@ class ObligationOutcome:
     cases: int
     elapsed: float
     counterexamples: tuple = ()
+    #: Kind-specific plain data (stability: the compiled verdict, see
+    #: :func:`repro.stability.compiler.pair_payload`).  JSON-shaped so
+    #: the result cache can persist it verbatim.
+    payload: Any = None
 
     @property
     def verified(self) -> bool:
@@ -116,6 +127,8 @@ def execute_task(task: VerifyTask, registry=None) -> TaskOutcome:
         return _execute_commutativity(task, registry)
     if task.kind == INVERSE:
         return _execute_inverse(task, registry)
+    if task.kind == STABILITY:
+        return _execute_stability(task, registry)
     raise ValueError(f"unknown task kind {task.kind!r}")
 
 
@@ -140,6 +153,28 @@ def _execute_commutativity(task: VerifyTask, registry) -> TaskOutcome:
         results=tuple(ObligationOutcome(r.cases, r.elapsed,
                                         tuple(r.counterexamples))
                       for r in results))
+
+
+def _execute_stability(task: VerifyTask, registry) -> TaskOutcome:
+    """Compile the drift-stability verdicts of one condition group."""
+    from ..commutativity.conditions import Kind
+    from ..stability.compiler import compile_group, pair_payload
+    spec = registry.spec(task.structure)
+    conditions = [c for c in registry.conditions(task.structure)
+                  if c.kind is Kind.BETWEEN and c.m1 == task.group
+                  and c.drift_fragile]
+    if not conditions:
+        raise ValueError(f"no fragile between conditions in group "
+                         f"{task.group!r} of {task.structure!r}")
+    pairs = compile_group(spec, conditions, task.scope,
+                          registry.has_shard_router(task.structure))
+    return TaskOutcome(
+        index=task.index,
+        elapsed=sum(pair.elapsed for pair in pairs),
+        results=tuple(ObligationOutcome(cases=pair.cases,
+                                        elapsed=pair.elapsed,
+                                        payload=pair_payload(pair))
+                      for pair in pairs))
 
 
 def _execute_inverse(task: VerifyTask, registry) -> TaskOutcome:

@@ -235,10 +235,17 @@ def policy_comparison_table(runs, policies=None) -> str:
     quantified end-to-end.
     """
     from ..runtime.gatekeeper import POLICIES
+    seen = {run.policy for run in runs}
     if policies is None:
-        seen = {run.policy for run in runs}
         policies = [p for p in POLICIES if p in seen]
-    speedup_policies = [p for p in policies if p != "mutex"]
+    # Columns that no run in this report can populate are dropped
+    # entirely rather than rendered as dashes: single-policy and
+    # single-shard reports get a table exactly as wide as their data.
+    with_speedups = "mutex" in seen and len(seen) > 1
+    speedup_policies = [p for p in policies if p != "mutex"] \
+        if with_speedups else []
+    with_verdict = {"commutativity", "read-write"} <= seen
+    with_shards = any(run.shards != 1 for run in runs)
     groups: dict[tuple, dict] = {}
     for run in runs:
         key = (run.structure, run.workload.label, run.conflict_mode,
@@ -247,7 +254,9 @@ def policy_comparison_table(runs, policies=None) -> str:
     rows = []
     for (structure, label, mode, workers, shards), by_policy \
             in groups.items():
-        row = [structure, label, str(workers), str(shards)]
+        row = [structure, label, str(workers)]
+        if with_shards:
+            row.append(str(shards))
         for policy in policies:
             run = by_policy.get(policy)
             row.append("-" if run is None else
@@ -260,28 +269,37 @@ def policy_comparison_table(runs, policies=None) -> str:
                 row.append("-")
             else:
                 row.append(f"{mutex.wall_seconds / run.wall_seconds:.2f}x")
-        comm = by_policy.get("commutativity")
-        rw = by_policy.get("read-write")
-        if comm is not None and rw is not None:
-            row.append("yes" if comm.aborts < rw.aborts else "no")
-        else:
-            row.append("-")
+        if with_verdict:
+            comm = by_policy.get("commutativity")
+            rw = by_policy.get("read-write")
+            if comm is not None and rw is not None:
+                row.append("yes" if comm.aborts < rw.aborts else "no")
+            else:
+                row.append("-")
         rows.append(row)
-    headers = (["structure", "workload", "workers", "shards"]
+    headers = (["structure", "workload", "workers"]
+               + (["shards"] if with_shards else [])
                + [f"{p}: aborts (conflict rate)" for p in policies]
                + [f"{p} speedup vs mutex" for p in speedup_policies]
-               + ["commutativity wins"])
+               + (["commutativity wins"] if with_verdict else []))
     return _format_table(headers, rows)
 
 
 def shard_contention_table(runs) -> str:
     """Per-shard admission statistics of each run: where the checks and
     conflicts landed, so hot regions (and router imbalance) are visible
-    at a glance.  Runs without shard stats are skipped."""
+    at a glance.
+
+    Renders only runs that actually sharded their log; when every run
+    is single-shard (or carries no shard stats at all) there is no
+    per-shard story to tell, so a one-line note replaces the
+    empty-column table."""
     headers = ["structure", "workload", "policy", "shard", "checks",
                "conflicts", "conflict rate", "outstanding"]
     rows = []
     for run in runs:
+        if len(run.shard_stats) <= 1:
+            continue  # single-shard: the workload table already has it
         for stats in run.shard_stats:
             checks = stats["checks"]
             rate = stats["conflicts"] / checks if checks else 0.0
@@ -289,6 +307,91 @@ def shard_contention_table(runs) -> str:
                          str(stats["shard"]), str(checks),
                          str(stats["conflicts"]), f"{rate:.0%}",
                          str(stats["outstanding"])])
+    if not rows:
+        return ("(no per-shard breakdown: every run used a single "
+                "shard — totals are in the workload table)")
+    return _format_table(headers, rows)
+
+
+def drift_admission_table(runs) -> str:
+    """The drift guard's traffic per run: how many pair checks hit the
+    guard, how many a compiled drift-stable condition admitted, how
+    many fell back to the conservative router oracle (and how many of
+    those the oracle admitted), and how many would-be admissions the
+    undo-commutation guard refused."""
+    rows = []
+    for run in runs:
+        report = run.report
+        if not (report.drift_checks or report.drift_fallbacks
+                or report.undo_refusals):
+            # drift_fallbacks can be nonzero with zero drift_checks:
+            # the EvalError path is conservative without being drifted.
+            continue
+        stable_rate = (report.stable_hits / report.drift_checks
+                       if report.drift_checks else 0.0)
+        rows.append([run.structure, run.workload.label, run.policy,
+                     "yes" if getattr(run, "stable", False) else "no",
+                     str(report.drift_checks), str(report.stable_hits),
+                     f"{stable_rate:.0%}",
+                     str(report.drift_fallbacks),
+                     str(report.fallback_admits),
+                     str(report.undo_refusals)])
+    if not rows:
+        return "(no drift-guarded checks: every admission was in its " \
+               "verified environment)"
+    headers = ["structure", "workload", "policy", "stable",
+               "drift checks", "stable hits", "hit rate", "fallbacks",
+               "fallback admits", "undo refusals"]
+    return _format_table(headers, rows)
+
+
+def stability_table(reports) -> str:
+    """Per-pair drift-stability verdicts of one or more
+    :class:`~repro.stability.StabilityReport` values (``python -m
+    repro stability``)."""
+    if not isinstance(reports, dict):
+        reports = {reports.name: reports}
+    rows = []
+    for name, report in reports.items():
+        for pair in report.pairs:
+            rows.append([name, pair.pair_label, pair.verdict,
+                         pair.stable_text or "-"])
+    headers = ["structure", "pair", "verdict", "drift-stable condition"]
+    return _format_table(headers, rows)
+
+
+def percentile(values, q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a non-empty
+    sample — deliberately interpolation-free so tiny seed matrices
+    report values that actually occurred."""
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without math
+    return ordered[int(rank) - 1]
+
+
+def seed_matrix_table(runs) -> str:
+    """The seed-matrix extension of the workload report table: one row
+    per (structure, workload, policy) with p50/p95 percentile columns
+    over the per-seed samples (``bench --suite runtime --seeds N``)."""
+    groups: dict[tuple, list] = {}
+    for run in runs:
+        groups.setdefault(
+            (run.structure, run.workload.label, run.policy), []).append(run)
+    rows = []
+    for (structure, label, policy), sample in groups.items():
+        ops = [r.ops_per_second for r in sample]
+        aborts = [r.aborts for r in sample]
+        rows.append([
+            structure, label, policy, str(len(sample)),
+            f"{percentile(ops, 50):,.0f}", f"{percentile(ops, 95):,.0f}",
+            f"{percentile(aborts, 50):.0f}",
+            f"{percentile(aborts, 95):.0f}",
+            "yes" if all(r.serializable for r in sample) else "NO"])
+    headers = ["structure", "workload", "policy", "seeds",
+               "ops/s p50", "ops/s p95", "aborts p50", "aborts p95",
+               "serializable"]
     return _format_table(headers, rows)
 
 

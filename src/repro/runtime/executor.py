@@ -66,11 +66,23 @@ class ExecutionReport:
     workers: int = 1
     shards: int = 1
     adaptive: str | None = None
+    stable: bool = False
     commits: int = 0
     aborts: int = 0
     operations: int = 0
     conflict_checks: int = 0
     conflicts: int = 0
+    #: Drift-guard traffic: checks that hit the guard, the subset a
+    #: compiled drift-stable condition admitted, the conservative
+    #: resolutions that consulted the router oracle, and the subset of
+    #: those the oracle admitted (conservative-fallback admissions).
+    drift_checks: int = 0
+    stable_hits: int = 0
+    drift_fallbacks: int = 0
+    fallback_admits: int = 0
+    #: Would-be admissions refused because the incoming operation does
+    #: not commute with a logged operation's pending undo.
+    undo_refusals: int = 0
     wall_seconds: float = 0.0
     commit_order: list[int] = field(default_factory=list)
     #: Per-transaction abort counts and final statuses (txn_id keyed),
@@ -138,7 +150,8 @@ class SpeculativeExecutor:
                  seed: int = 0, max_rounds: int = 10000,
                  conflict_mode: str = "abort", registry=None,
                  workers: int = 1, batch: int = 1, shards: int = 1,
-                 adaptive: str | None = None) -> None:
+                 adaptive: str | None = None,
+                 stable: bool = False) -> None:
         if conflict_mode not in ("abort", "block"):
             raise ValueError(f"unknown conflict mode {conflict_mode!r}")
         if workers < 1:
@@ -169,6 +182,9 @@ class SpeculativeExecutor:
         self.batch = batch
         self.shards = shards
         self.adaptive = adaptive
+        #: Arm the drift guard with compiled drift-stable conditions
+        #: (requires a prior Session.compile_stable / CLI `stability`).
+        self.stable = stable
 
     def run(self, programs: list[list[tuple[str, tuple[Any, ...]]]],
             setup: list[tuple[str, tuple[Any, ...]]] | None = None) \
@@ -186,13 +202,15 @@ class SpeculativeExecutor:
         start = time.perf_counter()
         manager = conflict_manager(self.ds_name, self.policy,
                                    shards=self.shards,
-                                   registry=self.registry)
+                                   registry=self.registry,
+                                   stable=self.stable)
         transactions = [Transaction(i, list(ops))
                         for i, ops in enumerate(programs)]
         report = ExecutionReport(ds_name=self.ds_name, policy=self.policy,
                                  conflict_mode=self.conflict_mode,
                                  workers=self.workers, shards=self.shards,
-                                 adaptive=self.adaptive)
+                                 adaptive=self.adaptive,
+                                 stable=self.stable)
         if self.workers == 1 or len(transactions) <= 1:
             self._run_serial(transactions, impl, manager, report)
         elif self.shards > 1:
@@ -204,6 +222,11 @@ class SpeculativeExecutor:
         report.wall_seconds = time.perf_counter() - start
         report.conflict_checks = manager.checks
         report.conflicts = manager.conflicts
+        report.drift_checks = manager.drift_checks
+        report.stable_hits = manager.stable_hits
+        report.drift_fallbacks = manager.fallbacks
+        report.fallback_admits = manager.fallback_admits
+        report.undo_refusals = manager.undo_refusals
         report.shard_stats = manager.shard_stats()
         report.txn_aborts = {t.txn_id: t.aborts for t in transactions}
         report.txn_statuses = {t.txn_id: t.status for t in transactions}

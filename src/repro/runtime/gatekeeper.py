@@ -42,18 +42,16 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
+from ..api.errors import UnknownNameError
 from ..commutativity.conditions import Kind
 from ..eval.interpreter import EvalContext, EvalError, evaluate
 from ..eval.values import Record
-from ..logic.free_vars import free_vars
 from ..specs import DataStructureSpec
 from .sharding import (ShardRouter, VIRTUAL_REGIONS, normalize_route,
                        single_region_router)
+from .transaction import resolve_inverse_calls
 
 POLICIES = ("commutativity", "read-write", "mutex")
-
-#: Abstract-state variables a condition formula may mention.
-_STATE_VARS = frozenset({"s1", "s2", "s3"})
 
 
 @dataclass(frozen=True)
@@ -72,9 +70,21 @@ class LoggedOperation:
 
 class _Shard:
     """One region of the outstanding-operation log: its entries, its
-    lock, and its admission counters (all mutated under the lock)."""
+    lock, and its admission counters (all mutated under the lock).
 
-    __slots__ = ("shard_id", "lock", "log", "checks", "conflicts")
+    ``drift_checks`` counts pair checks that hit the drift guard (a
+    state-referencing condition outside its verified environment);
+    ``stable_hits`` the subset admitted by a compiled drift-stable
+    condition; ``fallbacks`` every conservative resolution — a drifted
+    check the stable condition could not admit, or an unevaluable
+    condition — that consulted the router oracle; ``fallback_admits``
+    the subset of those the oracle admitted (the *conservative-fallback
+    admissions* the stability compiler exists to replace with semantic
+    certificates)."""
+
+    __slots__ = ("shard_id", "lock", "log", "checks", "conflicts",
+                 "drift_checks", "stable_hits", "fallbacks",
+                 "fallback_admits", "undo_refusals")
 
     def __init__(self, shard_id: int) -> None:
         self.shard_id = shard_id
@@ -82,6 +92,11 @@ class _Shard:
         self.log: list[LoggedOperation] = []
         self.checks = 0
         self.conflicts = 0
+        self.drift_checks = 0
+        self.stable_hits = 0
+        self.fallbacks = 0
+        self.fallback_admits = 0
+        self.undo_refusals = 0
 
 
 class ConflictManager:
@@ -96,7 +111,8 @@ class ConflictManager:
     """
 
     def __init__(self, ds_name: str, policy: str = "commutativity",
-                 registry=None, shards: int = 1) -> None:
+                 registry=None, shards: int = 1,
+                 stable: bool = False) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}")
         if shards < 1 or shards > VIRTUAL_REGIONS \
@@ -118,11 +134,25 @@ class ConflictManager:
         self._family_router: ShardRouter | None = \
             registry.shard_router(ds_name)
         self._virtual_routes: dict[tuple[str, tuple], frozenset[int] | None] = {}
+        #: (op, args, before) -> resolved abstract undo calls (see
+        #: :meth:`_undo_plan`).
+        self._undo_plans: dict[tuple, tuple | None] = {}
         #: txn_id -> shard ids holding at least one of its entries.
         self._touched: dict[int, set[int]] = {}
-        #: (m1, m2) -> whether the pair's between condition mentions
-        #: abstract state (see the drift guard in _pair_commutes).
-        self._drift_fragile: dict[tuple[str, str], bool] = {}
+        #: (m1, m2) -> compiled drift-stable condition, tried by the
+        #: drift guard before the conservative router-oracle fallback.
+        self.stable = stable
+        self._stable: dict[tuple[str, str], Any] = {}
+        if stable:
+            if not registry.has_stable_conditions(ds_name):
+                raise ValueError(
+                    f"stable=True but no drift-stable conditions are "
+                    f"registered for {ds_name!r}; run "
+                    f"Session.compile_stable() (or `python -m repro "
+                    f"stability`) first")
+            self._stable = {
+                (c.m1, c.m2): c
+                for c in registry.stable_conditions(ds_name)}
         self._ctx = EvalContext(observe=self.spec.observe)
 
     # -- routing (subclass hooks) ----------------------------------------------
@@ -202,8 +232,8 @@ class ConflictManager:
                             continue
                         seen.add(id(logged))
                     shard.checks += 1
-                    if not self._pair_commutes(logged, op_name, args,
-                                               current):
+                    if not self._pair_commutes(shard, logged, op_name,
+                                               args, current):
                         shard.conflicts += 1
                         return False, logged.txn_id
         return True, None
@@ -222,8 +252,9 @@ class ConflictManager:
             self._virtual_routes[key] = route
             return route
 
-    def _pair_commutes(self, logged: LoggedOperation, op_name: str,
-                       args: tuple[Any, ...], current: Record) -> bool:
+    def _pair_commutes(self, shard: _Shard, logged: LoggedOperation,
+                       op_name: str, args: tuple[Any, ...],
+                       current: Record) -> bool:
         if self.policy == "mutex":
             return False
         op1 = self.spec.operations[logged.op_name]
@@ -232,7 +263,16 @@ class ConflictManager:
             return not (op1.mutator or op2.mutator)
         cond = self.registry.condition(self.ds_name, logged.op_name,
                                        op_name, Kind.BETWEEN)
-        if current != logged.after and self._references_state(cond):
+        env: dict[str, Any] = {
+            "s1": logged.before, "s2": current,
+        }
+        for param, value in zip(op1.params, logged.args):
+            env[f"{param.name}1"] = value
+        for param, value in zip(op2.params, args):
+            env[f"{param.name}2"] = value
+        if op1.result_sort is not None:
+            env["r1"] = logged.result
+        if current != logged.after and cond.drift_fragile:
             # Drift guard.  The between conditions are verified in the
             # environment where ``s2`` is the state *immediately after*
             # the logged operation ran; once other operations have
@@ -244,22 +284,29 @@ class ConflictManager:
             # and return values only were verified to match the commute
             # relation in *every* enumerated state, so they transfer to
             # any context; state-referencing ones are only trusted in
-            # the exact state they were verified for.  The router
-            # oracle still admits region-disjoint pairs (they commute
-            # in every state); everything else is a conservative
-            # conflict — possibly an unnecessary abort, never unsound.
-            return self._virtually_disjoint(logged, op_name, args)
-        env: dict[str, Any] = {
-            "s1": logged.before, "s2": current,
-        }
-        for param, value in zip(op1.params, logged.args):
-            env[f"{param.name}1"] = value
-        for param, value in zip(op2.params, args):
-            env[f"{param.name}2"] = value
-        if op1.result_sort is not None:
-            env["r1"] = logged.result
+            # the exact state they were verified for.
+            #
+            # Before giving up, try the pair's *compiled drift-stable*
+            # condition (repro.stability): re-verified with the drifted
+            # state quantified over all in-scope intermediates, so a
+            # true verdict admits in any environment.  Otherwise the
+            # router oracle still admits region-disjoint pairs (they
+            # commute in every state); everything else is a
+            # conservative conflict — possibly an unnecessary abort,
+            # never an unsound admission.
+            shard.drift_checks += 1
+            stable = self._stable.get((logged.op_name, op_name))
+            if stable is not None and self._stable_holds(stable, env):
+                if self._undo_guard(shard, logged, op2, args, current):
+                    shard.stable_hits += 1  # an *effective* admission
+                    return True
+                return False
+            return self._fallback(shard, logged, op_name, args,
+                                  current)
         try:
-            return bool(evaluate(cond.dynamic_formula, env, self._ctx))
+            if not evaluate(cond.dynamic_formula, env, self._ctx):
+                return False
+            return self._undo_guard(shard, logged, op2, args, current)
         except EvalError:
             # The condition's vocabulary is partial: e.g. an ArrayList
             # between condition may index the *logged* operation's older
@@ -269,7 +316,135 @@ class ConflictManager:
             # fall back to the router oracle, then report a conflict —
             # conservative (possibly an unnecessary abort) but never an
             # unsound admission.
-            return self._virtually_disjoint(logged, op_name, args)
+            return self._fallback(shard, logged, op_name, args, current)
+
+    def _fallback(self, shard: _Shard, logged: LoggedOperation,
+                  op_name: str, args: tuple[Any, ...],
+                  current: Record) -> bool:
+        """The conservative path: consult the router oracle, keeping
+        the fallback counters exact (mutated under the shard's lock,
+        like every other admission counter)."""
+        shard.fallbacks += 1
+        admitted = self._virtually_disjoint(logged, op_name, args)
+        if not admitted:
+            return False
+        shard.fallback_admits += 1
+        return self._undo_guard(shard, logged,
+                                self.spec.operations[op_name], args,
+                                current)
+
+    def _undo_guard(self, shard: _Shard, logged: LoggedOperation,
+                    op2, args2: tuple[Any, ...], current: Record) -> bool:
+        """The inverse side of admission: ``op2`` must also commute
+        with the logged operation's *pending undo*.
+
+        The logged operation's transaction may still abort, at which
+        point :func:`~repro.runtime.transaction.rollback` applies its
+        verified inverse to whatever the structure has become — an
+        unchecked mutation as far as the log is concerned.  Without
+        this guard a pair can be admitted on a value coincidence (two
+        writes of the same value commute; ``add_`` of a present element
+        is a no-op) and then be silently clobbered by the restore:
+        ``T1: put_(k, x); T2: put_(k, x)`` admits, ``T1`` aborts, and
+        the rollback rewrites ``k`` to its old value *under* ``T2``'s
+        logically-committed write — a lost update the serial replay
+        exposes.  The guard re-runs the inverse calls and ``op2``
+        abstractly, in both orders, from the current state, and refuses
+        the admission when they disagree (counted per shard, under the
+        shard's lock, like every other admission counter).
+        """
+        if not self._undo_commutes(logged, op2, args2, current):
+            shard.undo_refusals += 1
+            return False
+        return True
+
+    def _undo_commutes(self, logged: LoggedOperation, op2,
+                       args2: tuple[Any, ...], current: Record) -> bool:
+        op1 = self.spec.operations[logged.op_name]
+        if not op1.mutator or logged.before == logged.after:
+            # Nothing to undo: reads are never rolled back, and
+            # Property 3 makes the inverse of an effect-free execution
+            # a no-op (it restores the pre-state, which is the post-
+            # state already).
+            return True
+        if self._virtually_disjoint(logged, op2.name, args2):
+            # The catalog inverses undo an operation within its own
+            # footprint (``remove_at(i1)`` for ``add_at(i1, _)``,
+            # ``put(k1, old)`` for ``put_(k1, _)``), so a pair the
+            # router separates is separated from the undo too — and
+            # skipping the abstract re-execution here keeps the guard
+            # off the fast path for region-disjoint traffic.
+            return True
+        undo_ops = self._undo_plan(logged, op1)
+        if undo_ops is None:
+            # No registered inverse: an abort could not undo the logged
+            # operation at all, so admitting against it proves nothing.
+            return False
+        if not undo_ops:
+            return True  # guard decided the inverse away (no-op undo)
+        # Order A: op2 now, the undo later (the actual history shape).
+        if not self.spec.precondition_holds(op2, current, args2):
+            return False
+        mid_a, r2_a = op2.semantics(current, args2)
+        fin_a = self._run_abstract(mid_a, undo_ops)
+        # Order B: the undo first, op2 after (op2 serialized past it).
+        mid_b = self._run_abstract(current, undo_ops)
+        if fin_a is None or mid_b is None:
+            return False  # some order is undefined: conservative
+        if not self.spec.precondition_holds(op2, mid_b, args2):
+            return False
+        fin_b, r2_b = op2.semantics(mid_b, args2)
+        if fin_a != fin_b:
+            return False
+        if op2.result_sort is not None and r2_a != r2_b:
+            return False
+        return True
+
+    def _undo_plan(self, logged: LoggedOperation, op1):
+        """The abstract inverse calls an abort of ``logged`` would
+        apply: ``None`` when no inverse is registered, ``()`` when the
+        guard decides the undo away.  Fixed per (operation, arguments,
+        pre-state), so memoized — benign races on the dict are fine
+        (concurrent shards compute identical values), same as the
+        virtual-route memo."""
+        key = (logged.op_name, logged.args, logged.before)
+        try:
+            return self._undo_plans[key]
+        except KeyError:
+            pass
+        base_name = op1.base_name or op1.name
+        base = self.spec.operations[base_name]
+        try:
+            inverse = self.registry.inverse(self.ds_name, base_name)
+        except UnknownNameError:
+            plan = None
+        else:
+            # The undo log keeps the *raw* result even for discard
+            # variants; recover it by replaying the abstract semantics.
+            _, raw_result = base.semantics(logged.before, logged.args)
+            plan = tuple(
+                (self.spec.operations[name], call_args)
+                for name, call_args in resolve_inverse_calls(
+                    inverse, base, logged.args, raw_result))
+        self._undo_plans[key] = plan
+        return plan
+
+    def _run_abstract(self, state: Record | None, seq):
+        """Thread a state through abstract semantics; ``None`` when a
+        precondition fails along the way."""
+        for op, args in seq:
+            if not self.spec.precondition_holds(op, state, args):
+                return None
+            state, _ = op.semantics(state, args)
+        return state
+
+    def _stable_holds(self, stable, env: dict[str, Any]) -> bool:
+        """Evaluate a compiled drift-stable condition; unevaluable means
+        no certificate (the caller falls through to the oracle)."""
+        try:
+            return bool(evaluate(stable.dynamic_formula, env, self._ctx))
+        except EvalError:
+            return False
 
     def _virtually_disjoint(self, logged: LoggedOperation, op_name: str,
                             args: tuple[Any, ...]) -> bool:
@@ -287,16 +462,6 @@ class ConflictManager:
         route2 = self._virtual_route(op_name, args)
         return route1 is not None and route2 is not None \
             and not (route1 & route2)
-
-    def _references_state(self, cond) -> bool:
-        """Whether the pair's dynamic formula mentions abstract state
-        (cached per operation pair)."""
-        key = (cond.m1, cond.m2)
-        fragile = self._drift_fragile.get(key)
-        if fragile is None:
-            fragile = bool(_STATE_VARS & free_vars(cond.dynamic_formula))
-            self._drift_fragile[key] = fragile
-        return fragile
 
     # -- log maintenance ------------------------------------------------------
 
@@ -344,10 +509,39 @@ class ConflictManager:
         """Conflicting pair checks across all shards."""
         return sum(s.conflicts for s in self._shards)
 
+    @property
+    def drift_checks(self) -> int:
+        """Pair checks that hit the drift guard."""
+        return sum(s.drift_checks for s in self._shards)
+
+    @property
+    def stable_hits(self) -> int:
+        """Drifted pair checks admitted by a compiled stable condition."""
+        return sum(s.stable_hits for s in self._shards)
+
+    @property
+    def fallbacks(self) -> int:
+        """Conservative resolutions that consulted the router oracle."""
+        return sum(s.fallbacks for s in self._shards)
+
+    @property
+    def fallback_admits(self) -> int:
+        """Conservative-fallback admissions (oracle said disjoint)."""
+        return sum(s.fallback_admits for s in self._shards)
+
+    @property
+    def undo_refusals(self) -> int:
+        """Would-be admissions refused by the undo-commutation guard."""
+        return sum(s.undo_refusals for s in self._shards)
+
     def shard_stats(self) -> list[dict[str, int]]:
         """Per-shard admission statistics, for contention reporting."""
         return [{"shard": s.shard_id, "checks": s.checks,
-                 "conflicts": s.conflicts, "outstanding": len(s.log)}
+                 "conflicts": s.conflicts, "outstanding": len(s.log),
+                 "drift_checks": s.drift_checks,
+                 "stable_hits": s.stable_hits, "fallbacks": s.fallbacks,
+                 "fallback_admits": s.fallback_admits,
+                 "undo_refusals": s.undo_refusals}
                 for s in self._shards]
 
 
@@ -358,8 +552,9 @@ class Gatekeeper(ConflictManager):
     manager is validated against."""
 
     def __init__(self, ds_name: str, policy: str = "commutativity",
-                 registry=None) -> None:
-        super().__init__(ds_name, policy, registry=registry, shards=1)
+                 registry=None, stable: bool = False) -> None:
+        super().__init__(ds_name, policy, registry=registry, shards=1,
+                         stable=stable)
 
 
 class ShardedGatekeeper(ConflictManager):
@@ -386,8 +581,10 @@ class ShardedGatekeeper(ConflictManager):
 
     def __init__(self, ds_name: str, policy: str = "commutativity",
                  registry=None, shards: int = 2,
-                 router: ShardRouter | None = None) -> None:
-        super().__init__(ds_name, policy, registry=registry, shards=shards)
+                 router: ShardRouter | None = None,
+                 stable: bool = False) -> None:
+        super().__init__(ds_name, policy, registry=registry, shards=shards,
+                         stable=stable)
         if router is None:
             router = self.registry.shard_router(ds_name)
         if router is None:
@@ -422,11 +619,16 @@ class ShardedGatekeeper(ConflictManager):
 
 def conflict_manager(ds_name: str, policy: str = "commutativity",
                      shards: int = 1, registry=None,
-                     router: ShardRouter | None = None) -> ConflictManager:
+                     router: ShardRouter | None = None,
+                     stable: bool = False) -> ConflictManager:
     """The conflict manager for a shard count: the flat
     :class:`Gatekeeper` at ``shards=1`` (byte-for-byte the historical
-    behaviour), a :class:`ShardedGatekeeper` above."""
+    behaviour), a :class:`ShardedGatekeeper` above.  ``stable=True``
+    arms the drift guard with the registry's compiled drift-stable
+    conditions (both managers consult the same compiled set, so flat
+    and sharded decisions stay identical)."""
     if shards == 1 and router is None:
-        return Gatekeeper(ds_name, policy, registry=registry)
+        return Gatekeeper(ds_name, policy, registry=registry,
+                          stable=stable)
     return ShardedGatekeeper(ds_name, policy, registry=registry,
-                             shards=shards, router=router)
+                             shards=shards, router=router, stable=stable)

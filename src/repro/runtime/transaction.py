@@ -111,23 +111,38 @@ def rollback(impl: Any, family: str, undo_log: list[UndoEntry],
     undo_log.clear()
 
 
-def _apply_inverse_concrete(impl: Any, inverse: InverseSpec, op: Any,
-                            entry: UndoEntry) -> None:
-    params = {p.name: v for p, v in zip(op.params, entry.args)}
-    result = entry.result
+def resolve_inverse_calls(inverse: InverseSpec, op: Any,
+                          args: tuple[Any, ...],
+                          result: Any) -> list[tuple[str, tuple[Any, ...]]]:
+    """The concrete ``(operation, arguments)`` calls an abort would make
+    to undo one execution of ``op(args) -> result`` — the inverse
+    program with its guard decided and its arguments bound.  Shared by
+    :func:`rollback` and by the gatekeeper's undo-commutation guard
+    (which must reason about these exact calls *before* any abort
+    happens)."""
+    params = {p.name: v for p, v in zip(op.params, args)}
     if inverse.guard is Guard.NONE:
         selected = inverse.then
     elif inverse.guard is Guard.RESULT_TRUE:
         selected = inverse.then if result else ()
     else:
         selected = inverse.then if result is not None else inverse.els
+    calls: list[tuple[str, tuple[Any, ...]]] = []
     for call in selected:
-        args = []
+        call_args = []
         for arg in call.args:
             if arg.kind is ArgKind.PARAM:
-                args.append(params[arg.name])
+                call_args.append(params[arg.name])
             elif arg.kind is ArgKind.NEG_PARAM:
-                args.append(-params[arg.name])
+                call_args.append(-params[arg.name])
             else:
-                args.append(result)
-        invoke(impl, call.op, tuple(args))
+                call_args.append(result)
+        calls.append((call.op, tuple(call_args)))
+    return calls
+
+
+def _apply_inverse_concrete(impl: Any, inverse: InverseSpec, op: Any,
+                            entry: UndoEntry) -> None:
+    for op_name, args in resolve_inverse_calls(inverse, op, entry.args,
+                                               entry.result):
+        invoke(impl, op_name, args)

@@ -1,0 +1,149 @@
+"""The drift-stability compiler: verified conditions in, drift-stable
+artifacts out.
+
+For every between condition of a structure the compiler produces a
+:class:`~repro.stability.quantified.PairStability` verdict:
+
+- conditions that never mention abstract state are **stable** verbatim
+  (the drift guard never fires for them — nothing to compile);
+- for the drift-fragile rest, candidate formulas from the projector
+  (arg/result-only disjuncts) and the footprint analyzer (router-derived
+  argument relations, observed-result links, the ``s1 -> s2``
+  re-anchoring) go through the quantified re-verifier; survivors are
+  disjoined into a **weakened** drift-stable condition;
+- pairs with no surviving candidate stay **fragile** and keep PR 4's
+  conservative fallback at run time.
+
+Compilation is staged IMM-style (Podkopaev et al.): it happens once,
+offline, through the :mod:`repro.engine` planner/cache as its own task
+kind — grouped by first operation so a group shares parsing and spec
+setup — and the runtime consumes the compiled
+:class:`StableCondition` artifacts via
+:meth:`repro.api.Registry.register_stable_conditions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any, Iterable
+
+from ..commutativity.conditions import (CommutativityCondition, Kind,
+                                        condition_symbols)
+from ..eval.enumeration import Scope
+from ..logic import parse_formula
+from ..logic import terms as t
+from ..specs.interface import DataStructureSpec
+from .footprint import footprint_candidates
+from .projector import state_free_projection
+from .quantified import PairStability, check_pair
+
+#: Bump whenever the candidate generator or the quantified check could
+#: change a compiled verdict — it is part of the engine task key, so
+#: bumping retires every cached stability outcome at once.
+STABILITY_COMPILER_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StableCondition:
+    """A compiled drift-stable condition for one operation pair.
+
+    Evaluated by the gatekeeper's drift guard in the same environment
+    as the pair's between condition (saved ``s1``, observed ``r1``,
+    drifted ``s2``); a true verdict admits, anything else falls through
+    to the conservative router oracle.
+    """
+
+    family: str
+    m1: str
+    m2: str
+    #: The drift-stable formula over the pair's between vocabulary.
+    text: str
+    spec: DataStructureSpec = field(repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.spec is None:
+            raise ValueError("StableCondition requires a spec")
+
+    @cached_property
+    def dynamic_formula(self) -> t.Term:
+        op1 = self.spec.operations[self.m1]
+        op2 = self.spec.operations[self.m2]
+        return parse_formula(self.text,
+                             condition_symbols(self.spec, op1, op2))
+
+    @property
+    def pair_label(self) -> str:
+        return f"{self.m1};{self.m2}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.family}: {self.m1}; {self.m2} [drift-stable] "
+                f"{self.text}")
+
+
+def candidate_texts(cond: CommutativityCondition,
+                    has_router: bool) -> list[str]:
+    """All candidate drift-stable formulas for one fragile condition:
+    the projector's arg/result weakening first (it carries the catalog
+    author's intent), then the footprint-derived relations."""
+    candidates: list[str] = []
+    projection = state_free_projection(cond)
+    if projection is not None:
+        candidates.append(projection)
+    candidates += footprint_candidates(cond, has_router)
+    return list(dict.fromkeys(candidates))  # dedupe, preserving order
+
+
+def compile_pair(spec: DataStructureSpec, cond: CommutativityCondition,
+                 scope: Scope, has_router: bool) -> PairStability:
+    """Compile one between condition into its stability verdict."""
+    if cond.kind is not Kind.BETWEEN:
+        raise ValueError(f"stability compiles between conditions, "
+                         f"got {cond.kind}")
+    if not cond.drift_fragile:
+        return PairStability(m1=cond.m1, m2=cond.m2, verdict="stable",
+                             stable_text=None)
+    return check_pair(spec, cond, candidate_texts(cond, has_router),
+                      scope)
+
+
+def compile_group(spec: DataStructureSpec,
+                  conditions: Iterable[CommutativityCondition],
+                  scope: Scope,
+                  has_router: bool) -> list[PairStability]:
+    """Compile a group of fragile between conditions (one engine task:
+    all pairs sharing a first operation)."""
+    return [compile_pair(spec, cond, scope, has_router)
+            for cond in conditions]
+
+
+# -- plain-data (de)serialization for the engine cache ------------------------
+
+def pair_payload(pair: PairStability) -> dict[str, Any]:
+    """A JSON-shaped rendering of one verdict (task outcome payload)."""
+    return {
+        "m1": pair.m1,
+        "m2": pair.m2,
+        "verdict": pair.verdict,
+        "stable_text": pair.stable_text,
+        "candidates": [[c.text, c.passed, c.armed, c.admitted,
+                        c.violations] for c in pair.candidates],
+        "cases": pair.cases,
+    }
+
+
+def pair_from_payload(payload: dict[str, Any],
+                      elapsed: float = 0.0) -> PairStability:
+    """Rebuild a verdict from a cached/worker payload."""
+    from .quantified import CandidateResult
+    return PairStability(
+        m1=payload["m1"], m2=payload["m2"],
+        verdict=payload["verdict"],
+        stable_text=payload.get("stable_text"),
+        candidates=tuple(
+            CandidateResult(text=text, passed=bool(passed),
+                            armed=bool(armed), admitted=int(admitted),
+                            violations=int(violations))
+            for text, passed, armed, admitted, violations
+            in payload.get("candidates", ())),
+        cases=int(payload.get("cases", 0)), elapsed=elapsed)

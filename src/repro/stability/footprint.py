@@ -1,0 +1,123 @@
+"""Footprint analysis: candidate drift-stable atoms from the state
+projection both operations touch.
+
+The shard routers (:mod:`repro.runtime.sharding`) encode, per family,
+*which* state projection an operation reads or writes: the Set/Map
+routers key regions off the first argument (an element or key), the
+ArrayList router off index bands ordered by the shift direction of
+``add_at``/``remove_at``.  Their soundness contract — operations may
+only be separated when they unconditionally commute — means the
+argument relations behind the partition (key disequality, index order)
+are themselves state-independent commutation witnesses.
+
+This module turns that region logic into *candidate* condition atoms
+over the pair's between vocabulary:
+
+- **disjointness atoms** (``v1 ~= v2``, ``k1 ~= k2``): the pair touches
+  different projections — for keyed families this is exactly the router
+  partition, at per-value rather than per-hash-bucket granularity;
+- **order atoms** (``i2 < i1``, ``i1 < i2``, ``i1 ~= i2``): the banded
+  ArrayList logic at per-index granularity — an operation strictly
+  below a shift's index lives in a projection the shift never moves;
+- **result-link atoms** (``v2 = r1``, ``r1 ~= v2``): the first
+  operation's observed return value pins the shared projection's
+  content, so an argument agreeing with it is a write of what is
+  already there;
+- a **projection re-anchoring** of the original condition: every
+  ``s1`` state query rewritten to ``s2`` — the same projection read
+  against the *current* state instead of the verified snapshot.
+
+Every candidate is speculative: the quantified re-verifier
+(:mod:`repro.stability.quantified`) decides which of them actually
+certify commutation in every drift context.  Structures without a
+registered router get no footprint atoms (their interaction structure
+is unknown), only the projector's output.
+"""
+
+from __future__ import annotations
+
+from ..commutativity.conditions import CommutativityCondition
+from ..logic import pretty, substitute
+from ..logic import terms as t
+from ..logic.sorts import Sort
+from ..specs.interface import Operation
+
+#: Caps the candidate pool per pair; the re-verifier's cost is linear
+#: in it and the compiled disjunction should stay readable.
+MAX_CANDIDATES = 12
+
+
+def _first_params(op1: Operation, op2: Operation):
+    p1 = op1.params[0] if op1.params else None
+    p2 = op2.params[0] if op2.params else None
+    return p1, p2
+
+
+def disjointness_atoms(op1: Operation, op2: Operation) -> list[str]:
+    """Key/element/index disequality over the pair's first arguments."""
+    p1, p2 = _first_params(op1, op2)
+    if p1 is None or p2 is None or p1.sort is not p2.sort:
+        return []
+    return [f"{p1.name}1 ~= {p2.name}2"]
+
+
+def order_atoms(op1: Operation, op2: Operation) -> list[str]:
+    """Index-order relations for integer-keyed (banded) footprints."""
+    p1, p2 = _first_params(op1, op2)
+    if p1 is None or p2 is None or p1.sort is not Sort.INT \
+            or p2.sort is not Sort.INT:
+        return []
+    return [f"{p2.name}2 < {p1.name}1", f"{p1.name}1 < {p2.name}2"]
+
+
+def result_link_atoms(op1: Operation, op2: Operation) -> list[str]:
+    """Atoms linking the observed ``r1`` to the incoming arguments."""
+    if op1.result_sort is None:
+        return []
+    atoms: list[str] = []
+    if op1.result_sort is Sort.BOOL:
+        atoms += ["r1", "~r1"]
+    for param in op2.params:
+        if param.sort is op1.result_sort:
+            atoms.append(f"{param.name}2 = r1")
+    return atoms
+
+
+def reanchored_condition(cond: CommutativityCondition) -> str | None:
+    """The condition with every ``s1`` query re-anchored to ``s2``.
+
+    The projection the condition reads (membership of a key, a slot's
+    content) is looked up in the current state instead of the verified
+    snapshot.  Usually the re-verifier rejects this — the current value
+    of the projection says nothing about the logged operation's context
+    — but for observer-pinned pairs it survives and keeps the full
+    condition's admission power under drift.
+    """
+    formula = cond.dynamic_formula
+    rewritten = substitute(
+        formula, {"s1": t.Var("s2", Sort.STATE)})
+    if rewritten == formula:
+        return None
+    return pretty(rewritten)
+
+
+def footprint_candidates(cond: CommutativityCondition,
+                         has_router: bool) -> list[str]:
+    """All footprint-derived candidate texts for one condition's pair.
+
+    ``has_router`` gates the argument-relation atoms: a registered
+    router asserts (by its soundness contract) that the family's
+    interaction structure is argument-local, which is what makes
+    argument relations candidate commutation witnesses at all.  Custom
+    structures without a router only get the re-anchoring rewrite.
+    """
+    candidates: list[str] = []
+    if has_router:
+        op1, op2 = cond.op1, cond.op2
+        candidates += disjointness_atoms(op1, op2)
+        candidates += order_atoms(op1, op2)
+        candidates += result_link_atoms(op1, op2)
+    reanchored = reanchored_condition(cond)
+    if reanchored is not None:
+        candidates.append(reanchored)
+    return candidates[:MAX_CANDIDATES]

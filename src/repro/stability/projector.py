@@ -1,0 +1,62 @@
+"""Atom projection: classify condition fragments by drift stability.
+
+A between condition's vocabulary splits into two classes at run time:
+
+- **arg/result atoms** mention only the operation arguments and the
+  first return value.  Verification quantified the enclosing condition
+  over *every* in-scope state, so an arg/result-only fragment carries
+  state-independent information — it can be evaluated in any runtime
+  environment, however far the gatekeeper's state has drifted from the
+  verified one.
+- **state atoms** mention ``s1``/``s2`` (between conditions never see
+  ``s3``).  Their runtime value is only meaningful in the environment
+  the condition was verified for; once other operations have executed,
+  evaluating them is reading tea leaves (PR 4's value-coincidence
+  admissions).
+
+The projector extracts the arg/result-only *weakening* of a condition:
+the disjunction of its state-free top-level disjuncts.  Each disjunct
+implies the full condition, and the full condition is verified sound,
+so the projection admits only genuinely commuting pairs — it is a
+candidate drift-stable condition, handed to the quantified re-verifier
+(:mod:`repro.stability.quantified`) like every other candidate rather
+than trusted outright.
+"""
+
+from __future__ import annotations
+
+from ..commutativity.conditions import (CommutativityCondition,
+                                        formula_references_state)
+from ..logic import pretty
+from ..logic import terms as t
+
+
+def top_level_disjuncts(term: t.Term) -> tuple[t.Term, ...]:
+    """The top-level disjuncts of a formula (itself, if not an ``Or``)."""
+    if isinstance(term, t.Or):
+        return term.args
+    return (term,)
+
+
+def split_disjuncts(term: t.Term) -> tuple[list[t.Term], list[t.Term]]:
+    """Partition top-level disjuncts into (state-free, state-referencing)."""
+    stable: list[t.Term] = []
+    fragile: list[t.Term] = []
+    for disjunct in top_level_disjuncts(term):
+        (fragile if formula_references_state(disjunct)
+         else stable).append(disjunct)
+    return stable, fragile
+
+
+def state_free_projection(cond: CommutativityCondition) -> str | None:
+    """The arg/result-only weakening of a condition's dynamic formula,
+    as re-parseable text — or ``None`` when every disjunct mentions
+    state (conjunction-shaped conditions like the ArrayList tables,
+    where dropping conjuncts would weaken in the *unsound* direction).
+    """
+    stable, fragile = split_disjuncts(cond.dynamic_formula)
+    if not stable or not fragile:
+        # Nothing to project: either fully fragile, or already
+        # state-free (in which case the drift guard never fires).
+        return None
+    return " | ".join(pretty(d) for d in stable)

@@ -32,6 +32,7 @@ class WorkloadRun:
     report: ExecutionReport
     shards: int = 1
     adaptive: str | None = None
+    stable: bool = False
 
     @property
     def commits(self) -> int:
@@ -52,6 +53,22 @@ class WorkloadRun:
     @property
     def conflict_checks(self) -> int:
         return self.report.conflict_checks
+
+    @property
+    def drift_checks(self) -> int:
+        return self.report.drift_checks
+
+    @property
+    def stable_hits(self) -> int:
+        return self.report.stable_hits
+
+    @property
+    def drift_fallbacks(self) -> int:
+        return self.report.drift_fallbacks
+
+    @property
+    def fallback_admits(self) -> int:
+        return self.report.fallback_admits
 
     @property
     def conflict_rate(self) -> float:
@@ -147,7 +164,8 @@ class ThroughputHarness:
     def __init__(self, registry=None, workers: int | None = None,
                  batch: int = 1, max_rounds: int = 200_000,
                  shards: int | None = None,
-                 adaptive: str | None = None) -> None:
+                 adaptive: str | None = None,
+                 stable: bool = False) -> None:
         from ..api import resolve_registry
         self.registry = resolve_registry(registry)
         #: None defers to each workload's ``workers`` hint; an explicit
@@ -160,6 +178,9 @@ class ThroughputHarness:
         #: workload's ``shards`` hint.
         self.shards = shards
         self.adaptive = adaptive
+        #: Arm every run's drift guard with the registry's compiled
+        #: drift-stable conditions.
+        self.stable = stable
         self.generator = WorkloadGenerator(self.registry)
 
     def runnable_structures(self) -> list[str]:
@@ -174,7 +195,8 @@ class ThroughputHarness:
                 conflict_mode: str = "abort",
                 workers: int | None = None,
                 shards: int | None = None,
-                adaptive: str | None = None) -> WorkloadRun:
+                adaptive: str | None = None,
+                stable: bool | None = None) -> WorkloadRun:
         """Generate ``workload`` for ``structure`` and execute it.
 
         Worker/shard-count precedence: the argument, then the harness's
@@ -189,17 +211,19 @@ class ThroughputHarness:
                 else workload.shards
         if adaptive is None:
             adaptive = self.adaptive
+        if stable is None:
+            stable = self.stable
         programs = self.generator.generate(structure, workload)
         setup = self.generator.generate_setup(structure, workload)
         executor = SpeculativeExecutor(
             structure, policy=policy, seed=workload.seed,
             max_rounds=self.max_rounds, conflict_mode=conflict_mode,
             registry=self.registry, workers=workers, batch=self.batch,
-            shards=shards, adaptive=adaptive)
+            shards=shards, adaptive=adaptive, stable=stable)
         return WorkloadRun(structure=structure, workload=workload,
                            policy=policy, conflict_mode=conflict_mode,
                            workers=workers, shards=shards,
-                           adaptive=adaptive,
+                           adaptive=adaptive, stable=stable,
                            report=executor.run(programs, setup=setup))
 
     def sweep(self, structures: Sequence[str] | None = None,

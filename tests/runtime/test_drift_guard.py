@@ -1,0 +1,162 @@
+"""Drift-guard conservative paths (previously only the happy path was
+property-tested): the EvalError fallback, custom structures without
+routers, global-region operations — and the undo-commutation guard that
+keeps inverse rollback from clobbering admitted writes."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "api"))
+
+from register_fixture import make_register_registry  # noqa: E402
+
+from repro.eval import Record  # noqa: E402
+from repro.eval.values import FMap  # noqa: E402
+from repro.runtime import Gatekeeper, LoggedOperation  # noqa: E402
+from repro.runtime import SpeculativeExecutor  # noqa: E402
+
+
+def _set_state(*elems):
+    return Record(contents=frozenset(elems), size=len(elems))
+
+
+def _seq_state(*elems):
+    return Record(elems=tuple(elems))
+
+
+def _map_state(**kv):
+    return Record(contents=FMap(kv), size=len(kv))
+
+
+# -- EvalError fallback -------------------------------------------------------
+
+def test_unevaluable_condition_falls_back_to_the_oracle():
+    """A condition whose vocabulary indexes outside the logged snapshot
+    cannot certify commutativity: the check lands on the router oracle
+    (same band here, hence a conservative conflict), never on an
+    unsound admission."""
+    gk = Gatekeeper("ArrayList")
+    state = _seq_state("a")
+    gk.record(LoggedOperation(txn_id=1, op_name="get", args=(0,),
+                              result="a", before=state, after=state))
+    # No drift (current == after), but ``at(upd(s1, 1, v), 0)`` indexes
+    # a one-element snapshot at 1: EvalError inside the evaluation.
+    assert not gk.admits(2, "set", (1, "x"), state)
+    assert gk.fallbacks == 1 and gk.fallback_admits == 0
+    assert gk.drift_checks == 0  # this was the EvalError path, not drift
+
+
+def test_unevaluable_condition_can_still_admit_disjoint_regions():
+    gk = Gatekeeper("ArrayList")
+    state = _seq_state(*["a"] * 9)
+    gk.record(LoggedOperation(txn_id=1, op_name="get", args=(0,),
+                              result="a", before=_seq_state("a"),
+                              after=_seq_state("a")))
+    # Drifted AND the incoming index lives in a higher band: the oracle
+    # admits what the condition cannot evaluate.
+    assert gk.admits(2, "set", (8, "x"), state)
+    assert gk.fallbacks == 1 and gk.fallback_admits == 1
+
+
+# -- custom structures without routers ---------------------------------------
+
+def test_custom_structure_without_router_conflicts_under_drift():
+    """Register has state-referencing conditions and no router: once
+    the verified environment is gone there is no oracle to consult, so
+    every fragile pair is a conservative conflict."""
+    registry = make_register_registry()
+    gk = Gatekeeper("Register", registry=registry)
+    state = Record(value="a")
+    # A no-op write: the write;read condition (s1.value = v1) holds.
+    gk.record(LoggedOperation(txn_id=1, op_name="write", args=("a",),
+                              result="a", before=state, after=state))
+    # Same environment: the condition evaluates and admits.
+    assert gk.admits(2, "read", (), state)
+    # Drifted: refused outright, no router to fall back to.
+    assert not gk.admits(2, "read", (), Record(value="z"))
+    assert gk.fallbacks == 1 and gk.fallback_admits == 0
+
+
+# -- global-region operations -------------------------------------------------
+
+def test_global_region_op_is_refused_under_drift():
+    """``size`` interacts with every region, so the oracle can never
+    declare it disjoint: a drifted size-pair is always a conflict."""
+    gk = Gatekeeper("HashSet")
+    before = _set_state()
+    after = _set_state("a")
+    drifted = _set_state("a", "b")
+    gk.record(LoggedOperation(txn_id=1, op_name="add_", args=("a",),
+                              result=None, before=before, after=after))
+    # add_;size between condition is ``v1 : s1``: fragile.  Under drift
+    # the oracle cannot help — size routes to every region.
+    assert not gk.admits(2, "size", (), drifted)
+    assert gk.drift_checks == 1
+    assert gk.fallbacks == 1 and gk.fallback_admits == 0
+
+
+def test_global_region_logged_op_blocks_drifted_incomers():
+    gk = Gatekeeper("HashSet")
+    state = _set_state("a")
+    gk.record(LoggedOperation(txn_id=1, op_name="size", args=(),
+                              result=1, before=state, after=state))
+    # size;add_ between condition is ``v2 : s1``: fragile, and the
+    # logged size interacts with everything.
+    assert not gk.admits(2, "add_", ("b",), _set_state("a", "c"))
+    assert gk.fallbacks == 1 and gk.fallback_admits == 0
+
+
+# -- the undo-commutation guard ----------------------------------------------
+
+def test_undo_guard_refuses_clobberable_same_value_write():
+    """The lost-update shape: ``T1: put_(k, x)`` over an older value,
+    then ``T2: put_(k, x)`` — the pair commutes (same value), but if T1
+    aborts its rollback rewrites ``k`` to the older value *under* T2's
+    write.  The guard refuses the admission."""
+    gk = Gatekeeper("HashTable")
+    before = _map_state(k="y")
+    after = _map_state(k="x")
+    gk.record(LoggedOperation(txn_id=1, op_name="put_", args=("k", "x"),
+                              result=None, before=before, after=after))
+    assert not gk.admits(2, "put_", ("k", "x"), after)
+    assert gk.undo_refusals == 1
+
+
+def test_undo_guard_skips_effect_free_executions():
+    """A no-op write has a no-op undo (Property 3): nothing to guard."""
+    gk = Gatekeeper("HashTable")
+    state = _map_state(k="x")
+    gk.record(LoggedOperation(txn_id=1, op_name="put_", args=("k", "x"),
+                              result=None, before=state, after=state))
+    assert gk.admits(2, "put_", ("k", "x"), state)
+    assert gk.undo_refusals == 0
+
+
+def test_undo_guard_refuses_add_discard_shadowing():
+    """``add_`` of a fresh element undoes with ``remove``; a concurrent
+    ``add_`` of the same element would be silently deleted by that
+    rollback."""
+    gk = Gatekeeper("HashSet")
+    before = _set_state()
+    after = _set_state("a")
+    gk.record(LoggedOperation(txn_id=1, op_name="add_", args=("a",),
+                              result=None, before=before, after=after))
+    assert not gk.admits(2, "add_", ("a",), after)
+    assert gk.undo_refusals == 1
+    # Disjoint elements never reach the guard (router short-circuit).
+    assert gk.admits(2, "add_", ("b",), after)
+    assert gk.undo_refusals == 1
+
+
+def test_executor_survives_abort_under_admitted_same_value_write():
+    """End-to-end: the abort-rollback interleavings stay identical to
+    serial replay with the guard in place."""
+    programs = [
+        [("put_", ("k", "x"))],
+        [("put_", ("k", "x")), ("size", ()), ("remove", ("j",))],
+        [("put", ("k", "y")), ("put", ("k", "y"))],
+    ]
+    for seed in range(25):
+        report = SpeculativeExecutor("HashTable", "commutativity",
+                                     seed=seed).run(programs)
+        assert report.serializable, (seed, report.summary())

@@ -1,0 +1,21 @@
+"""Session-scoped fixtures for the drift-stability tests: compiling the
+full catalog once is the expensive part, so one compiled session serves
+every test in this directory."""
+
+import pytest
+
+from stability_fixture import make_runnable_register_registry
+
+from repro.api import Session
+from repro.eval import Scope
+
+
+@pytest.fixture(scope="session")
+def stable_session() -> Session:
+    """A session whose registry has compiled drift-stable conditions
+    for every structure (full paper scope — see the scope-adequacy note
+    in :mod:`repro.stability.quantified`)."""
+    session = Session(registry=make_runnable_register_registry(),
+                      scope=Scope(), cache=False)
+    session.compile_stable()
+    return session

@@ -1,0 +1,49 @@
+"""Shared helpers for the drift-stability tests: the six built-ins plus
+a fully registered *and runnable* custom Register (spec, conditions,
+inverse, implementation, router)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "api"))
+
+from register_fixture import make_register_registry  # noqa: E402
+
+from repro.eval import Record  # noqa: E402
+from repro.runtime.sharding import single_region_router  # noqa: E402
+
+
+class ConcreteRegister:
+    """A concrete single-cell register matching the fixture spec."""
+
+    def __init__(self) -> None:
+        self._value = "init"
+
+    def write(self, v):
+        old = self._value
+        self._value = v
+        return old
+
+    def read(self):
+        return self._value
+
+    def abstract_state(self) -> Record:
+        return Record(value=self._value)
+
+
+def make_runnable_register_registry():
+    """Builtins + Register with everything the executor needs."""
+    registry = make_register_registry()
+    registry.register_implementation("Register", ConcreteRegister)
+    # The trivial router: one region.  Its presence both exercises the
+    # custom-structure footprint path (argument/result atoms are only
+    # generated for routed families) and keeps the oracle honest (a
+    # single region never declares any pair disjoint).
+    registry.register_shard_router("Register", single_region_router)
+    return registry
+
+
+#: Structures the runtime property tests sweep: the paper's six plus
+#: the custom Register.
+ALL_STRUCTURES = ("Accumulator", "ListSet", "HashSet", "AssociationList",
+                  "HashTable", "ArrayList", "Register")

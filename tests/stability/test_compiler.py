@@ -1,0 +1,220 @@
+"""Stability-compiler tests: atom projection, footprint candidates, the
+quantified re-verifier's verdicts on the real catalogs, and the
+scope-adequacy behaviour the module documents."""
+
+import pytest
+
+from repro.api import DEFAULT_REGISTRY as REGISTRY
+from repro.commutativity import Kind
+from repro.eval import Scope, paper_scope
+from repro.logic import parse_formula
+from repro.stability import (StableCondition, candidate_texts, check_pair,
+                             compile_pair, state_free_projection)
+from repro.stability.footprint import (disjointness_atoms, order_atoms,
+                                       reanchored_condition,
+                                       result_link_atoms)
+from repro.stability.projector import split_disjuncts
+
+
+def _cond(name, m1, m2):
+    return REGISTRY.condition(name, m1, m2, Kind.BETWEEN)
+
+
+def _spec(name):
+    return REGISTRY.spec(name)
+
+
+SCOPE = paper_scope()
+
+
+# -- projector ----------------------------------------------------------------
+
+def test_split_disjuncts_separates_state_atoms():
+    cond = _cond("HashSet", "add_", "contains")  # v1 ~= v2 | v1 : s1
+    stable, fragile = split_disjuncts(cond.dynamic_formula)
+    assert len(stable) == 1 and len(fragile) == 1
+
+
+def test_state_free_projection_of_set_condition():
+    cond = _cond("HashSet", "add_", "contains")
+    assert state_free_projection(cond) == "v1 ~= v2"
+
+
+def test_projection_is_none_for_conjunctions():
+    # ArrayList conditions are conjunction-shaped: dropping conjuncts
+    # would weaken unsoundly, so there is nothing to project.
+    assert state_free_projection(_cond("ArrayList", "add_at", "set")) is None
+
+
+def test_projection_is_none_when_already_state_free():
+    assert state_free_projection(_cond("HashSet", "contains", "add")) is None
+
+
+# -- footprint candidates -----------------------------------------------------
+
+def test_footprint_atoms_for_keyed_pair():
+    spec = _spec("HashTable")
+    op1, op2 = spec.operations["put_"], spec.operations["get"]
+    assert disjointness_atoms(op1, op2) == ["k1 ~= k2"]
+    assert order_atoms(op1, op2) == []  # keys are not integers
+
+
+def test_footprint_atoms_for_indexed_pair():
+    spec = _spec("ArrayList")
+    op1, op2 = spec.operations["add_at"], spec.operations["get"]
+    assert "i2 < i1" in order_atoms(op1, op2)
+    assert "i1 < i2" in order_atoms(op1, op2)
+
+
+def test_result_link_atoms_use_r1():
+    spec = _spec("ArrayList")
+    atoms = result_link_atoms(spec.operations["get"],
+                              spec.operations["set"])
+    assert "v2 = r1" in atoms
+    spec_set = _spec("HashSet")
+    atoms = result_link_atoms(spec_set.operations["contains"],
+                              spec_set.operations["add"])
+    assert "r1" in atoms and "~r1" in atoms
+
+
+def test_reanchored_condition_rewrites_s1_to_s2():
+    text = reanchored_condition(_cond("HashSet", "add_", "contains"))
+    assert "s2" in text and "s1" not in text
+    # State-free conditions have nothing to re-anchor.
+    assert reanchored_condition(_cond("HashSet", "contains", "add")) is None
+
+
+def test_candidate_texts_prefers_projection_first():
+    texts = candidate_texts(_cond("HashSet", "add_", "contains"),
+                            has_router=True)
+    assert texts[0] == "v1 ~= v2"
+    assert len(texts) == len(set(texts))
+
+
+# -- verdicts on the real catalogs --------------------------------------------
+
+def test_state_free_condition_is_verbatim_stable():
+    pair = compile_pair(_spec("HashSet"),
+                        _cond("HashSet", "contains", "add"), SCOPE,
+                        has_router=True)
+    assert pair.verdict == "stable" and pair.stable_text is None
+
+
+def test_set_discard_pair_gets_disequality_weakening():
+    pair = compile_pair(_spec("HashSet"),
+                        _cond("HashSet", "add_", "contains"), SCOPE,
+                        has_router=True)
+    assert pair.verdict == "weakened"
+    assert "v1 ~= v2" in pair.stable_text
+
+
+def test_map_discard_pair_gets_key_weakening():
+    pair = compile_pair(_spec("HashTable"),
+                        _cond("HashTable", "put_", "get"), SCOPE,
+                        has_router=True)
+    assert pair.verdict == "weakened"
+    assert "k1 ~= k2" in pair.stable_text
+
+
+def test_arraylist_shift_read_pair_keeps_lower_indices():
+    pair = compile_pair(_spec("ArrayList"),
+                        _cond("ArrayList", "add_at", "get"), SCOPE,
+                        has_router=True)
+    assert pair.verdict == "weakened"
+    assert "i2 < i1" in pair.stable_text
+    # The opposite order would read a shifted slot: it must not survive.
+    assert "i1 < i2" not in pair.stable_text
+
+
+def test_arraylist_double_insert_stays_fragile():
+    # Two inserts reframe each other's indices in every state: no
+    # argument relation can certify them under drift.
+    pair = compile_pair(_spec("ArrayList"),
+                        _cond("ArrayList", "add_at", "add_at"), SCOPE,
+                        has_router=True)
+    assert pair.verdict == "fragile" and pair.stable_text is None
+    assert all(not c.passed for c in pair.candidates)
+
+
+def test_size_pairs_stay_fragile():
+    pair = compile_pair(_spec("HashTable"),
+                        _cond("HashTable", "size", "put"), SCOPE,
+                        has_router=True)
+    assert pair.verdict == "fragile"
+
+
+def test_reanchored_survivors_are_reported_but_never_armed():
+    # The s2-rewritten form of set_;set_ passes the bounded sweep but
+    # must not be compiled into the armed condition: at run time it
+    # would be evaluated against preloaded states far outside the
+    # scope, where its truth is value coincidence (the PR 4 bug shape).
+    pair = compile_pair(_spec("ArrayList"),
+                        _cond("ArrayList", "set_", "set_"), SCOPE,
+                        has_router=True)
+    state_reading = [c for c in pair.candidates if "s2" in c.text]
+    assert state_reading, "expected a re-anchored candidate"
+    assert all(not c.armed for c in state_reading)
+    assert any(c.passed for c in state_reading)
+    assert pair.stable_text is not None
+    assert "s2" not in pair.stable_text
+
+
+def test_compile_pair_rejects_non_between_conditions():
+    with pytest.raises(ValueError):
+        compile_pair(_spec("HashSet"),
+                     REGISTRY.condition("HashSet", "add_", "contains",
+                                        Kind.BEFORE),
+                     SCOPE, has_router=True)
+
+
+# -- scope adequacy -----------------------------------------------------------
+
+def test_smoke_scope_cannot_refute_remove_get_aliasing():
+    """At ``max_seq_len=2`` no list can run ``remove_at(i1); get(i2)``
+    with ``i1 < i2``, so the unsound ``i1 ~= i2`` weakening survives —
+    the documented reason stability entry points default to the full
+    paper scope, where it is refuted."""
+    spec = _spec("ArrayList")
+    cond = _cond("ArrayList", "remove_at", "get")
+    smoke = compile_pair(spec, cond, Scope().smaller(), has_router=True)
+    full = compile_pair(spec, cond, SCOPE, has_router=True)
+    assert "i1 ~= i2" in smoke.stable_text
+    assert "i1 ~= i2" not in full.stable_text
+    assert "i2 < i1" in full.stable_text
+
+
+# -- candidate hygiene --------------------------------------------------------
+
+def test_check_pair_drops_malformed_and_out_of_vocabulary_candidates():
+    spec = _spec("HashSet")
+    cond = _cond("HashSet", "add_", "contains")
+    pair = check_pair(spec, cond,
+                      ["this is ( not a formula", "r2 = true",
+                       "v1 ~= v2"], SCOPE)
+    assert [c.text for c in pair.candidates] == ["v1 ~= v2"]
+
+
+def test_vacuous_candidates_never_pass():
+    spec = _spec("HashSet")
+    pair = check_pair(spec, _cond("HashSet", "add_", "contains"),
+                      ["false"], SCOPE)
+    assert pair.verdict == "fragile"
+
+
+# -- the artifact -------------------------------------------------------------
+
+def test_stable_condition_parses_against_the_pair_vocabulary():
+    from repro.commutativity.conditions import condition_symbols
+    spec = _spec("HashTable")
+    stable = StableCondition(family="Map", m1="put_", m2="get",
+                             text="k1 ~= k2", spec=spec)
+    assert stable.pair_label == "put_;get"
+    table = condition_symbols(spec, spec.operations["put_"],
+                              spec.operations["get"])
+    assert stable.dynamic_formula == parse_formula("k1 ~= k2", table)
+
+
+def test_stable_condition_requires_spec():
+    with pytest.raises(ValueError):
+        StableCondition(family="Map", m1="put_", m2="get",
+                        text="k1 ~= k2")

@@ -1,0 +1,100 @@
+"""Stability compilation through the sharded engine: planning,
+content-addressed caching of compiled verdicts, and report assembly."""
+
+import pytest
+
+from repro.api import Registry
+from repro.engine import (ResultCache, TaskPlanner, execute_task,
+                          run_stability_compilation)
+from repro.engine.tasks import STABILITY, VerifyTask
+from repro.eval import Scope
+
+SCOPE = Scope().smaller()
+
+
+@pytest.fixture
+def registry() -> Registry:
+    return Registry.with_builtins()
+
+
+def test_plan_groups_fragile_conditions_by_first_operation(registry):
+    plan = TaskPlanner(registry).plan_stability(["HashSet"], SCOPE)
+    groups = {task.group for task in plan.tasks}
+    # Every fragile Set between condition has a state query on s1; the
+    # m1 operations with at least one fragile pair:
+    assert groups == {"add_", "remove_", "size"}
+    for task in plan.tasks:
+        assert task.kind == STABILITY
+        assert task.key
+        payload = plan.payloads[task.index]
+        assert all(c.m1 == task.group for c in payload)
+
+
+def test_plan_keys_depend_on_scope(registry):
+    planner = TaskPlanner(registry)
+    small = planner.plan_stability(["HashSet"], SCOPE)
+    full = planner.plan_stability(["HashSet"], Scope())
+    assert {t.key for t in small.tasks}.isdisjoint(
+        {t.key for t in full.tasks})
+
+
+def test_plan_keys_depend_on_router_presence():
+    """Registering a shard router changes the compilation inputs (it
+    gates the footprint atoms), so it must retire cached verdicts."""
+    from stability_fixture import make_runnable_register_registry
+    from register_fixture import make_register_registry
+    routerless = TaskPlanner(make_register_registry()) \
+        .plan_stability(["Register"], SCOPE)
+    routed = TaskPlanner(make_runnable_register_registry()) \
+        .plan_stability(["Register"], SCOPE)
+    assert {t.key for t in routerless.tasks}.isdisjoint(
+        {t.key for t in routed.tasks})
+
+
+def test_execute_stability_task_returns_payloads(registry):
+    plan = TaskPlanner(registry).plan_stability(["HashSet"], SCOPE)
+    task = plan.tasks[0]
+    outcome = execute_task(task, registry)
+    assert len(outcome.results) == len(plan.payloads[task.index])
+    for result in outcome.results:
+        payload = result.payload
+        assert payload["verdict"] in ("weakened", "fragile")
+        assert payload["m1"] == task.group
+
+
+def test_execute_stability_task_rejects_unknown_group(registry):
+    task = VerifyTask(index=0, kind=STABILITY, structure="HashSet",
+                      backend="bounded", scope=SCOPE, group="frobnicate")
+    with pytest.raises(ValueError):
+        execute_task(task, registry)
+
+
+def test_compiled_verdicts_are_served_from_cache(tmp_path, registry):
+    cache = ResultCache(tmp_path / "cache")
+    cold = run_stability_compilation(SCOPE, names=["HashSet"],
+                                     registry=registry, cache=cache)
+    warm = run_stability_compilation(SCOPE, names=["HashSet"],
+                                     registry=registry, cache=cache)
+    report_cold, report_warm = cold["HashSet"], warm["HashSet"]
+    assert report_cold.cache_hits == 0
+    assert report_warm.cache_hits == len(report_warm.task_timings) > 0
+    # Warm verdicts are byte-identical to the cold run's, candidate
+    # details (including the armed flag) included.
+    assert [(p.m1, p.m2, p.verdict, p.stable_text, p.candidates)
+            for p in report_warm.pairs] \
+        == [(p.m1, p.m2, p.verdict, p.stable_text, p.candidates)
+            for p in report_cold.pairs]
+    assert any(c.armed for p in report_warm.pairs
+               for c in p.candidates)
+
+
+def test_report_covers_every_between_condition(registry):
+    reports = run_stability_compilation(SCOPE, names=["Accumulator"],
+                                        registry=registry)
+    report = reports["Accumulator"]
+    # All four Accumulator between conditions are arg-only: verbatim
+    # stable, zero tasks, zero elapsed.
+    assert report.stable_count == 4
+    assert report.weakened_count == report.fragile_count == 0
+    assert report.task_timings == []
+    assert "4 stable" in report.summary()
