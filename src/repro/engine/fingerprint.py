@@ -138,6 +138,22 @@ def stability_fingerprint(conditions, has_router: bool) -> dict[str, Any]:
     }
 
 
+def symbolic_stability_fingerprint(conditions,
+                                   has_router: bool) -> dict[str, Any]:
+    """Fingerprint of one symbolic-stability (prover) group.
+
+    The bounded group's ingredients plus the prover identity: version,
+    backend name, and external-solver availability
+    (:func:`repro.prover.backend.prover_fingerprint`) — so toggling
+    ``--prover`` internals or installing z3 retires cached proofs
+    instead of serving stale ``.repro-cache`` entries.
+    """
+    from ..prover.backend import prover_fingerprint
+    fingerprint = stability_fingerprint(conditions, has_router)
+    fingerprint["prover"] = prover_fingerprint()
+    return fingerprint
+
+
 def inverse_fingerprint(inverse) -> dict[str, Any]:
     """Fingerprint of one inverse catalog entry (its undo program)."""
     return {

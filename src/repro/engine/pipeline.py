@@ -101,16 +101,24 @@ def run_verification(scope: Scope | None = None, backend: str = "bounded",
 def run_stability_compilation(scope: Scope | None = None,
                               names: Sequence[str] | None = None,
                               registry=None, jobs: int | None = None,
-                              cache=False):
+                              cache=False, prover: bool = False):
     """Compile drift-stability verdicts as a sharded task graph.
 
     Returns ``{structure name: StabilityReport}``.  Verdicts for
     arg/result-only conditions are assembled parent-side (they need no
     computation); only drift-fragile condition groups become tasks, so
     the plan parallelizes and caches exactly the expensive part.
+
+    With ``prover=True`` a second, independently cached task kind
+    (``SYMBOLIC_STABILITY``) discharges each group's candidate
+    obligations through :mod:`repro.prover`; proofs are folded into the
+    bounded verdicts parent-side
+    (:func:`repro.stability.compiler.merge_proofs`), arming proved
+    state-reading candidates and promoting fully-proved pairs to the
+    ``proved`` verdict.
     """
     from ..commutativity.conditions import Kind
-    from ..stability.compiler import pair_from_payload
+    from ..stability.compiler import merge_proofs, pair_from_payload
     from ..stability.quantified import PairStability
     from ..stability.report import StabilityReport
     registry = _resolve(registry)
@@ -122,6 +130,11 @@ def run_stability_compilation(scope: Scope | None = None,
     planner = TaskPlanner(registry)
     plan = planner.plan_stability(names, scope)
     outcomes = _execute_plan(plan, registry, jobs, cache)
+    proof_plan = proof_outcomes = None
+    if prover:
+        from ..prover.backend import proof_from_payload
+        proof_plan = planner.plan_symbolic_stability(names, scope)
+        proof_outcomes = _execute_plan(proof_plan, registry, jobs, cache)
     reports: dict[str, "StabilityReport"] = {}
     for name in names:
         report = StabilityReport(name=name,
@@ -134,6 +147,18 @@ def run_stability_compilation(scope: Scope | None = None,
                 compiled[(cond.m1, cond.m2)] = pair_from_payload(
                     result.payload, elapsed=result.elapsed)
             report.task_timings.append(_timing(plan, index, outcome))
+        if prover:
+            for index in proof_plan.structure_tasks[name]:
+                outcome = proof_outcomes[index]
+                for cond, result in zip(proof_plan.payloads[index],
+                                        outcome.results):
+                    pair = (cond.m1, cond.m2)
+                    compiled[pair] = merge_proofs(
+                        compiled[pair],
+                        proof_from_payload(result.payload,
+                                           elapsed=result.elapsed))
+                report.task_timings.append(
+                    _timing(proof_plan, index, outcome))
         # Report entries follow catalog order, fragile or not.
         for cond in registry.conditions(name):
             if cond.kind is not Kind.BETWEEN:

@@ -18,8 +18,10 @@ from typing import Any, Sequence
 from ..eval.enumeration import Scope
 from .fingerprint import (ENGINE_VERSION, condition_fingerprint,
                           inverse_fingerprint, spec_fingerprint,
-                          stability_fingerprint, task_key)
-from .tasks import BACKENDS, COMMUTATIVITY, INVERSE, STABILITY, VerifyTask
+                          stability_fingerprint,
+                          symbolic_stability_fingerprint, task_key)
+from .tasks import (BACKENDS, COMMUTATIVITY, INVERSE, STABILITY,
+                    SYMBOLIC_STABILITY, VerifyTask)
 
 
 @dataclass
@@ -114,6 +116,38 @@ class TaskPlanner:
                 plan.tasks.append(VerifyTask(
                     index=index, kind=STABILITY, structure=name,
                     backend="bounded", scope=scope, group=group,
+                    key=key))
+                plan.payloads[index] = tuple(conditions)
+                indexes.append(index)
+        return plan
+
+    def plan_symbolic_stability(self, names: Sequence[str],
+                                scope: Scope) -> TaskPlan:
+        """One prover task per (structure, first-operation group) of
+        drift-fragile between conditions — mirroring
+        :meth:`plan_stability` so bounded verdicts and symbolic proofs
+        shard, cache, and reassemble identically."""
+        from ..commutativity.conditions import Kind
+        plan = TaskPlan()
+        for name in dict.fromkeys(names):  # dedupe, preserving order
+            indexes = plan.structure_tasks.setdefault(name, [])
+            groups: dict[str, list] = {}
+            for cond in self.registry.conditions(name):
+                if cond.kind is Kind.BETWEEN and cond.drift_fragile:
+                    groups.setdefault(cond.m1, []).append(cond)
+            has_router = self.registry.has_shard_router(name)
+            for group, conditions in groups.items():
+                index = len(plan.tasks)
+                key = task_key(
+                    kind=SYMBOLIC_STABILITY, structure=name,
+                    backend="native", scope=scope,
+                    spec_fp=self._spec_fp(name),
+                    obligations=symbolic_stability_fingerprint(
+                        conditions, has_router),
+                    engine_version=ENGINE_VERSION)
+                plan.tasks.append(VerifyTask(
+                    index=index, kind=SYMBOLIC_STABILITY, structure=name,
+                    backend="native", scope=scope, group=group,
                     key=key))
                 plan.payloads[index] = tuple(conditions)
                 indexes.append(index)

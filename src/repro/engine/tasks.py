@@ -20,6 +20,7 @@ from ..eval.enumeration import Scope
 COMMUTATIVITY = "commutativity"
 INVERSE = "inverse"
 STABILITY = "stability"
+SYMBOLIC_STABILITY = "symbolic_stability"
 
 #: Verification backends for commutativity tasks.
 BACKENDS = ("bounded", "symbolic")
@@ -67,6 +68,8 @@ class VerifyTask:
             return f"{self.structure} {self.pair[0]};{self.pair[1]}"
         if self.kind == STABILITY:
             return f"{self.structure} {self.group};* stability"
+        if self.kind == SYMBOLIC_STABILITY:
+            return f"{self.structure} {self.group};* prover"
         return f"{self.structure} {self.inverse_op}^-1"
 
 
@@ -129,6 +132,8 @@ def execute_task(task: VerifyTask, registry=None) -> TaskOutcome:
         return _execute_inverse(task, registry)
     if task.kind == STABILITY:
         return _execute_stability(task, registry)
+    if task.kind == SYMBOLIC_STABILITY:
+        return _execute_symbolic_stability(task, registry)
     raise ValueError(f"unknown task kind {task.kind!r}")
 
 
@@ -175,6 +180,33 @@ def _execute_stability(task: VerifyTask, registry) -> TaskOutcome:
                                         elapsed=pair.elapsed,
                                         payload=pair_payload(pair))
                       for pair in pairs))
+
+
+def _execute_symbolic_stability(task: VerifyTask, registry) -> TaskOutcome:
+    """Discharge the symbolic proof obligations of one condition group
+    (``--prover`` runs; same grouping as the bounded stability task)."""
+    from ..commutativity.conditions import Kind
+    from ..prover.backend import discharge_pair, proof_payload
+    from ..stability.compiler import candidate_texts
+    spec = registry.spec(task.structure)
+    conditions = [c for c in registry.conditions(task.structure)
+                  if c.kind is Kind.BETWEEN and c.m1 == task.group
+                  and c.drift_fragile]
+    if not conditions:
+        raise ValueError(f"no fragile between conditions in group "
+                         f"{task.group!r} of {task.structure!r}")
+    has_router = registry.has_shard_router(task.structure)
+    proofs = [discharge_pair(spec, cond,
+                             candidate_texts(cond, has_router),
+                             task.scope)
+              for cond in conditions]
+    return TaskOutcome(
+        index=task.index,
+        elapsed=sum(proof.elapsed for proof in proofs),
+        results=tuple(ObligationOutcome(cases=proof.cases,
+                                        elapsed=proof.elapsed,
+                                        payload=proof_payload(proof))
+                      for proof in proofs))
 
 
 def _execute_inverse(task: VerifyTask, registry) -> TaskOutcome:

@@ -1,0 +1,50 @@
+"""The symbolic prover: unbounded stability proofs for drift-stable
+candidate conditions.
+
+PR 5's stability compiler certifies candidates by bounded-exhaustive
+sweep, so state-reading survivors are *reported but never armed*: their
+bounded certificate says nothing about the preloaded runtime states the
+gatekeeper actually evaluates them in.  This package plays, for the
+stability pipeline, the role Jahob's integrated provers play for the
+paper's commutativity conditions — it discharges each candidate's
+drift-stability obligation over **all** states of the family's theory,
+not a swept sample:
+
+- :mod:`.obligations` lowers condition ASTs, spec executable semantics
+  and candidate atoms into quantifier-free FOL obligations over the
+  repo's own theory stack (:mod:`repro.solver.euf` congruence closure +
+  :mod:`repro.solver.symbolic` symbolic abstract states);
+- :mod:`.native` discharges obligations natively by symbolic-state
+  enumeration with EUF consistency filtering, extracting a countermodel
+  when a candidate is refuted;
+- :mod:`.smtlib` emits obligations as SMT-LIB 2 scripts, and
+  :mod:`.z3adapter` optionally cross-checks them through an external
+  ``z3`` solver — degrading gracefully (recorded as unavailable, never
+  failing) when no solver is installed;
+- :mod:`.backend` packages the verdicts, versions them for the engine
+  cache, and exposes the pluggable backend fingerprint.
+
+Consumption: the engine's ``SYMBOLIC_STABILITY`` task kind
+(:mod:`repro.engine.tasks`) runs :func:`discharge_pair` per fragile
+condition group; the pipeline merges proof results into the bounded
+verdicts (:func:`repro.stability.compiler.merge_proofs`), where a
+proved state-reading candidate is finally *armed* and a fully-proved
+pair is promoted to the ``proved`` verdict tier.
+"""
+
+from .backend import (PROVER_VERSION, ProofResult, discharge_pair,
+                      proof_payload, proof_from_payload,
+                      prover_fingerprint)
+from .native import prove_pair
+from .obligations import Obligation, lower_pair
+from .smtlib import emit_obligation
+from .z3adapter import check_smtlib, z3_available
+
+__all__ = [
+    "PROVER_VERSION", "ProofResult", "discharge_pair",
+    "proof_payload", "proof_from_payload", "prover_fingerprint",
+    "prove_pair",
+    "Obligation", "lower_pair",
+    "emit_obligation",
+    "check_smtlib", "z3_available",
+]

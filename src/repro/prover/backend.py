@@ -1,0 +1,122 @@
+"""Backend packaging: versioned verdicts, cache fingerprints, and the
+external cross-check hook.
+
+:func:`discharge_pair` is the prover's single entry point for the
+engine's ``SYMBOLIC_STABILITY`` tasks: native proof first, then — when
+an external solver is installed — an SMT-LIB cross-check whose outcome
+is *recorded* on each result (``corroborated``, ``divergent: ...``,
+``unknown``, ``inexpressible``) but never overrides the native verdict:
+the emitter fragment is narrower than the native one and the native
+backend is the one whose criterion is proven to match the bounded
+sweep's.
+
+:func:`prover_fingerprint` feeds the engine task keys
+(:func:`repro.engine.fingerprint.symbolic_stability_fingerprint`): it
+covers the prover version, the backend identity, *and* external-solver
+availability, so installing z3 (or a future prover bump) retires every
+cached symbolic-stability outcome rather than serving stale verdicts
+from ``.repro-cache``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..commutativity.conditions import CommutativityCondition
+from ..eval.enumeration import Scope
+from ..specs.interface import DataStructureSpec
+from .native import PairProof, ProofResult, prove_pair
+from .obligations import lower_pair
+from .smtlib import emit_obligation
+from .z3adapter import check_smtlib, z3_available
+
+#: Bump whenever a prover change could alter a verdict — part of every
+#: SYMBOLIC_STABILITY task key, so bumping retires all cached proofs.
+PROVER_VERSION = 1
+
+#: Identity of the bundled backend (the pluggable-adapter seam: an
+#: alternative backend would carry a different name through the
+#: fingerprint and the CLI surface).
+NATIVE_BACKEND = "native-euf"
+
+
+def prover_fingerprint() -> dict[str, Any]:
+    """What a symbolic-stability outcome depends on beyond the bounded
+    sweep's ingredients."""
+    return {
+        "prover_version": PROVER_VERSION,
+        "backend": NATIVE_BACKEND,
+        "external": {"z3": z3_available()},
+    }
+
+
+def discharge_pair(spec: DataStructureSpec,
+                   cond: CommutativityCondition,
+                   candidate_texts: list[str],
+                   scope: Scope | None = None,
+                   external: bool = True) -> PairProof:
+    """Prove one pair's candidates natively, then cross-check the
+    decided ones externally when a solver is present."""
+    proof = prove_pair(spec, cond, candidate_texts, scope)
+    if external and z3_available():
+        terms = {o.text: o.term for o in lower_pair(spec, cond,
+                                                    candidate_texts)}
+        for result in proof.results:
+            if result.status not in ("proved", "refuted"):
+                continue
+            term = terms.get(result.candidate)
+            script = (emit_obligation(spec, cond, term)
+                      if term is not None else None)
+            if script is None:
+                result.corroboration = "inexpressible"
+                continue
+            answer = check_smtlib(script)
+            expected = "unsat" if result.status == "proved" else "sat"
+            if answer == expected:
+                result.corroboration = "corroborated"
+            elif answer in ("sat", "unsat"):
+                result.corroboration = f"divergent: {answer}"
+            else:
+                result.corroboration = answer
+    return proof
+
+
+# -- plain-data (de)serialization for the engine cache ------------------------
+
+def proof_payload(proof: PairProof) -> dict[str, Any]:
+    """A JSON-shaped rendering of one pair proof (task outcome
+    payload; persists verbatim in ``.repro-cache``)."""
+    return {
+        "m1": proof.m1,
+        "m2": proof.m2,
+        "cases": proof.cases,
+        "results": [{
+            "candidate": r.candidate,
+            "status": r.status,
+            "admitted": r.admitted,
+            "cases": r.cases,
+            "regime": r.regime,
+            "reason": r.reason,
+            "countermodel": r.countermodel,
+            "corroboration": r.corroboration,
+        } for r in proof.results],
+    }
+
+
+def proof_from_payload(payload: dict[str, Any],
+                       elapsed: float = 0.0) -> PairProof:
+    """Rebuild a pair proof from a cached/worker payload."""
+    return PairProof(
+        m1=payload["m1"], m2=payload["m2"],
+        cases=int(payload.get("cases", 0)),
+        results=tuple(
+            ProofResult(candidate=row["candidate"],
+                        status=row["status"],
+                        admitted=int(row.get("admitted", 0)),
+                        cases=int(row.get("cases", 0)),
+                        regime=row.get("regime", ""),
+                        reason=row.get("reason"),
+                        countermodel=row.get("countermodel"),
+                        corroboration=row.get("corroboration"))
+            for row in payload.get("results", ())),
+        elapsed=elapsed)

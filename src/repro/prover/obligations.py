@@ -1,0 +1,164 @@
+"""Lowering: candidate condition formulas into prover obligations.
+
+A drift-stability obligation for a candidate ``C`` over the between
+vocabulary of a pair ``m1;m2`` is the quantifier-free implication
+
+    pre1(w, args1)  &  pre2(mid(w), args2)  &  pre2(d, args2)
+    &  C(args, r1(w), s2 := d)
+        =>  m1(args1); m2(args2) commute at w
+
+universally quantified over every root state ``w``, argument tuple, and
+drifted current state ``d``.  This is the unbounded counterpart of the
+bounded criterion in :func:`repro.stability.quantified.check_pair`: for
+``s1``-free candidates the per-observation root bucketing collapses to
+the root itself (``C`` depends on the root only through the observed
+``r1``, and every root is consistent with its own observation), so the
+obligation above is *exactly* the certificate the runtime needs —
+whenever the gatekeeper's drift guard admits on a cleanly-true ``C``,
+the reordering commutes wherever the serialization lands it.  Roots
+where the second operation's precondition fails after the first are
+outside the case universe, mirroring the catalog verification and the
+bounded sweep.
+
+The lowering classifies each candidate as **supported** (dischargeable
+over the symbolic theory stack) or **unsupported**, with a reason.
+Unsupported candidates keep their bounded verdict — reported, never
+armed.  The support criteria are driven by what the symbolic state
+representation (:mod:`repro.solver.symbolic`) can decide *point-wise*:
+
+- candidates reading the verified snapshot ``s1`` are not liftable (a
+  drifted admission has no access to the snapshot's state, only to the
+  arguments and observed result that survive the journey);
+- for the symbolically-unbounded families (Set/Map/Accumulator),
+  integer observations of state (sizes, index-of) are opaque symbols
+  ``N + delta`` — comparing them against constants is not point-wise
+  decidable, so candidates reading them are unsupported rather than
+  silently mis-evaluated;
+- quantified candidates are outside the quantifier-free fragment (the
+  candidate generators never produce them; this is a guard).
+
+Soundness of the *clean-admission contract*: the prover counts an
+admission only when ``C`` evaluates cleanly true.  At run time the
+gatekeeper's ``_stable_holds`` treats an evaluation error as ``False``
+(conservative fallback), so a proved candidate's runtime admissions are
+a subset of the admissions the proof covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..commutativity.conditions import (CommutativityCondition, Kind,
+                                        allowed_variables,
+                                        condition_symbols,
+                                        formula_references_state)
+from ..logic import ParseError, free_vars, parse_formula
+from ..logic import terms as t
+from ..logic.sorts import Sort
+from ..specs.interface import DataStructureSpec
+
+#: Families whose base state the prover represents symbolically —
+#: obligations over them are discharged for *unbounded* states.  The
+#: ArrayList is handled by canonical-partition enumeration instead,
+#: exact for unbounded element universes at bounded lengths (the
+#: regime annotation on its results says so).
+SYMBOLIC_FAMILIES = ("Set", "Map", "Accumulator")
+
+#: Regime annotations attached to proof results.
+REGIME_UNBOUNDED = "symbolic/unbounded"
+REGIME_BOUNDED_LENGTH = "symbolic/bounded-length"
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One candidate's lowered proof obligation."""
+
+    text: str
+    term: t.Term = field(repr=False)
+    #: The candidate reads the drifted current state ``s2`` — its
+    #: admissions are quantified over every drifted binding; state-free
+    #: candidates are checked once per case, at the verified no-drift
+    #: binding, exactly as in the bounded sweep.
+    wants_s2: bool = False
+    state_free: bool = False
+    supported: bool = True
+    reason: str | None = None
+
+
+def family_regime(family: str) -> str:
+    return (REGIME_UNBOUNDED if family in SYMBOLIC_FAMILIES
+            else REGIME_BOUNDED_LENGTH)
+
+
+def _int_state_read(term: t.Term) -> str | None:
+    """A description of the first integer-valued state observation in
+    ``term``, or ``None`` — these are opaque ``N + delta`` symbols for
+    the symbolic families, not point-wise decidable."""
+    for node in term.walk():
+        if isinstance(node, (t.Card, t.MapSize, t.SeqLen,
+                             t.SeqIndexOf, t.SeqLastIndexOf)):
+            return type(node).__name__.lower()
+        if isinstance(node, t.ObserverCall) \
+                and node.result_sort is Sort.INT:
+            return f"observer {node.method}"
+        if isinstance(node, t.Field) and node.field_sort is Sort.INT:
+            return f"field {node.name}"
+    return None
+
+
+def _classify(spec: DataStructureSpec, cond: CommutativityCondition,
+              text: str, term: t.Term,
+              variables: frozenset[str]) -> Obligation:
+    wants_s2 = "s2" in variables
+    state_free = not formula_references_state(term)
+    supported, reason = True, None
+    if spec.name not in SYMBOLIC_FAMILIES + ("ArrayList",):
+        supported = False
+        reason = f"no symbolic tooling for family {spec.name!r}"
+    elif "s1" in variables:
+        supported = False
+        reason = "reads the verified snapshot s1"
+    elif any(isinstance(node, (t.Forall, t.Exists))
+             for node in term.walk()):
+        supported = False
+        reason = "quantified candidate"
+    elif spec.name in SYMBOLIC_FAMILIES:
+        int_read = _int_state_read(term)
+        if int_read is not None:
+            supported = False
+            reason = (f"integer state observation ({int_read}) is "
+                      f"symbolic for this family")
+        elif "r1" in variables and cond.op1.result_sort is Sort.INT:
+            supported = False
+            reason = "integer result r1 is symbolic for this family"
+    return Obligation(text=text, term=term, wants_s2=wants_s2,
+                      state_free=state_free, supported=supported,
+                      reason=reason)
+
+
+def lower_pair(spec: DataStructureSpec, cond: CommutativityCondition,
+               texts: list[str]) -> list[Obligation]:
+    """Lower one pair's candidate texts into obligations.
+
+    Parsing and vocabulary checks mirror the bounded sweep's candidate
+    intake (malformed machine-generated candidates are dropped, not
+    errors), so the prover judges exactly the candidate set the bounded
+    verdict reports on.
+    """
+    table = condition_symbols(spec, cond.op1, cond.op2)
+    allowed = allowed_variables(Kind.BETWEEN, cond.op1, cond.op2)
+    obligations: list[Obligation] = []
+    seen: set[str] = set()
+    for text in texts:
+        if text in seen:
+            continue
+        seen.add(text)
+        try:
+            term = parse_formula(text, table)
+        except ParseError:
+            continue
+        variables = frozenset(free_vars(term))
+        if variables - allowed:
+            continue
+        obligations.append(_classify(spec, cond, text, term, variables))
+    return obligations

@@ -1,0 +1,289 @@
+"""SMT-LIB 2 emission of drift-stability obligations (the exchange
+format of the pluggable external-adapter interface).
+
+The emitter renders the *negation* of one candidate's obligation for
+the Set and Map families as a quantifier-free script over uninterpreted
+functions:
+
+- the root state ``w`` and the drifted state ``d`` are uninterpreted
+  membership/binding functions over a free ``Obj`` sort (``memw``,
+  ``hasw``/``bindw``, ``memd``, ...) — a model chooses *any* state, so
+  ``unsat`` really is an unbounded proof;
+- both operation orders are executed symbolically at emission time,
+  producing ``ite``-term states (point updates) and result terms;
+  commutation is agreement of the final states at every mentioned point
+  plus size-delta equality plus result equality — exact, because point
+  updates can only disagree at mentioned points;
+- the candidate is translated with ``s2`` reading the drifted state and
+  ``r1`` replaced by the root execution's result term; the script
+  asserts the preconditions, the candidate, and the *negation* of
+  commutation, then ``(check-sat)``.
+
+``unsat`` therefore corroborates a native ``proved`` verdict and
+``sat`` a native ``refuted`` one.  :func:`emit_obligation` returns
+``None`` for anything outside the expressible fragment (ArrayList
+obligations, size-reading candidates, exotic nodes) — the adapter
+records those as inexpressible rather than failing.  The adapter never
+overrides the native backend either way; it is a cross-check, in the
+``eprover.py``/``z3_checker.py`` adapter mold of the exemplar repos.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..commutativity.conditions import CommutativityCondition
+from ..logic import terms as t
+from ..logic.sorts import Sort
+from ..specs.interface import DataStructureSpec, Operation
+
+#: Operation vocabularies the emitter can execute symbolically.
+_SET_OPS = ("add", "add_", "remove", "remove_", "contains")
+_MAP_OPS = ("put", "put_", "remove", "remove_", "get", "containsKey")
+
+
+def _ite(cond: str, then: str, els: str) -> str:
+    return f"(ite {cond} {then} {els})"
+
+
+class _Inexpressible(Exception):
+    """Internal signal: the obligation leaves the emitter's fragment."""
+
+
+class _SymbolicState:
+    """A point-update state: membership/binding as expression-builders."""
+
+    def __init__(self, member: Callable[[str], str],
+                 bind: Callable[[str], str] | None,
+                 delta: str) -> None:
+        self.member = member   # tok expr -> Bool expr
+        self.bind = bind       # tok expr -> Obj expr (maps only)
+        self.delta = delta     # Int expr relative to the base size
+
+    def get(self, key: str) -> str:
+        """Map lookup with the absent-means-null guard."""
+        return _ite(self.member(key), self.bind(key), "null")
+
+
+def _apply_set(state: _SymbolicState, op: Operation,
+               args: tuple[str, ...]) -> tuple[_SymbolicState, str | None]:
+    name = op.name
+    member, delta = state.member, state.delta
+    if name in ("add", "add_"):
+        (v,) = args
+        new = _SymbolicState(
+            lambda x, m=member, v=v: f"(or (= {x} {v}) {m(x)})",
+            None, f"(+ {delta} {_ite(member(v), '0', '1')})")
+        return new, (f"(not {member(v)})" if name == "add" else None)
+    if name in ("remove", "remove_"):
+        (v,) = args
+        new = _SymbolicState(
+            lambda x, m=member, v=v: f"(and (not (= {x} {v})) {m(x)})",
+            None, f"(- {delta} {_ite(member(v), '1', '0')})")
+        return new, (member(v) if name == "remove" else None)
+    if name == "contains":
+        (v,) = args
+        return state, member(v)
+    raise _Inexpressible(name)
+
+
+def _apply_map(state: _SymbolicState, op: Operation,
+               args: tuple[str, ...]) -> tuple[_SymbolicState, str | None]:
+    name = op.name
+    member, bind, delta = state.member, state.bind, state.delta
+    if name in ("put", "put_"):
+        k, v = args
+        previous = state.get(k)
+        new = _SymbolicState(
+            lambda x, m=member, k=k: f"(or (= {x} {k}) {m(x)})",
+            lambda x, b=bind, k=k, v=v: _ite(f"(= {x} {k})", v, b(x)),
+            f"(+ {delta} {_ite(member(k), '0', '1')})")
+        return new, (previous if name == "put" else None)
+    if name in ("remove", "remove_"):
+        (k,) = args
+        previous = state.get(k)
+        new = _SymbolicState(
+            lambda x, m=member, k=k: f"(and (not (= {x} {k})) {m(x)})",
+            bind, f"(- {delta} {_ite(member(k), '1', '0')})")
+        return new, (previous if name == "remove" else None)
+    if name == "get":
+        (k,) = args
+        return state, state.get(k)
+    if name == "containsKey":
+        (k,) = args
+        return state, member(k)
+    raise _Inexpressible(name)
+
+
+def _translate(term: t.Term, drifted: _SymbolicState,
+               r1: str | None, family: str) -> str:
+    """Render the candidate with ``s2`` reading the drifted state."""
+
+    def tr(node: t.Term) -> str:
+        if isinstance(node, t.Var):
+            if node.var_sort is Sort.STATE:
+                raise _Inexpressible("bare state variable")
+            if node.name == "r1":
+                if r1 is None:
+                    raise _Inexpressible("r1 without a result")
+                return r1
+            return node.name
+        if isinstance(node, t.BoolConst):
+            return "true" if node.value else "false"
+        if isinstance(node, t.IntConst):
+            return (str(node.value) if node.value >= 0
+                    else f"(- {-node.value})")
+        if isinstance(node, t.Null):
+            return "null"
+        if isinstance(node, t.Not):
+            return f"(not {tr(node.arg)})"
+        if isinstance(node, t.And):
+            return f"(and {' '.join(tr(a) for a in node.args)})"
+        if isinstance(node, t.Or):
+            return f"(or {' '.join(tr(a) for a in node.args)})"
+        if isinstance(node, t.Implies):
+            return f"(=> {tr(node.lhs)} {tr(node.rhs)})"
+        if isinstance(node, t.Iff):
+            return f"(= {tr(node.lhs)} {tr(node.rhs)})"
+        if isinstance(node, t.Ite):
+            return _ite(tr(node.cond), tr(node.then), tr(node.els))
+        if isinstance(node, t.Eq):
+            return f"(= {tr(node.lhs)} {tr(node.rhs)})"
+        if isinstance(node, t.Lt):
+            return f"(< {tr(node.lhs)} {tr(node.rhs)})"
+        if isinstance(node, t.Le):
+            return f"(<= {tr(node.lhs)} {tr(node.rhs)})"
+        if isinstance(node, t.Add):
+            return f"(+ {' '.join(tr(a) for a in node.args)})"
+        if isinstance(node, t.Sub):
+            return f"(- {tr(node.lhs)} {tr(node.rhs)})"
+        if isinstance(node, t.Neg):
+            return f"(- {tr(node.arg)})"
+        if isinstance(node, t.Member):
+            _require_s2(node.set_)
+            return drifted.member(tr(node.elem))
+        if isinstance(node, t.MapGet):
+            _require_s2(node.map_)
+            return drifted.get(tr(node.key))
+        if isinstance(node, t.MapHasKey):
+            _require_s2(node.map_)
+            return drifted.member(tr(node.key))
+        if isinstance(node, t.ObserverCall):
+            if not (isinstance(node.state, t.Var)
+                    and node.state.name == "s2"):
+                raise _Inexpressible("observer on a non-s2 state")
+            args = tuple(tr(a) for a in node.args)
+            if family == "Set" and node.method == "contains":
+                return drifted.member(args[0])
+            if family == "Map" and node.method == "containsKey":
+                return drifted.member(args[0])
+            if family == "Map" and node.method == "get":
+                return drifted.get(args[0])
+            raise _Inexpressible(f"observer {node.method}")
+        raise _Inexpressible(type(node).__name__)
+
+    def _require_s2(state_node: t.Term) -> None:
+        ok = (isinstance(state_node, t.Field)
+              and isinstance(state_node.state, t.Var)
+              and state_node.state.name == "s2")
+        if not ok:
+            raise _Inexpressible("state access outside s2.contents")
+
+    return tr(term)
+
+
+def emit_obligation(spec: DataStructureSpec,
+                    cond: CommutativityCondition,
+                    term: t.Term) -> str | None:
+    """The SMT-LIB 2 script refuting one candidate's obligation, or
+    ``None`` when the obligation is not expressible in the adapter
+    fragment."""
+    family = spec.name
+    op1, op2 = cond.op1, cond.op2
+    if family == "Set":
+        supported, apply_op, has_bind = _SET_OPS, _apply_set, False
+    elif family == "Map":
+        supported, apply_op, has_bind = _MAP_OPS, _apply_map, True
+    else:
+        return None
+    if op1.name not in supported or op2.name not in supported:
+        return None
+
+    obj_params: list[str] = []
+    for op, suffix in ((op1, "1"), (op2, "2")):
+        for p in op.params:
+            if p.sort is not Sort.OBJ:
+                return None  # Set/Map signatures are all-Obj
+            obj_params.append(f"{p.name}{suffix}")
+    args1 = tuple(f"{p.name}1" for p in op1.params)
+    args2 = tuple(f"{p.name}2" for p in op2.params)
+
+    def base(tag: str) -> _SymbolicState:
+        if has_bind:
+            return _SymbolicState(lambda x: f"(has{tag} {x})",
+                                  lambda x: f"(bind{tag} {x})", "0")
+        return _SymbolicState(lambda x: f"(mem{tag} {x})", None, "0")
+
+    w, d = base("w"), base("d")
+    try:
+        # Order A at the root: m1 then m2.
+        mid_a, r1_a = apply_op(w, op1, args1)
+        fin_a, r2_a = apply_op(mid_a, op2, args2)
+        # Order B at the root: m2 then m1.
+        mid_b, r2_b = apply_op(w, op2, args2)
+        fin_b, r1_b = apply_op(mid_b, op1, args1)
+
+        points = sorted(set(obj_params))
+        agreement = []
+        for point in points:
+            agreement.append(
+                f"(= {fin_a.member(point)} {fin_b.member(point)})")
+            if has_bind:
+                agreement.append(f"(=> {fin_a.member(point)} "
+                                 f"(= {fin_a.get(point)} "
+                                 f"{fin_b.get(point)}))")
+        agreement.append(f"(= {fin_a.delta} {fin_b.delta})")
+        if r1_a is not None:
+            agreement.append(f"(= {r1_a} {r1_b})")
+        if r2_a is not None:
+            agreement.append(f"(= {r2_a} {r2_b})")
+        commutes = f"(and {' '.join(agreement)})"
+        candidate = _translate(term, d, r1_a, family)
+    except _Inexpressible:
+        return None
+
+    lines = [
+        "; drift-stability obligation (negated): "
+        f"{family} {cond.m1};{cond.m2}",
+        "(set-logic QF_UFLIA)",
+        "(declare-sort Obj 0)",
+        "(declare-fun null () Obj)",
+    ]
+    for name in dict.fromkeys(obj_params):
+        lines.append(f"(declare-fun {name} () Obj)")
+    if has_bind:
+        lines += ["(declare-fun hasw (Obj) Bool)",
+                  "(declare-fun bindw (Obj) Obj)",
+                  "(declare-fun hasd (Obj) Bool)",
+                  "(declare-fun bindd (Obj) Obj)"]
+    else:
+        lines += ["(declare-fun memw (Obj) Bool)",
+                  "(declare-fun memd (Obj) Bool)"]
+    # Preconditions: Set/Map arguments are non-null (state-independent,
+    # so they hold at the root, after m1, and at the drifted state
+    # alike — the whole case universe in one assertion each).
+    for name in dict.fromkeys(obj_params):
+        lines.append(f"(assert (distinct {name} null))")
+    if has_bind:
+        # Stored values are non-null (put's precondition), so a null
+        # lookup means absence — at every mentioned point, in both
+        # states.
+        for point in sorted(set(obj_params)):
+            for tag_state in (w, d):
+                lines.append(f"(assert (=> {tag_state.member(point)} "
+                             f"(distinct {tag_state.bind(point)} "
+                             f"null)))")
+    lines.append(f"(assert {candidate})")
+    lines.append(f"(assert (not {commutes}))")
+    lines.append("(check-sat)")
+    return "\n".join(lines) + "\n"

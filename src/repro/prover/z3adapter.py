@@ -1,0 +1,83 @@
+"""Optional external-solver adapter: discharge emitted SMT-LIB scripts
+through z3 when (and only when) it is installed.
+
+The container image does not ship z3; this adapter degrades gracefully
+— :func:`z3_available` probes for either the ``z3`` binary or the
+``z3-solver`` Python package, and :func:`check_smtlib` returns a status
+string (``"sat"``/``"unsat"``/``"unknown"``/``"unavailable"``/
+``"error: ..."``) and **never raises**.  Tests that need a live solver
+are skip-marked on :func:`z3_available`; the CI matrix has one optional
+leg that installs ``z3-solver`` to exercise them.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import shutil
+import subprocess
+from functools import lru_cache
+
+#: Seconds before an external check is abandoned as "unknown".
+DEFAULT_TIMEOUT = 15.0
+
+
+@lru_cache(maxsize=1)
+def _z3_binary() -> str | None:
+    return shutil.which("z3")
+
+
+@lru_cache(maxsize=1)
+def _z3_module_present() -> bool:
+    try:
+        return importlib.util.find_spec("z3") is not None
+    except (ImportError, ValueError):  # pragma: no cover - exotic paths
+        return False
+
+
+def z3_available() -> bool:
+    """Whether any z3 entry point (binary or Python package) exists."""
+    return _z3_binary() is not None or _z3_module_present()
+
+
+def _check_via_binary(script: str, timeout: float) -> str:
+    proc = subprocess.run(
+        [_z3_binary(), "-in", f"-T:{max(1, int(timeout))}"],
+        input=script, capture_output=True, text=True, timeout=timeout + 5)
+    for line in (proc.stdout or "").splitlines():
+        line = line.strip()
+        if line in ("sat", "unsat", "unknown", "timeout"):
+            return "unknown" if line == "timeout" else line
+    detail = (proc.stderr or proc.stdout or "no answer").strip()
+    return f"error: {detail.splitlines()[0] if detail else 'no answer'}"
+
+
+def _check_via_module(script: str, timeout: float) -> str:
+    import z3
+    solver = z3.Solver()
+    solver.set("timeout", int(timeout * 1000))
+    solver.add(z3.parse_smt2_string(script))
+    verdict = solver.check()
+    if verdict == z3.sat:
+        return "sat"
+    if verdict == z3.unsat:
+        return "unsat"
+    return "unknown"
+
+
+def check_smtlib(script: str,
+                 timeout: float = DEFAULT_TIMEOUT) -> str:
+    """Run one SMT-LIB script through z3; never raises.
+
+    Subprocess first (matches the exemplar adapters and isolates solver
+    crashes), the Python package as fallback.
+    """
+    try:
+        if _z3_binary() is not None:
+            return _check_via_binary(script, timeout)
+        if _z3_module_present():
+            return _check_via_module(script, timeout)
+        return "unavailable"
+    except subprocess.TimeoutExpired:
+        return "unknown"
+    except Exception as exc:  # noqa: BLE001 - adapter must never fail
+        return f"error: {type(exc).__name__}: {exc}"

@@ -315,9 +315,11 @@ def shard_contention_table(runs) -> str:
 
 def drift_admission_table(runs) -> str:
     """The drift guard's traffic per run: how many pair checks hit the
-    guard, how many a compiled drift-stable condition admitted, how
-    many fell back to the conservative router oracle (and how many of
-    those the oracle admitted), and how many would-be admissions the
+    guard, how many a compiled drift-stable condition admitted (split
+    by certificate tier — ``stable hits`` for bounded-sweep weakenings,
+    ``proved hits`` for symbolically proved conditions), how many fell
+    back to the conservative router oracle (and how many of those the
+    oracle admitted), and how many would-be admissions the
     undo-commutation guard refused."""
     rows = []
     for run in runs:
@@ -327,11 +329,13 @@ def drift_admission_table(runs) -> str:
             # drift_fallbacks can be nonzero with zero drift_checks:
             # the EvalError path is conservative without being drifted.
             continue
-        stable_rate = (report.stable_hits / report.drift_checks
+        semantic_hits = report.stable_hits + report.proved_hits
+        stable_rate = (semantic_hits / report.drift_checks
                        if report.drift_checks else 0.0)
         rows.append([run.structure, run.workload.label, run.policy,
                      "yes" if getattr(run, "stable", False) else "no",
                      str(report.drift_checks), str(report.stable_hits),
+                     str(report.proved_hits),
                      f"{stable_rate:.0%}",
                      str(report.drift_fallbacks),
                      str(report.fallback_admits),
@@ -340,23 +344,34 @@ def drift_admission_table(runs) -> str:
         return "(no drift-guarded checks: every admission was in its " \
                "verified environment)"
     headers = ["structure", "workload", "policy", "stable",
-               "drift checks", "stable hits", "hit rate", "fallbacks",
-               "fallback admits", "undo refusals"]
+               "drift checks", "stable hits", "proved hits", "hit rate",
+               "fallbacks", "fallback admits", "undo refusals"]
     return _format_table(headers, rows)
 
 
 def stability_table(reports) -> str:
     """Per-pair drift-stability verdicts of one or more
     :class:`~repro.stability.StabilityReport` values (``python -m
-    repro stability``)."""
+    repro stability``).  The ``armed/reported`` column splits each
+    pair's candidates into the ones compiled into its runtime guard
+    versus the ones kept as report-only evidence; a ``*`` marks proved
+    candidates (``--prover`` runs)."""
     if not isinstance(reports, dict):
         reports = {reports.name: reports}
     rows = []
     for name, report in reports.items():
         for pair in report.pairs:
+            armed = sum(1 for c in pair.candidates if c.armed)
+            proved = sum(1 for c in pair.candidates
+                         if c.armed and c.proved)
+            split = f"{armed}/{len(pair.candidates)}"
+            if proved:
+                split += f" ({proved}*)"
             rows.append([name, pair.pair_label, pair.verdict,
+                         split if pair.candidates else "-",
                          pair.stable_text or "-"])
-    headers = ["structure", "pair", "verdict", "drift-stable condition"]
+    headers = ["structure", "pair", "verdict", "armed/reported",
+               "drift-stable condition"]
     return _format_table(headers, rows)
 
 

@@ -78,6 +78,9 @@ class ExecutionReport:
     #: those the oracle admitted (conservative-fallback admissions).
     drift_checks: int = 0
     stable_hits: int = 0
+    #: The subset of drift-guard admissions certified at the ``proved``
+    #: tier (symbolically proved conditions, ``--prover`` compilations).
+    proved_hits: int = 0
     drift_fallbacks: int = 0
     fallback_admits: int = 0
     #: Would-be admissions refused because the incoming operation does
@@ -224,6 +227,7 @@ class SpeculativeExecutor:
         report.conflicts = manager.conflicts
         report.drift_checks = manager.drift_checks
         report.stable_hits = manager.stable_hits
+        report.proved_hits = manager.proved_hits
         report.drift_fallbacks = manager.fallbacks
         report.fallback_admits = manager.fallback_admits
         report.undo_refusals = manager.undo_refusals

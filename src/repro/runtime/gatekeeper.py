@@ -75,7 +75,10 @@ class _Shard:
     ``drift_checks`` counts pair checks that hit the drift guard (a
     state-referencing condition outside its verified environment);
     ``stable_hits`` the subset admitted by a compiled drift-stable
-    condition; ``fallbacks`` every conservative resolution — a drifted
+    condition from the bounded sweep, ``proved_hits`` the subset
+    admitted by a symbolically *proved* condition (the tier is
+    decision-visible, never decision-changing — both admit
+    identically); ``fallbacks`` every conservative resolution — a drifted
     check the stable condition could not admit, or an unevaluable
     condition — that consulted the router oracle; ``fallback_admits``
     the subset of those the oracle admitted (the *conservative-fallback
@@ -83,8 +86,8 @@ class _Shard:
     certificates)."""
 
     __slots__ = ("shard_id", "lock", "log", "checks", "conflicts",
-                 "drift_checks", "stable_hits", "fallbacks",
-                 "fallback_admits", "undo_refusals")
+                 "drift_checks", "stable_hits", "proved_hits",
+                 "fallbacks", "fallback_admits", "undo_refusals")
 
     def __init__(self, shard_id: int) -> None:
         self.shard_id = shard_id
@@ -94,6 +97,7 @@ class _Shard:
         self.conflicts = 0
         self.drift_checks = 0
         self.stable_hits = 0
+        self.proved_hits = 0
         self.fallbacks = 0
         self.fallback_admits = 0
         self.undo_refusals = 0
@@ -298,7 +302,13 @@ class ConflictManager:
             stable = self._stable.get((logged.op_name, op_name))
             if stable is not None and self._stable_holds(stable, env):
                 if self._undo_guard(shard, logged, op2, args, current):
-                    shard.stable_hits += 1  # an *effective* admission
+                    # An *effective* admission, counted by certificate
+                    # tier (proved conditions carry an unbounded
+                    # symbolic proof; tier never changes the decision).
+                    if getattr(stable, "tier", "weakened") == "proved":
+                        shard.proved_hits += 1
+                    else:
+                        shard.stable_hits += 1
                     return True
                 return False
             return self._fallback(shard, logged, op_name, args,
@@ -516,8 +526,15 @@ class ConflictManager:
 
     @property
     def stable_hits(self) -> int:
-        """Drifted pair checks admitted by a compiled stable condition."""
+        """Drifted pair checks admitted by a compiled stable condition
+        of the ``weakened`` (bounded-sweep) tier."""
         return sum(s.stable_hits for s in self._shards)
+
+    @property
+    def proved_hits(self) -> int:
+        """Drifted pair checks admitted by a symbolically proved
+        condition (the ``proved`` tier, ``--prover`` compilations)."""
+        return sum(s.proved_hits for s in self._shards)
 
     @property
     def fallbacks(self) -> int:
@@ -539,7 +556,8 @@ class ConflictManager:
         return [{"shard": s.shard_id, "checks": s.checks,
                  "conflicts": s.conflicts, "outstanding": len(s.log),
                  "drift_checks": s.drift_checks,
-                 "stable_hits": s.stable_hits, "fallbacks": s.fallbacks,
+                 "stable_hits": s.stable_hits,
+                 "proved_hits": s.proved_hits, "fallbacks": s.fallbacks,
                  "fallback_admits": s.fallback_admits,
                  "undo_refusals": s.undo_refusals}
                 for s in self._shards]

@@ -36,7 +36,8 @@ from ..logic import terms as t
 from ..specs.interface import DataStructureSpec
 from .footprint import footprint_candidates
 from .projector import state_free_projection
-from .quantified import PairStability, check_pair
+from .quantified import (CandidateResult, PairStability, _disjoin,
+                         check_pair)
 
 #: Bump whenever the candidate generator or the quantified check could
 #: change a compiled verdict — it is part of the engine task key, so
@@ -60,6 +61,12 @@ class StableCondition:
     #: The drift-stable formula over the pair's between vocabulary.
     text: str
     spec: DataStructureSpec = field(repr=False, default=None)
+    #: ``"weakened"`` (bounded-sweep certificate) or ``"proved"``
+    #: (every armed candidate symbolically proved over all states).
+    #: The gatekeeper counts admissions through it — ``proved_hits``
+    #: vs ``stable_hits`` — so the tier is decision-visible but never
+    #: decision-changing: both tiers admit identically.
+    tier: str = "weakened"
 
     def __post_init__(self) -> None:
         if self.spec is None:
@@ -115,6 +122,50 @@ def compile_group(spec: DataStructureSpec,
     all pairs sharing a first operation)."""
     return [compile_pair(spec, cond, scope, has_router)
             for cond in conditions]
+
+
+def merge_proofs(pair: PairStability, proof) -> PairStability:
+    """Fold a :class:`~repro.prover.native.PairProof` into a bounded
+    verdict (``--prover`` runs; parent-side, after both task kinds
+    resolve).
+
+    Per candidate: a **proved** obligation arms any candidate the
+    bounded sweep passed — including the state-reading ones the sweep
+    refuses to arm on its own — while a **refuted** obligation disarms
+    even a bounded-armed candidate (the countermodel lives beyond the
+    sweep's scope, but it is a real unsound admission).  Unsupported
+    obligations change nothing.  The pair is promoted to the
+    ``proved`` verdict when every armed candidate carries a proof;
+    with a mixed or unproved armed set it stays ``weakened``.
+    """
+    by_text = {result.candidate: result for result in proof.results}
+    candidates: list[CandidateResult] = []
+    survivors: list[str] = []
+    all_proved = True
+    for c in pair.candidates:
+        result = by_text.get(c.text)
+        proved = result is not None and result.status == "proved"
+        refuted = result is not None and result.status == "refuted"
+        armed = (c.armed and not refuted) or (c.passed and proved)
+        candidates.append(CandidateResult(
+            text=c.text, passed=c.passed, armed=armed,
+            admitted=c.admitted, violations=c.violations, proved=proved,
+            countermodel=result.countermodel if refuted else None))
+        if armed:
+            survivors.append(c.text)
+            all_proved = all_proved and proved
+    stable_text = _disjoin(survivors)
+    if stable_text is None:
+        verdict = "fragile"
+    elif all_proved:
+        verdict = "proved"
+    else:
+        verdict = "weakened"
+    return PairStability(
+        m1=pair.m1, m2=pair.m2, verdict=verdict,
+        stable_text=stable_text, candidates=tuple(candidates),
+        cases=pair.cases + proof.cases,
+        elapsed=pair.elapsed + proof.elapsed)
 
 
 # -- plain-data (de)serialization for the engine cache ------------------------

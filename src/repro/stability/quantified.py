@@ -85,6 +85,14 @@ class CandidateResult:
     #: commute at every consistent root (unsound admissions it would
     #: have made).
     violations: int = 0
+    #: The symbolic prover discharged this candidate's obligation over
+    #: all states (``--prover`` runs only).  A proved state-reading
+    #: candidate is armed after all — the unbounded certificate is
+    #: exactly what the bounded sweep could not give it.
+    proved: bool = False
+    #: The prover's refutation witness, when it found one
+    #: (JSON-shaped; see :func:`repro.prover.native.prove_pair`).
+    countermodel: dict | None = None
 
 
 @dataclass
@@ -94,9 +102,12 @@ class PairStability:
     m1: str
     m2: str
     #: ``"stable"`` — the original condition is arg/result-only and
-    #: needs no guard; ``"weakened"`` — a drift-stable weakening was
-    #: compiled; ``"fragile"`` — no candidate survived, the runtime
-    #: keeps its conservative fallback.
+    #: needs no guard; ``"proved"`` — a weakening was compiled and
+    #: every armed candidate carries a symbolic proof over all states
+    #: (``--prover`` runs only); ``"weakened"`` — a drift-stable
+    #: weakening was compiled from the bounded sweep; ``"fragile"`` —
+    #: no candidate survived, the runtime keeps its conservative
+    #: fallback.
     verdict: str
     #: The drift-stable formula ('weakened' verdicts only).
     stable_text: str | None = None

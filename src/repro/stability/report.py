@@ -36,6 +36,12 @@ class StabilityReport:
         return self._count("weakened")
 
     @property
+    def proved_count(self) -> int:
+        """Weakened pairs whose every armed candidate carries a
+        symbolic all-states proof (``--prover`` runs only)."""
+        return self._count("proved")
+
+    @property
     def fragile_count(self) -> int:
         """Conditions left to the conservative runtime fallback."""
         return self._count("fragile")
@@ -47,15 +53,19 @@ class StabilityReport:
     def stable_conditions(self, spec: DataStructureSpec) \
             -> tuple[StableCondition, ...]:
         """The registrable artifacts: one :class:`StableCondition` per
-        weakened pair (verbatim-stable conditions need none — the drift
-        guard never fires for them)."""
+        weakened or proved pair (verbatim-stable conditions need none —
+        the drift guard never fires for them)."""
         return tuple(
             StableCondition(family=self.family, m1=pair.m1, m2=pair.m2,
-                            text=pair.stable_text, spec=spec)
-            for pair in self.pairs if pair.verdict == "weakened")
+                            text=pair.stable_text, spec=spec,
+                            tier=pair.verdict)
+            for pair in self.pairs
+            if pair.verdict in ("weakened", "proved"))
 
     def summary(self) -> str:
+        proved = (f", {self.proved_count} proved"
+                  if self.proved_count else "")
         return (f"{self.name}: {len(self.pairs)} between conditions — "
                 f"{self.stable_count} stable, {self.weakened_count} "
-                f"weakened, {self.fragile_count} fragile "
+                f"weakened{proved}, {self.fragile_count} fragile "
                 f"({self.elapsed:.2f}s)")

@@ -63,6 +63,10 @@ class WorkloadRun:
         return self.report.stable_hits
 
     @property
+    def proved_hits(self) -> int:
+        return self.report.proved_hits
+
+    @property
     def drift_fallbacks(self) -> int:
         return self.report.drift_fallbacks
 

@@ -51,6 +51,61 @@ def test_disequality_consistency():
     assert not cc.is_consistent()
 
 
+def test_disequality_propagates_through_congruence():
+    # f(a) != f(b) is violated as soon as a = b forces the
+    # applications together — the inconsistency must surface through
+    # the signature table, not just through direct merges.
+    cc = CongruenceClosure()
+    cc.assert_distinct(("f", "a"), ("f", "b"))
+    assert cc.is_consistent()
+    cc.merge("a", "b")
+    assert not cc.is_consistent()
+
+
+def test_disequality_propagates_through_nested_congruence():
+    cc = CongruenceClosure()
+    cc.assert_distinct(("f", ("g", "a")), ("f", ("g", "b")))
+    cc.merge("a", "b")
+    assert not cc.is_consistent()
+
+
+def test_signature_table_congruence_on_nested_applications():
+    # Merging leaves must propagate through two application layers
+    # even when the outer applications were installed first (their
+    # signatures are re-canonicalized as inner classes collapse).
+    cc = CongruenceClosure()
+    cc.merge(("f", ("g", "a")), "x")
+    cc.merge(("f", ("g", "b")), "y")
+    assert not cc.are_equal("x", "y")
+    cc.merge("a", "b")
+    assert cc.are_equal(("g", "a"), ("g", "b"))
+    assert cc.are_equal("x", "y")
+
+
+def test_signature_table_shared_subterms():
+    cc = CongruenceClosure()
+    cc.merge("a", "b")
+    # Same function, mixed argument positions: congruent only when
+    # every position's class matches.
+    assert cc.are_equal(("f", "a", "c"), ("f", "b", "c"))
+    assert not cc.are_equal(("f", "a", "c"), ("f", "c", "a"))
+
+
+@given(st.permutations([("a", "b"), ("b", "c"), ("d", "e"),
+                        (("f", "a"), "x"), (("f", "c"), "y")]))
+def test_merge_order_independence(order):
+    # The closure of a set of equalities is order-independent: every
+    # permutation must entail the same queries (x = y via congruence
+    # f(a) = f(c), and d's class staying separate).
+    cc = CongruenceClosure()
+    for a, b in order:
+        cc.merge(a, b)
+    assert cc.are_equal("x", "y")
+    assert cc.are_equal(("f", "b"), "x")
+    assert not cc.are_equal("a", "d")
+    assert not cc.are_equal("x", "d")
+
+
 def test_entails_equality_helper():
     assert entails_equality([("a", "b"), ("b", "c")], ("a", "c"))
     assert not entails_equality([("a", "b")], ("a", "c"))
