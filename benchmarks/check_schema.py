@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Sanity-check a ``BENCH_runtime.json`` artifact before CI uploads it.
+
+The bench-runtime legs gate on sections of the payload (the
+``compiled_gate`` keys in particular), and a refactor of the bench
+driver could silently drop or rename one — the upload would still
+succeed and the regression gate would be vacuous.  This checker fails
+the leg instead::
+
+    python benchmarks/check_schema.py BENCH_runtime.json --require-compiled-gate
+
+``--require-compiled-gate`` asserts the compiled-vs-interpreted section
+is present with every per-structure gate key; without the flag the
+section is validated only when present (legs that run without
+``--compiled``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import numbers
+import sys
+
+#: Per-structure keys of ``compiled_gate.structures`` entries — the
+#: exact fields the CI gate and the diagnosing engineer read.
+GATE_ENTRY_KEYS = {
+    "interpreted_committed_ops_per_second": numbers.Real,
+    "compiled_committed_ops_per_second": numbers.Real,
+    "speedup": numbers.Real,
+    "compiled_hits": int,
+    "eval_errors": int,
+    "decisions_identical": bool,
+}
+
+TOP_LEVEL_KEYS = {
+    "schema": int,
+    "suite": str,
+    "workers": int,
+    "shards": int,
+    "structures": dict,
+    "workloads": dict,
+    "wall_seconds": numbers.Real,
+}
+
+
+def _check_keys(mapping, spec, where, problems):
+    for key, kind in spec.items():
+        if key not in mapping:
+            problems.append(f"{where}: missing key {key!r}")
+        elif not isinstance(mapping[key], kind) \
+                or isinstance(mapping[key], bool) and kind is not bool:
+            problems.append(
+                f"{where}: {key!r} is {type(mapping[key]).__name__}, "
+                f"expected {getattr(kind, '__name__', kind)}")
+
+
+def check_payload(payload, require_compiled_gate: bool = False
+                  ) -> list[str]:
+    """Every problem found, as human-readable strings (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload is {type(payload).__name__}, expected object"]
+    _check_keys(payload, TOP_LEVEL_KEYS, "payload", problems)
+    if payload.get("suite") not in (None, "runtime"):
+        problems.append(f"payload: suite is {payload['suite']!r}, "
+                        f"expected 'runtime'")
+    if not payload.get("structures"):
+        problems.append("payload: structures is empty — the sweep ran "
+                        "nothing")
+    gate = payload.get("compiled_gate")
+    if gate is None:
+        if require_compiled_gate:
+            problems.append("payload: compiled_gate section is missing "
+                            "(leg ran without --compiled?)")
+        return problems
+    if not isinstance(gate, dict):
+        return problems + [
+            f"compiled_gate is {type(gate).__name__}, expected object"]
+    _check_keys(gate, {"workload": str, "policy": str, "workers": int,
+                       "shards": int, "repeats": int,
+                       "structures": dict}, "compiled_gate", problems)
+    structures = gate.get("structures")
+    if not structures:
+        problems.append("compiled_gate: structures is empty — the gate "
+                        "compared nothing")
+        return problems
+    sharded = isinstance(gate.get("shards"), int) and gate["shards"] > 1
+    for name, entry in sorted(structures.items()):
+        where = f"compiled_gate.structures[{name!r}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        _check_keys(entry, GATE_ENTRY_KEYS, where, problems)
+        if sharded:
+            _check_keys(entry, {"flat_sharded_identical": bool}, where,
+                        problems)
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="path to BENCH_runtime.json")
+    parser.add_argument("--require-compiled-gate", action="store_true",
+                        help="fail when the compiled_gate section is "
+                             "absent (legs that ran --compiled)")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.report, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"check_schema: unreadable {args.report}: {exc}",
+              file=sys.stderr)
+        return 2
+    problems = check_payload(
+        payload, require_compiled_gate=args.require_compiled_gate)
+    if problems:
+        print(f"check_schema: {args.report} failed validation:",
+              file=sys.stderr)
+        for line in problems:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"check_schema: {args.report} has the expected gate keys")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -168,6 +168,7 @@ class Session:
                      shards: int | None = None,
                      adaptive: str | None = None,
                      stable: bool = False,
+                     compiled: bool = False,
                      max_rounds: int = 200_000, **spec_fields):
         """Generate a deterministic workload for ``name`` and execute it
         speculatively; an :class:`~repro.runtime.executor.ExecutionReport`.
@@ -185,7 +186,9 @@ class Session:
         contention controller (``"backoff"``, ``"wait-die"``,
         ``"hybrid"``, or ``None``); ``stable=True`` arms the drift
         guard with the conditions a prior :meth:`compile_stable`
-        registered.
+        registered; ``compiled=True`` lowers the admission vocabulary
+        into closures at arm time (:mod:`repro.compiled`) — same
+        decisions, faster checks.
         """
         from ..runtime.executor import SpeculativeExecutor
         from ..workloads import WorkloadGenerator, resolve_workload
@@ -201,7 +204,7 @@ class Session:
             workers=workers if workers is not None else workload.workers,
             batch=batch,
             shards=shards if shards is not None else workload.shards,
-            adaptive=adaptive, stable=stable)
+            adaptive=adaptive, stable=stable, compiled=compiled)
         return executor.run(programs, setup=setup)
 
     def throughput_sweep(self, structures: Sequence[str] | None = None,

@@ -1,0 +1,28 @@
+"""repro.compiled — the closure-compiled admission hot path.
+
+Lowers admission formulas (catalog between conditions and armed
+drift-stable conditions) into slot-specialized Python closures at arm
+time, cached process-wide by content fingerprint, with an interpreted
+fallback that keeps decisions byte-identical.  See
+:mod:`repro.compiled.lowering` for the semantics contract.
+"""
+
+from .admission import CompiledAdmission
+from .cache import cache_size, clear_cache, compiled_pair, pair_cache_key
+from .lowering import (ADMISSION_COMPILER_VERSION, CompileError,
+                       LoweredCheck, SlotMismatch, lower_pair_condition,
+                       pair_scope)
+
+__all__ = [
+    "ADMISSION_COMPILER_VERSION",
+    "CompiledAdmission",
+    "CompileError",
+    "LoweredCheck",
+    "SlotMismatch",
+    "cache_size",
+    "clear_cache",
+    "compiled_pair",
+    "lower_pair_condition",
+    "pair_cache_key",
+    "pair_scope",
+]

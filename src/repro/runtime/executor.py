@@ -67,6 +67,9 @@ class ExecutionReport:
     shards: int = 1
     adaptive: str | None = None
     stable: bool = False
+    #: Whether admission ran through arm-time-compiled closures
+    #: (:mod:`repro.compiled`); never decision-changing.
+    compiled: bool = False
     commits: int = 0
     aborts: int = 0
     operations: int = 0
@@ -86,6 +89,14 @@ class ExecutionReport:
     #: Would-be admissions refused because the incoming operation does
     #: not commute with a logged operation's pending undo.
     undo_refusals: int = 0
+    #: Pair checks decided by a compiled closure (0 when
+    #: ``compiled=False``); purely observational, like the tier split.
+    compiled_hits: int = 0
+    #: Condition evaluations that raised EvalError and resolved
+    #: conservatively, with a bounded diagnostic sample of
+    #: (structure, m1, m2, condition, error, stable) dicts.
+    eval_errors: int = 0
+    eval_error_sample: list = field(default_factory=list)
     wall_seconds: float = 0.0
     commit_order: list[int] = field(default_factory=list)
     #: Per-transaction abort counts and final statuses (txn_id keyed),
@@ -145,6 +156,36 @@ class ExecutionReport:
                 f"{self.conflicts}/{self.conflict_checks} conflicts, "
                 f"serializable={self.serializable}")
 
+    def decision_digest(self) -> str:
+        """A stable hash of everything the admission *decisions*
+        determined: commits, aborts, operation counts, commit order,
+        per-transaction outcomes, and both final states.
+
+        Deliberately excludes how the decisions were reached — check
+        counts (flat and sharded managers scan different volumes),
+        ``compiled_hits``, wall time — so the digest is the equality
+        the invariants demand: compiled == interpreted and
+        flat == sharded must produce byte-identical digests for the
+        same (structure, workload, policy, seed) at ``workers=1``.
+        """
+        from ..engine.fingerprint import stable_hash
+        return stable_hash({
+            "ds_name": self.ds_name,
+            "policy": self.policy,
+            "conflict_mode": self.conflict_mode,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "operations": self.operations,
+            "committed_operations": self.committed_operations,
+            "commit_order": self.commit_order,
+            "txn_aborts": sorted(self.txn_aborts.items()),
+            "txn_statuses": sorted(
+                (txn_id, status.name)
+                for txn_id, status in self.txn_statuses.items()),
+            "final_state": repr(self.final_state),
+            "serial_state": repr(self.serial_state),
+        })
+
 
 class SpeculativeExecutor:
     """Runs transactions speculatively over one shared structure."""
@@ -154,7 +195,7 @@ class SpeculativeExecutor:
                  conflict_mode: str = "abort", registry=None,
                  workers: int = 1, batch: int = 1, shards: int = 1,
                  adaptive: str | None = None,
-                 stable: bool = False) -> None:
+                 stable: bool = False, compiled: bool = False) -> None:
         if conflict_mode not in ("abort", "block"):
             raise ValueError(f"unknown conflict mode {conflict_mode!r}")
         if workers < 1:
@@ -188,6 +229,9 @@ class SpeculativeExecutor:
         #: Arm the drift guard with compiled drift-stable conditions
         #: (requires a prior Session.compile_stable / CLI `stability`).
         self.stable = stable
+        #: Lower every armed condition into slot-specialized closures
+        #: at arm time (:mod:`repro.compiled`); decisions identical.
+        self.compiled = compiled
 
     def run(self, programs: list[list[tuple[str, tuple[Any, ...]]]],
             setup: list[tuple[str, tuple[Any, ...]]] | None = None) \
@@ -206,14 +250,16 @@ class SpeculativeExecutor:
         manager = conflict_manager(self.ds_name, self.policy,
                                    shards=self.shards,
                                    registry=self.registry,
-                                   stable=self.stable)
+                                   stable=self.stable,
+                                   compiled=self.compiled)
         transactions = [Transaction(i, list(ops))
                         for i, ops in enumerate(programs)]
         report = ExecutionReport(ds_name=self.ds_name, policy=self.policy,
                                  conflict_mode=self.conflict_mode,
                                  workers=self.workers, shards=self.shards,
                                  adaptive=self.adaptive,
-                                 stable=self.stable)
+                                 stable=self.stable,
+                                 compiled=self.compiled)
         if self.workers == 1 or len(transactions) <= 1:
             self._run_serial(transactions, impl, manager, report)
         elif self.shards > 1:
@@ -231,6 +277,9 @@ class SpeculativeExecutor:
         report.drift_fallbacks = manager.fallbacks
         report.fallback_admits = manager.fallback_admits
         report.undo_refusals = manager.undo_refusals
+        report.compiled_hits = manager.compiled_hits
+        report.eval_errors = manager.eval_errors
+        report.eval_error_sample = manager.eval_error_samples()
         report.shard_stats = manager.shard_stats()
         report.txn_aborts = {t.txn_id: t.aborts for t in transactions}
         report.txn_statuses = {t.txn_id: t.status for t in transactions}
@@ -454,8 +503,9 @@ class SpeculativeExecutor:
         op = self.spec.operations[op_name]
         before = impl.abstract_state()
         shard_ids = manager.shards_for(op_name, args)
-        admitted, holder = manager.admits_ex(txn.txn_id, op_name, args,
-                                             before, shard_ids=shard_ids)
+        admitted, holder = manager.check_many(txn.txn_id, op_name, args,
+                                              before,
+                                              shard_ids=shard_ids)
         if controller is not None:
             controller.on_outcome(shard_ids, not admitted)
         if not admitted:
@@ -529,7 +579,7 @@ class SpeculativeExecutor:
         with manager.locked(lockset):
             with state_lock:
                 before = impl.abstract_state()
-            admitted, holder = manager.admits_ex(
+            admitted, holder = manager.check_many(
                 txn.txn_id, op_name, args, before, shard_ids=op_shards)
             if controller is not None:
                 controller.on_outcome(op_shards, not admitted)

@@ -44,6 +44,7 @@ from typing import Any, Iterable, Sequence
 
 from ..api.errors import UnknownNameError
 from ..commutativity.conditions import Kind
+from ..compiled.lowering import SlotMismatch
 from ..eval.interpreter import EvalContext, EvalError, evaluate
 from ..eval.values import Record
 from ..specs import DataStructureSpec
@@ -52,6 +53,12 @@ from .sharding import (ShardRouter, VIRTUAL_REGIONS, normalize_route,
 from .transaction import resolve_inverse_calls
 
 POLICIES = ("commutativity", "read-write", "mutex")
+
+#: How many EvalError occurrences each shard records in full (the
+#: (structure, m1, m2, condition) diagnostic sample; the count is
+#: always exact, the sample is bounded so a pathological workload
+#: cannot grow the report without bound).
+EVAL_ERROR_SAMPLE = 5
 
 
 @dataclass(frozen=True)
@@ -83,11 +90,20 @@ class _Shard:
     condition — that consulted the router oracle; ``fallback_admits``
     the subset of those the oracle admitted (the *conservative-fallback
     admissions* the stability compiler exists to replace with semantic
-    certificates)."""
+    certificates).
+
+    ``compiled_hits`` counts pair checks decided by a slot-specialized
+    compiled closure (:mod:`repro.compiled`) instead of the
+    interpreter; ``eval_errors`` counts every condition evaluation
+    that raised :class:`~repro.eval.interpreter.EvalError` (between
+    *and* stable path), with the first :data:`EVAL_ERROR_SAMPLE`
+    occurrences kept in ``eval_error_sample`` so a bench artifact is
+    diagnosable down to the failing (pair, condition, message)."""
 
     __slots__ = ("shard_id", "lock", "log", "checks", "conflicts",
                  "drift_checks", "stable_hits", "proved_hits",
-                 "fallbacks", "fallback_admits", "undo_refusals")
+                 "fallbacks", "fallback_admits", "undo_refusals",
+                 "compiled_hits", "eval_errors", "eval_error_sample")
 
     def __init__(self, shard_id: int) -> None:
         self.shard_id = shard_id
@@ -101,6 +117,9 @@ class _Shard:
         self.fallbacks = 0
         self.fallback_admits = 0
         self.undo_refusals = 0
+        self.compiled_hits = 0
+        self.eval_errors = 0
+        self.eval_error_sample: list[dict[str, Any]] = []
 
 
 class ConflictManager:
@@ -116,7 +135,7 @@ class ConflictManager:
 
     def __init__(self, ds_name: str, policy: str = "commutativity",
                  registry=None, shards: int = 1,
-                 stable: bool = False) -> None:
+                 stable: bool = False, compiled: bool = False) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}")
         if shards < 1 or shards > VIRTUAL_REGIONS \
@@ -158,6 +177,37 @@ class ConflictManager:
                 (c.m1, c.m2): c
                 for c in registry.stable_conditions(ds_name)}
         self._ctx = EvalContext(observe=self.spec.observe)
+        #: (m1, m2) -> catalog between condition.  Memoizes the
+        #: registry's linear catalog scan off the hot path (the
+        #: catalog is immutable for the lifetime of a manager); both
+        #: the compiled and the interpreted mode go through it.
+        self._conds: dict[tuple[str, str], Any] = {}
+        #: Arm-time admission compilation (:mod:`repro.compiled`):
+        #: every catalog between condition and registered stable
+        #: condition is lowered into a slot-specialized closure before
+        #: the first check, through the process-global compiled-pair
+        #: cache.  Only the commutativity policy evaluates conditions,
+        #: so only it compiles.
+        self.compiled = compiled
+        self._admission = None
+        #: Compiled mode's undo-commutation memo: the verdict of
+        #: :meth:`_undo_commutes` is a pure function of immutable
+        #: values (the logged call, its pre-state, the incoming call,
+        #: the current state — abstract semantics are deterministic),
+        #: and hot-key traffic re-asks the same question constantly.
+        #: Record hashes are precomputed, so keys are cheap.  Benign
+        #: races on the dict are fine (concurrent shards compute
+        #: identical values), same as the virtual-route memo.  Gated
+        #: on ``compiled``: the interpreted baseline stays the
+        #: measurement control the bench gate compares against.
+        self._undo_memo: dict[tuple, bool] = {}
+        if compiled and policy == "commutativity" \
+                and registry.has_conditions(ds_name):
+            from ..compiled import CompiledAdmission
+            self._admission = CompiledAdmission(
+                self.spec, self._ctx,
+                conditions=registry.conditions(ds_name),
+                stable_conditions=tuple(self._stable.values()))
 
     # -- routing (subclass hooks) ----------------------------------------------
 
@@ -206,15 +256,31 @@ class ConflictManager:
                current: Record) -> bool:
         """Whether ``txn_id`` may run ``op_name(args)`` now, given the
         outstanding operations of other transactions."""
-        return self.admits_ex(txn_id, op_name, args, current)[0]
+        return self.check_many(txn_id, op_name, args, current)[0]
 
     def admits_ex(self, txn_id: int, op_name: str, args: tuple[Any, ...],
                   current: Record,
                   shard_ids: Sequence[int] | None = None) \
             -> tuple[bool, int | None]:
-        """:meth:`admits`, plus the id of the first conflicting
-        transaction (for wait-die ordering); checks only ``shard_ids``
-        when given (they must equal ``shards_for(op_name, args)``).
+        """Compatibility alias for :meth:`check_many`."""
+        return self.check_many(txn_id, op_name, args, current,
+                               shard_ids=shard_ids)
+
+    def check_many(self, txn_id: int, op_name: str,
+                   args: tuple[Any, ...], current: Record,
+                   shard_ids: Sequence[int] | None = None) \
+            -> tuple[bool, int | None]:
+        """The batched admission entry point: one call per lock hold
+        sweeps the incoming operation against *every* outstanding
+        logged pair across the relevant shards — the executor calls it
+        exactly once per scheduling step, so per-call work (routing,
+        condition lookup, checker dispatch) is amortized over the whole
+        pair batch instead of being re-paid per pair.
+
+        Returns ``(admitted, holder)`` where ``holder`` is the id of
+        the first conflicting transaction (for wait-die ordering);
+        checks only ``shard_ids`` when given (they must equal
+        ``shards_for(op_name, args)``).
 
         An operation logged in several shards (e.g. ``size``) is checked
         once: scanning shards in ascending id order and deduplicating by
@@ -256,17 +322,25 @@ class ConflictManager:
             self._virtual_routes[key] = route
             return route
 
-    def _pair_commutes(self, shard: _Shard, logged: LoggedOperation,
-                       op_name: str, args: tuple[Any, ...],
-                       current: Record) -> bool:
-        if self.policy == "mutex":
-            return False
-        op1 = self.spec.operations[logged.op_name]
-        op2 = self.spec.operations[op_name]
-        if self.policy == "read-write":
-            return not (op1.mutator or op2.mutator)
-        cond = self.registry.condition(self.ds_name, logged.op_name,
-                                       op_name, Kind.BETWEEN)
+    def _condition(self, m1: str, m2: str):
+        """The pair's catalog between condition, memoized (the
+        registry lookup is a linear catalog scan — too slow to re-run
+        per pair check)."""
+        key = (m1, m2)
+        try:
+            return self._conds[key]
+        except KeyError:
+            cond = self.registry.condition(self.ds_name, m1, m2,
+                                           Kind.BETWEEN)
+            self._conds[key] = cond
+            return cond
+
+    def _pair_env(self, op1, op2, logged: LoggedOperation,
+                  args: tuple[Any, ...],
+                  current: Record) -> dict[str, Any]:
+        """The interpreter's environment for one pair check.  The
+        compiled fast path never builds this dict — it is only
+        materialized on the interpreted fallback."""
         env: dict[str, Any] = {
             "s1": logged.before, "s2": current,
         }
@@ -276,6 +350,34 @@ class ConflictManager:
             env[f"{param.name}2"] = value
         if op1.result_sort is not None:
             env["r1"] = logged.result
+        return env
+
+    def _note_eval_error(self, shard: _Shard, m1: str, m2: str, cond,
+                         exc: EvalError, stable_path: bool) -> None:
+        """An unevaluable condition used to count silently as a
+        conservative fallback with no trace of *which* condition
+        failed; keep the exact count and a bounded per-shard sample
+        (mutated under the shard's lock, like every other counter) so
+        bench regressions are diagnosable from the uploaded artifact."""
+        shard.eval_errors += 1
+        if len(shard.eval_error_sample) < EVAL_ERROR_SAMPLE:
+            shard.eval_error_sample.append({
+                "structure": self.ds_name, "m1": m1, "m2": m2,
+                "condition": (getattr(cond, "dynamic_text", None)
+                              or cond.text),
+                "error": str(exc), "stable": stable_path,
+            })
+
+    def _pair_commutes(self, shard: _Shard, logged: LoggedOperation,
+                       op_name: str, args: tuple[Any, ...],
+                       current: Record) -> bool:
+        if self.policy == "mutex":
+            return False
+        op1 = self.spec.operations[logged.op_name]
+        op2 = self.spec.operations[op_name]
+        if self.policy == "read-write":
+            return not (op1.mutator or op2.mutator)
+        cond = self._condition(logged.op_name, op_name)
         if current != logged.after and cond.drift_fragile:
             # Drift guard.  The between conditions are verified in the
             # environment where ``s2`` is the state *immediately after*
@@ -300,7 +402,8 @@ class ConflictManager:
             # never an unsound admission.
             shard.drift_checks += 1
             stable = self._stable.get((logged.op_name, op_name))
-            if stable is not None and self._stable_holds(stable, env):
+            if stable is not None and self._stable_holds(
+                    shard, stable, op1, logged, op_name, args, current):
                 if self._undo_guard(shard, logged, op2, args, current):
                     # An *effective* admission, counted by certificate
                     # tier (proved conditions carry an unbounded
@@ -313,11 +416,51 @@ class ConflictManager:
                 return False
             return self._fallback(shard, logged, op_name, args,
                                   current)
+        checker = None if self._admission is None else \
+            self._admission.between_checker(logged.op_name, op_name)
+        if checker is not None:
+            # The compiled fast path: slot-specialized closure, no
+            # env dict.  It raises EvalError in exactly the cases the
+            # interpreter would (same messages), so the fallback
+            # decisions — and the eval_errors sample — are identical
+            # with and without compilation.
+            try:
+                verdict = checker.check(logged.before, current,
+                                        logged.args, logged.result,
+                                        args)
+            except SlotMismatch:
+                # Arity drift between the logged call and the
+                # operation signature: the interpreted dict env
+                # tolerates it (zip truncation / unbound-variable
+                # semantics), so that single check interprets.
+                pass
+            except EvalError as exc:
+                self._note_eval_error(shard, logged.op_name, op_name,
+                                      cond, exc, stable_path=False)
+                return self._fallback(shard, logged, op_name, args,
+                                      current)
+            else:
+                shard.compiled_hits += 1
+                if not verdict:
+                    return False
+                try:
+                    return self._undo_guard(shard, logged, op2, args,
+                                            current)
+                except EvalError as exc:
+                    # The interpreted path runs the undo guard inside
+                    # its try block; mirror that so an unevaluable
+                    # undo-side precondition falls back identically.
+                    self._note_eval_error(shard, logged.op_name,
+                                          op_name, cond, exc,
+                                          stable_path=False)
+                    return self._fallback(shard, logged, op_name,
+                                          args, current)
+        env = self._pair_env(op1, op2, logged, args, current)
         try:
             if not evaluate(cond.dynamic_formula, env, self._ctx):
                 return False
             return self._undo_guard(shard, logged, op2, args, current)
-        except EvalError:
+        except EvalError as exc:
             # The condition's vocabulary is partial: e.g. an ArrayList
             # between condition may index the *logged* operation's older
             # snapshot with the incoming operation's argument, which is
@@ -326,6 +469,8 @@ class ConflictManager:
             # fall back to the router oracle, then report a conflict —
             # conservative (possibly an unnecessary abort) but never an
             # unsound admission.
+            self._note_eval_error(shard, logged.op_name, op_name, cond,
+                                  exc, stable_path=False)
             return self._fallback(shard, logged, op_name, args, current)
 
     def _fallback(self, shard: _Shard, logged: LoggedOperation,
@@ -385,6 +530,28 @@ class ConflictManager:
             # skipping the abstract re-execution here keeps the guard
             # off the fast path for region-disjoint traffic.
             return True
+        if self.compiled:
+            # ``logged.after`` is determined by (op, args, before) —
+            # abstract semantics are deterministic — so this key
+            # covers every input of the verdict below.
+            key = (logged.op_name, logged.args, logged.before,
+                   op2.name, args2, current)
+            try:
+                return self._undo_memo[key]
+            except KeyError:
+                pass
+            verdict = self._undo_commutes_fresh(logged, op1, op2,
+                                                args2, current)
+            self._undo_memo[key] = verdict
+            return verdict
+        return self._undo_commutes_fresh(logged, op1, op2, args2,
+                                         current)
+
+    def _undo_commutes_fresh(self, logged: LoggedOperation, op1, op2,
+                             args2: tuple[Any, ...],
+                             current: Record) -> bool:
+        """The uncached undo-commutation check (both orders, from
+        scratch); see :meth:`_undo_commutes` for the contract."""
         undo_ops = self._undo_plan(logged, op1)
         if undo_ops is None:
             # No registered inverse: an abort could not undo the logged
@@ -448,12 +615,39 @@ class ConflictManager:
             state, _ = op.semantics(state, args)
         return state
 
-    def _stable_holds(self, stable, env: dict[str, Any]) -> bool:
+    def _stable_holds(self, shard: _Shard, stable, op1,
+                      logged: LoggedOperation, op_name: str,
+                      args: tuple[Any, ...], current: Record) -> bool:
         """Evaluate a compiled drift-stable condition; unevaluable means
-        no certificate (the caller falls through to the oracle)."""
+        no certificate (the caller falls through to the oracle) —
+        counted and sampled per shard, so the silent fallback is
+        diagnosable.  Prefers the arm-time lowered closure; decisions
+        are identical either way."""
+        if self._admission is not None:
+            checker = self._admission.stable_checker(logged.op_name,
+                                                     op_name)
+            if checker is not None:
+                try:
+                    verdict = checker.check(logged.before, current,
+                                            logged.args, logged.result,
+                                            args)
+                except SlotMismatch:
+                    pass  # arity drift: interpret this single check
+                except EvalError as exc:
+                    self._note_eval_error(shard, logged.op_name,
+                                          op_name, stable, exc,
+                                          stable_path=True)
+                    return False
+                else:
+                    shard.compiled_hits += 1
+                    return bool(verdict)
+        env = self._pair_env(op1, self.spec.operations[op_name], logged,
+                             args, current)
         try:
             return bool(evaluate(stable.dynamic_formula, env, self._ctx))
-        except EvalError:
+        except EvalError as exc:
+            self._note_eval_error(shard, logged.op_name, op_name,
+                                  stable, exc, stable_path=True)
             return False
 
     def _virtually_disjoint(self, logged: LoggedOperation, op_name: str,
@@ -551,6 +745,30 @@ class ConflictManager:
         """Would-be admissions refused by the undo-commutation guard."""
         return sum(s.undo_refusals for s in self._shards)
 
+    @property
+    def compiled_hits(self) -> int:
+        """Pair checks decided by a compiled closure (never differing
+        from what the interpreter would have decided)."""
+        return sum(s.compiled_hits for s in self._shards)
+
+    @property
+    def eval_errors(self) -> int:
+        """Condition evaluations (between or stable path) that raised
+        :class:`EvalError` and resolved conservatively."""
+        return sum(s.eval_errors for s in self._shards)
+
+    def eval_error_samples(self) -> list[dict[str, Any]]:
+        """Up to :data:`EVAL_ERROR_SAMPLE` recorded EvalError
+        occurrences — (structure, m1, m2, condition, error, stable) —
+        aggregated across shards in shard order."""
+        sample: list[dict[str, Any]] = []
+        for shard in self._shards:
+            with shard.lock:
+                sample.extend(shard.eval_error_sample)
+            if len(sample) >= EVAL_ERROR_SAMPLE:
+                break
+        return sample[:EVAL_ERROR_SAMPLE]
+
     def shard_stats(self) -> list[dict[str, int]]:
         """Per-shard admission statistics, for contention reporting."""
         return [{"shard": s.shard_id, "checks": s.checks,
@@ -559,7 +777,9 @@ class ConflictManager:
                  "stable_hits": s.stable_hits,
                  "proved_hits": s.proved_hits, "fallbacks": s.fallbacks,
                  "fallback_admits": s.fallback_admits,
-                 "undo_refusals": s.undo_refusals}
+                 "undo_refusals": s.undo_refusals,
+                 "compiled_hits": s.compiled_hits,
+                 "eval_errors": s.eval_errors}
                 for s in self._shards]
 
 
@@ -570,9 +790,10 @@ class Gatekeeper(ConflictManager):
     manager is validated against."""
 
     def __init__(self, ds_name: str, policy: str = "commutativity",
-                 registry=None, stable: bool = False) -> None:
+                 registry=None, stable: bool = False,
+                 compiled: bool = False) -> None:
         super().__init__(ds_name, policy, registry=registry, shards=1,
-                         stable=stable)
+                         stable=stable, compiled=compiled)
 
 
 class ShardedGatekeeper(ConflictManager):
@@ -600,9 +821,9 @@ class ShardedGatekeeper(ConflictManager):
     def __init__(self, ds_name: str, policy: str = "commutativity",
                  registry=None, shards: int = 2,
                  router: ShardRouter | None = None,
-                 stable: bool = False) -> None:
+                 stable: bool = False, compiled: bool = False) -> None:
         super().__init__(ds_name, policy, registry=registry, shards=shards,
-                         stable=stable)
+                         stable=stable, compiled=compiled)
         if router is None:
             router = self.registry.shard_router(ds_name)
         if router is None:
@@ -638,15 +859,20 @@ class ShardedGatekeeper(ConflictManager):
 def conflict_manager(ds_name: str, policy: str = "commutativity",
                      shards: int = 1, registry=None,
                      router: ShardRouter | None = None,
-                     stable: bool = False) -> ConflictManager:
+                     stable: bool = False,
+                     compiled: bool = False) -> ConflictManager:
     """The conflict manager for a shard count: the flat
     :class:`Gatekeeper` at ``shards=1`` (byte-for-byte the historical
     behaviour), a :class:`ShardedGatekeeper` above.  ``stable=True``
     arms the drift guard with the registry's compiled drift-stable
     conditions (both managers consult the same compiled set, so flat
-    and sharded decisions stay identical)."""
+    and sharded decisions stay identical); ``compiled=True``
+    additionally lowers every armed condition into a slot-specialized
+    closure at arm time (:mod:`repro.compiled`) — faster checks,
+    identical decisions."""
     if shards == 1 and router is None:
         return Gatekeeper(ds_name, policy, registry=registry,
-                          stable=stable)
+                          stable=stable, compiled=compiled)
     return ShardedGatekeeper(ds_name, policy, registry=registry,
-                             shards=shards, router=router, stable=stable)
+                             shards=shards, router=router, stable=stable,
+                             compiled=compiled)

@@ -33,6 +33,7 @@ class WorkloadRun:
     shards: int = 1
     adaptive: str | None = None
     stable: bool = False
+    compiled: bool = False
 
     @property
     def commits(self) -> int:
@@ -73,6 +74,14 @@ class WorkloadRun:
     @property
     def fallback_admits(self) -> int:
         return self.report.fallback_admits
+
+    @property
+    def compiled_hits(self) -> int:
+        return self.report.compiled_hits
+
+    @property
+    def eval_errors(self) -> int:
+        return self.report.eval_errors
 
     @property
     def conflict_rate(self) -> float:
@@ -169,7 +178,8 @@ class ThroughputHarness:
                  batch: int = 1, max_rounds: int = 200_000,
                  shards: int | None = None,
                  adaptive: str | None = None,
-                 stable: bool = False) -> None:
+                 stable: bool = False,
+                 compiled: bool = False) -> None:
         from ..api import resolve_registry
         self.registry = resolve_registry(registry)
         #: None defers to each workload's ``workers`` hint; an explicit
@@ -185,6 +195,9 @@ class ThroughputHarness:
         #: Arm every run's drift guard with the registry's compiled
         #: drift-stable conditions.
         self.stable = stable
+        #: Lower admission conditions into closures at arm time
+        #: (:mod:`repro.compiled`); same decisions, faster checks.
+        self.compiled = compiled
         self.generator = WorkloadGenerator(self.registry)
 
     def runnable_structures(self) -> list[str]:
@@ -200,7 +213,8 @@ class ThroughputHarness:
                 workers: int | None = None,
                 shards: int | None = None,
                 adaptive: str | None = None,
-                stable: bool | None = None) -> WorkloadRun:
+                stable: bool | None = None,
+                compiled: bool | None = None) -> WorkloadRun:
         """Generate ``workload`` for ``structure`` and execute it.
 
         Worker/shard-count precedence: the argument, then the harness's
@@ -217,17 +231,21 @@ class ThroughputHarness:
             adaptive = self.adaptive
         if stable is None:
             stable = self.stable
+        if compiled is None:
+            compiled = self.compiled
         programs = self.generator.generate(structure, workload)
         setup = self.generator.generate_setup(structure, workload)
         executor = SpeculativeExecutor(
             structure, policy=policy, seed=workload.seed,
             max_rounds=self.max_rounds, conflict_mode=conflict_mode,
             registry=self.registry, workers=workers, batch=self.batch,
-            shards=shards, adaptive=adaptive, stable=stable)
+            shards=shards, adaptive=adaptive, stable=stable,
+            compiled=compiled)
         return WorkloadRun(structure=structure, workload=workload,
                            policy=policy, conflict_mode=conflict_mode,
                            workers=workers, shards=shards,
                            adaptive=adaptive, stable=stable,
+                           compiled=compiled,
                            report=executor.run(programs, setup=setup))
 
     def sweep(self, structures: Sequence[str] | None = None,

@@ -1,0 +1,174 @@
+"""CLI surface of the compiled tier: ``run --compiled``, the
+``bench --compiled`` gate section, the ``bench --suite nogil`` scaling
+report, and the schema checker CI runs against the artifact."""
+
+import json
+import sys
+from argparse import Namespace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent.parent
+                       / "benchmarks"))
+
+import check_schema  # noqa: E402
+
+import repro.__main__ as cli  # noqa: E402
+from repro.__main__ import main  # noqa: E402
+from repro.api import DEFAULT_REGISTRY  # noqa: E402
+
+
+def test_run_compiled(capsys):
+    code = main(["run", "--name", "HashSet", "--compiled",
+                 "--profile", "write-heavy", "--distribution", "hot-key",
+                 "--txns", "6", "--ops", "5", "--preload", "12",
+                 "--seed", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "compiled_hits=" in out
+    assert "yes" in out  # the serializable column
+
+
+def test_run_compiled_matches_interpreted_output(capsys):
+    """The CLI's own report lines agree modulo the compiled counter:
+    commits/aborts/ops are the decision-visible fields."""
+    argv = ["run", "--name", "ArrayList", "--profile", "write-heavy",
+            "--distribution", "hot-key", "--txns", "6", "--ops", "5",
+            "--preload", "12", "--seed", "7"]
+    assert main(argv) == 0
+    interpreted = capsys.readouterr().out
+    assert main(argv + ["--compiled"]) == 0
+    compiled = capsys.readouterr().out
+
+    def decisions(text):
+        """Workload-report rows minus the ops/s column (the only
+        timing-dependent field; everything else is decisions)."""
+        rows = []
+        for line in text.splitlines():
+            cells = [c.strip() for c in line.split("|")]
+            if cells[0] == "ArrayList" and len(cells) == 11:
+                del cells[9]
+                rows.append(cells)
+        return rows
+
+    assert decisions(compiled) == decisions(interpreted)
+    assert decisions(compiled)
+
+
+def test_bench_compiled_gate_section(capsys, monkeypatch):
+    """The gate section compares every runnable builtin, records the
+    schema the CI check validates, and passes on this hardware."""
+    monkeypatch.setattr(cli, "COMPILED_GATE_REPEATS", 1)
+    payload = {}
+    failed = cli._bench_compiled_section(payload, DEFAULT_REGISTRY,
+                                         Namespace(shards=1))
+    out = capsys.readouterr().out
+    section = payload["compiled_gate"]
+    assert set(section["structures"]) == {
+        "Accumulator", "ListSet", "HashSet", "AssociationList",
+        "HashTable", "ArrayList"}
+    for name, entry in section["structures"].items():
+        assert entry["decisions_identical"] is True, name
+        assert entry["compiled_hits"] > 0, name
+    assert "speedup" in out
+    # The gate itself (strict throughput win) is timing-dependent at
+    # one repeat; decision identity and coverage must hold regardless.
+    assert isinstance(failed, bool)
+    assert not check_schema.check_payload(
+        {"schema": 1, "suite": "runtime", "workers": 1, "shards": 1,
+         "structures": {"x": {}}, "workloads": {}, "wall_seconds": 0.1,
+         "compiled_gate": section},
+        require_compiled_gate=True)
+
+
+def test_bench_nogil_suite(tmp_path, capsys):
+    output = tmp_path / "BENCH_nogil.json"
+    code = main(["bench", "--suite", "nogil", "--output", str(output)])
+    out = capsys.readouterr().out
+    assert code == 0
+    payload = json.loads(output.read_text())
+    assert payload["suite"] == "nogil"
+    assert payload["compiled"] is True
+    assert payload["conflict_mode"] == "block"
+    assert payload["workers_axis"] == [1, 2, 4]
+    assert payload["shards_axis"] == [1, 8]
+    # Pre-3.13 interpreters report the GIL probe as null, never a guess.
+    assert payload["gil_enabled"] in (True, False, None)
+    for name, grid in payload["structures"].items():
+        for label, cells in grid.items():
+            assert cells, (name, label)
+            assert all(v > 0 for v in cells.values()), (name, label)
+    assert "nogil" in out
+
+
+# -- the schema checker CI runs before upload ---------------------------------
+
+def _valid_payload():
+    return {
+        "schema": 1, "suite": "runtime", "workers": 1, "shards": 4,
+        "structures": {"HashSet": {"elapsed": 0.01}},
+        "workloads": {"w": {}}, "wall_seconds": 1.0,
+        "compiled_gate": {
+            "workload": "write-heavy-hotkey", "policy": "commutativity",
+            "workers": 1, "shards": 4, "repeats": 4,
+            "structures": {"HashSet": {
+                "interpreted_committed_ops_per_second": 100.0,
+                "compiled_committed_ops_per_second": 150.0,
+                "speedup": 1.5, "compiled_hits": 10, "eval_errors": 0,
+                "decisions_identical": True,
+                "flat_sharded_identical": True,
+            }},
+        },
+    }
+
+
+def test_check_schema_accepts_a_valid_artifact(tmp_path, capsys):
+    path = tmp_path / "BENCH_runtime.json"
+    path.write_text(json.dumps(_valid_payload()))
+    assert check_schema.main([str(path), "--require-compiled-gate"]) == 0
+    assert "expected gate keys" in capsys.readouterr().out
+
+
+def test_check_schema_rejects_missing_gate(tmp_path, capsys):
+    payload = _valid_payload()
+    del payload["compiled_gate"]
+    path = tmp_path / "BENCH_runtime.json"
+    path.write_text(json.dumps(payload))
+    assert check_schema.main([str(path)]) == 0  # gate optional by default
+    assert check_schema.main([str(path), "--require-compiled-gate"]) == 1
+    assert "compiled_gate" in capsys.readouterr().err
+
+
+def test_check_schema_rejects_dropped_gate_keys():
+    payload = _valid_payload()
+    del payload["compiled_gate"]["structures"]["HashSet"][
+        "decisions_identical"]
+    problems = check_schema.check_payload(payload,
+                                          require_compiled_gate=True)
+    assert any("decisions_identical" in p for p in problems)
+
+
+def test_check_schema_rejects_wrong_types():
+    payload = _valid_payload()
+    payload["compiled_gate"]["structures"]["HashSet"]["compiled_hits"] \
+        = "many"
+    payload["wall_seconds"] = "fast"
+    problems = check_schema.check_payload(payload,
+                                          require_compiled_gate=True)
+    assert len(problems) == 2
+
+
+def test_check_schema_requires_flat_comparison_when_sharded():
+    payload = _valid_payload()
+    del payload["compiled_gate"]["structures"]["HashSet"][
+        "flat_sharded_identical"]
+    problems = check_schema.check_payload(payload,
+                                          require_compiled_gate=True)
+    assert any("flat_sharded_identical" in p for p in problems)
+    payload["compiled_gate"]["shards"] = 1
+    assert not check_schema.check_payload(payload,
+                                          require_compiled_gate=True)
+
+
+def test_check_schema_unreadable_file(tmp_path, capsys):
+    assert check_schema.main([str(tmp_path / "missing.json")]) == 2
+    assert "unreadable" in capsys.readouterr().err

@@ -1,0 +1,168 @@
+"""The invariant the compiled tier sells: lowering is an *accelerator*,
+not a policy — ``--compiled`` on/off produces byte-identical decision
+digests for every structure (six builtins + the custom Register), flat
+and sharded, stable and plain, weakened and proved tiers; and the
+EvalError diagnostics (satellite fix) carry the pair that failed."""
+
+import dataclasses
+
+import pytest
+from stability_fixture import ALL_STRUCTURES
+
+from repro.eval import Record
+from repro.runtime import Gatekeeper, LoggedOperation
+from repro.workloads import ThroughputHarness, WorkloadSpec
+
+#: Write-heavy hot-key over a preloaded structure: the shape where the
+#: compiled path actually carries traffic (deep logs, many pair checks).
+GATE = WorkloadSpec(name="identity-gate", profile="write-heavy",
+                    distribution="hot-key", transactions=10,
+                    ops_per_transaction=6, key_space=24, value_space=3,
+                    preload=16, seed=9)
+
+#: A mixed profile so observer pairs (r1-dependent conditions) run too.
+MIX = WorkloadSpec(name="identity-mix", profile="mixed",
+                   distribution="hot-key", transactions=8,
+                   ops_per_transaction=5, key_space=12, value_space=3,
+                   preload=10, seed=2)
+
+
+def _digest_pair(harness, structure, workload, *, shards, stable=False):
+    interpreted = harness.run_one(structure, workload, workers=1,
+                                  shards=shards, stable=stable,
+                                  compiled=False)
+    compiled = harness.run_one(structure, workload, workers=1,
+                               shards=shards, stable=stable,
+                               compiled=True)
+    assert interpreted.serializable and compiled.serializable
+    assert interpreted.compiled_hits == 0
+    return interpreted, compiled
+
+
+@pytest.mark.parametrize("shards", (1, 4))
+@pytest.mark.parametrize("structure", ALL_STRUCTURES)
+def test_compiled_decisions_are_byte_identical(runnable_registry,
+                                               structure, shards):
+    harness = ThroughputHarness(registry=runnable_registry)
+    for workload in (GATE, MIX):
+        interpreted, compiled = _digest_pair(harness, structure,
+                                             workload, shards=shards)
+        assert compiled.compiled_hits > 0, structure
+        assert compiled.report.decision_digest() \
+            == interpreted.report.decision_digest(), (
+                f"{structure} @ {shards} shards on {workload.name}")
+
+
+@pytest.mark.parametrize("structure", ALL_STRUCTURES)
+def test_compiled_stable_path_identity(stable_session, structure):
+    """The stable (drift-guard) tier lowers too, with the same digest
+    equality — and without losing a single stable-certified admission
+    to the closure path."""
+    harness = ThroughputHarness(registry=stable_session.registry)
+    interpreted, compiled = _digest_pair(harness, structure, GATE,
+                                         shards=4, stable=True)
+    assert compiled.report.decision_digest() \
+        == interpreted.report.decision_digest(), structure
+    assert compiled.stable_hits == interpreted.stable_hits
+    assert compiled.drift_fallbacks == interpreted.drift_fallbacks
+
+
+def test_compiled_flat_equals_sharded(runnable_registry):
+    """Orthogonality: with the compiler on, the sharded manager still
+    matches the flat log decision-for-decision."""
+    harness = ThroughputHarness(registry=runnable_registry)
+    flat = harness.run_one("HashSet", GATE, workers=1, shards=1,
+                           compiled=True)
+    sharded = harness.run_one("HashSet", GATE, workers=1, shards=4,
+                              compiled=True)
+    assert flat.report.decision_digest() \
+        == sharded.report.decision_digest()
+
+
+@pytest.mark.parametrize("structure", ("HashSet", "ArrayList"))
+def test_threaded_compiled_stays_serializable(runnable_registry,
+                                              structure):
+    """Decisions are scheduling-dependent at workers=4; the contract
+    there is serializability with the closures actually in the loop."""
+    harness = ThroughputHarness(registry=runnable_registry,
+                                max_rounds=500_000)
+    run = harness.run_one(structure, GATE, workers=4, shards=4,
+                          compiled=True)
+    assert run.serializable, run.summary()
+    assert run.compiled_hits > 0
+
+
+def test_tier_demotion_never_changes_decisions(stable_session):
+    """Tier is provenance, not policy: flipping every HashTable stable
+    condition's tier re-labels the hit counters (proved_hits vs
+    stable_hits) but leaves the decision digest byte-identical, with
+    closures armed either way."""
+    registry = stable_session.registry
+    original = registry.stable_conditions("HashTable")
+    harness = ThroughputHarness(registry=registry)
+    baseline = harness.run_one("HashTable", GATE, workers=1, shards=4,
+                               stable=True, compiled=True)
+    assert baseline.stable_hits > 0 and baseline.report.proved_hits == 0
+    flipped = [dataclasses.replace(c, tier="proved") for c in original]
+    registry.register_stable_conditions("HashTable", flipped,
+                                        replace=True)
+    try:
+        promoted = harness.run_one("HashTable", GATE, workers=1,
+                                   shards=4, stable=True, compiled=True)
+    finally:
+        registry.register_stable_conditions("HashTable", original,
+                                            replace=True)
+    assert promoted.report.proved_hits == baseline.stable_hits
+    assert promoted.stable_hits == 0
+    assert promoted.compiled_hits > 0
+    assert promoted.report.decision_digest() \
+        == baseline.report.decision_digest()
+
+
+# -- satellite fix: EvalError samples name the failing pair -------------------
+
+def _arraylist_eval_error(compiled):
+    """The get(0)/set(1, ...) recipe: evaluating ArrayList's between
+    condition on this environment indexes out of range, so the check
+    resolves conservatively and must leave a usable diagnostic."""
+    gk = Gatekeeper("ArrayList", compiled=compiled)
+    state = Record(elems=("a",))
+    gk.record(LoggedOperation(txn_id=1, op_name="get", args=(0,),
+                              result="a", before=state, after=state))
+    gk.admits(2, "set", (1, "x"), state)
+    return gk
+
+
+@pytest.mark.parametrize("compiled", (False, True))
+def test_eval_error_sample_names_the_pair(compiled):
+    gk = _arraylist_eval_error(compiled)
+    assert gk.eval_errors == 1
+    (sample,) = gk.eval_error_samples()
+    assert sample["structure"] == "ArrayList"
+    assert sample["m1"] == "get" and sample["m2"] == "set"
+    assert "IndexError" in sample["error"] or sample["error"]
+    assert sample["stable"] is False
+    assert sample["condition"]  # the formula text, not a placeholder
+
+
+def test_eval_error_counts_match_across_modes():
+    """Interpreter-exact EvalError propagation: the compiled manager
+    trips the same errors the interpreted one does, no more, no fewer."""
+    interpreted = _arraylist_eval_error(compiled=False)
+    compiled = _arraylist_eval_error(compiled=True)
+    assert compiled.eval_errors == interpreted.eval_errors
+    assert compiled.eval_error_samples() \
+        == interpreted.eval_error_samples()
+
+
+def test_eval_error_sample_reaches_the_report(runnable_registry):
+    """End to end: a run that trips EvalErrors surfaces the bounded
+    sample on its ExecutionReport (what the bench artifact uploads)."""
+    harness = ThroughputHarness(registry=runnable_registry)
+    run = harness.run_one("ArrayList", GATE, workers=1, shards=1,
+                          compiled=True)
+    if run.eval_errors:
+        assert run.report.eval_error_sample
+        for entry in run.report.eval_error_sample:
+            assert set(entry) == {"structure", "m1", "m2", "condition",
+                                  "error", "stable"}

@@ -1,0 +1,80 @@
+"""The process-global compiled-pair cache: content addressing, sharing
+across managers, and the uncompilable-pair sentinel."""
+
+import pytest
+
+from repro.api import DEFAULT_REGISTRY
+from repro.commutativity.conditions import Kind
+from repro.compiled import (cache_size, clear_cache, compiled_pair,
+                            pair_cache_key)
+from repro.compiled.cache import UNCOMPILABLE
+from repro.eval.interpreter import EvalContext
+from repro.logic import terms as t
+from repro.logic.sorts import Sort
+
+
+@pytest.fixture
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def _between(name, m1, m2):
+    return DEFAULT_REGISTRY.condition(name, m1, m2, Kind.BETWEEN)
+
+
+def test_same_content_shares_one_closure(fresh_cache):
+    spec = DEFAULT_REGISTRY.spec("HashSet")
+    ctx = EvalContext(observe=spec.observe)
+    cond = _between("HashSet", "add", "contains")
+    first = compiled_pair(spec, "fp", cond, "between", ctx)
+    size = cache_size()
+    second = compiled_pair(spec, "fp", cond, "between", ctx)
+    assert first is second  # the same object, not an equal relowering
+    assert cache_size() == size
+
+
+def test_label_and_domains_vary_the_key():
+    spec = DEFAULT_REGISTRY.spec("HashSet")
+    ctx = EvalContext(observe=spec.observe)
+    cond = _between("HashSet", "add", "contains")
+    base = pair_cache_key("fp", cond, "between", ctx)
+    assert pair_cache_key("fp", cond, "stable:weakened", ctx) != base
+    assert pair_cache_key("other-fp", cond, "between", ctx) != base
+    bounded = EvalContext(observe=spec.observe, int_domain=(0, 1))
+    assert pair_cache_key("fp", cond, "between", bounded) != base
+
+
+def test_distinct_pairs_get_distinct_entries(fresh_cache):
+    spec = DEFAULT_REGISTRY.spec("HashSet")
+    ctx = EvalContext(observe=spec.observe)
+    compiled_pair(spec, "fp", _between("HashSet", "add", "contains"),
+                  "between", ctx)
+    compiled_pair(spec, "fp", _between("HashSet", "add", "remove"),
+                  "between", ctx)
+    assert cache_size() == 2
+
+
+def test_uncompilable_pair_is_cached_as_none(fresh_cache):
+    class Mystery(t.Term):
+        @property
+        def sort(self):
+            return Sort.BOOL
+
+    class StubCondition:
+        family = "Stub"
+        m1 = "contains"
+        m2 = "contains"
+        text = "mystery"
+        dynamic_text = None
+        dynamic_formula = Mystery()
+
+    spec = DEFAULT_REGISTRY.spec("HashSet")
+    ctx = EvalContext(observe=spec.observe)
+    cond = StubCondition()
+    assert compiled_pair(spec, "fp", cond, "between", ctx) is UNCOMPILABLE
+    assert cache_size() == 1
+    # The CompileError is paid once: the miss is served from cache.
+    assert compiled_pair(spec, "fp", cond, "between", ctx) is UNCOMPILABLE
+    assert cache_size() == 1
