@@ -1,18 +1,21 @@
 #!/usr/bin/env python
-"""Sanity-check a ``BENCH_runtime.json`` artifact before CI uploads it.
+"""Sanity-check a bench JSON artifact before CI uploads it.
 
-The bench-runtime legs gate on sections of the payload (the
-``compiled_gate`` keys in particular), and a refactor of the bench
-driver could silently drop or rename one — the upload would still
-succeed and the regression gate would be vacuous.  This checker fails
-the leg instead::
+The bench legs gate on sections of the payload (the ``compiled_gate``
+keys of ``BENCH_runtime.json``, the identity/latency sections of
+``BENCH_service.json``), and a refactor of the bench driver could
+silently drop or rename one — the upload would still succeed and the
+regression gate would be vacuous.  This checker fails the leg
+instead::
 
     python benchmarks/check_schema.py BENCH_runtime.json --require-compiled-gate
+    python benchmarks/check_schema.py BENCH_service.json
 
-``--require-compiled-gate`` asserts the compiled-vs-interpreted section
-is present with every per-structure gate key; without the flag the
-section is validated only when present (legs that run without
-``--compiled``).
+The payload's ``suite`` field dispatches the validation
+(``runtime``/``service``).  ``--require-compiled-gate`` asserts the
+runtime suite's compiled-vs-interpreted section is present with every
+per-structure gate key; without the flag the section is validated only
+when present (legs that run without ``--compiled``).
 """
 
 from __future__ import annotations
@@ -55,16 +58,115 @@ def _check_keys(mapping, spec, where, problems):
                 f"expected {getattr(kind, '__name__', kind)}")
 
 
+#: Top-level keys of a ``BENCH_service.json`` payload.
+SERVICE_TOP_LEVEL_KEYS = {
+    "schema": int,
+    "suite": str,
+    "protocol_version": int,
+    "shards": int,
+    "service_workers": int,
+    "identity": dict,
+    "throughput": dict,
+    "metrics": dict,
+    "wall_seconds": numbers.Real,
+}
+
+#: Per-worker keys of the service throughput section.
+SERVICE_WORKER_KEYS = {
+    "worker": int,
+    "structure": str,
+    "workload": str,
+    "commits": int,
+    "aborts": int,
+    "committed_operations": int,
+    "wall_seconds": numbers.Real,
+    "admission_rpcs": int,
+    "latency_ms": dict,
+    "serializable": bool,
+}
+
+
+def check_service_payload(payload) -> list[str]:
+    """Validation of a ``BENCH_service.json`` payload: the identity
+    leg must exist and hold, the throughput leg must cover >= 2 client
+    worker processes with real latency percentiles, and the metrics
+    scrape must have exposed every counter."""
+    problems: list[str] = []
+    _check_keys(payload, SERVICE_TOP_LEVEL_KEYS, "payload", problems)
+    identity = payload.get("identity")
+    if not identity:
+        problems.append("payload: identity section is empty — the "
+                        "digest gate compared nothing")
+    elif isinstance(identity, dict):
+        for name, entry in sorted(identity.items()):
+            where = f"identity[{name!r}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{where}: not an object")
+                continue
+            _check_keys(entry, {"workload": str, "local_digest": str,
+                                "service_digest": str,
+                                "identical": bool,
+                                "admission_rpcs": int},
+                        where, problems)
+            if entry.get("identical") is False:
+                problems.append(f"{where}: served decisions diverged "
+                                f"from local ones")
+    throughput = payload.get("throughput")
+    if isinstance(throughput, dict):
+        _check_keys(throughput, {"workers": int,
+                                 "committed_operations": int,
+                                 "committed_ops_per_second":
+                                     numbers.Real,
+                                 "wall_seconds": numbers.Real,
+                                 "admission_rpcs": int,
+                                 "latency_ms": dict,
+                                 "per_worker": list},
+                    "throughput", problems)
+        if isinstance(throughput.get("workers"), int) \
+                and throughput["workers"] < 2:
+            problems.append(f"throughput: only "
+                            f"{throughput['workers']} client workers "
+                            f"— the cross-process claim needs >= 2")
+        per_worker = throughput.get("per_worker")
+        if isinstance(per_worker, list):
+            if len(per_worker) < 2:
+                problems.append(f"throughput: only {len(per_worker)} "
+                                f"per-worker results — expected >= 2")
+            for i, entry in enumerate(per_worker):
+                where = f"throughput.per_worker[{i}]"
+                if not isinstance(entry, dict):
+                    problems.append(f"{where}: not an object")
+                    continue
+                _check_keys(entry, SERVICE_WORKER_KEYS, where, problems)
+        latency = throughput.get("latency_ms")
+        if isinstance(latency, dict):
+            for q in ("p50", "p95"):
+                value = latency.get(q)
+                if not isinstance(value, numbers.Real) \
+                        or isinstance(value, bool) or value <= 0:
+                    problems.append(f"throughput.latency_ms: {q} is "
+                                    f"{value!r}, expected > 0")
+        if throughput.get("errors"):
+            problems.append("throughput: client worker errors: "
+                            + "; ".join(map(str, throughput["errors"])))
+    metrics = payload.get("metrics")
+    if isinstance(metrics, dict) and metrics.get("ok") is not True:
+        problems.append(f"metrics: scrape not ok ({metrics})")
+    return problems
+
+
 def check_payload(payload, require_compiled_gate: bool = False
                   ) -> list[str]:
     """Every problem found, as human-readable strings (empty = valid)."""
     problems: list[str] = []
     if not isinstance(payload, dict):
         return [f"payload is {type(payload).__name__}, expected object"]
+    if payload.get("suite") == "service":
+        return check_service_payload(payload)
     _check_keys(payload, TOP_LEVEL_KEYS, "payload", problems)
     if payload.get("suite") not in (None, "runtime"):
         problems.append(f"payload: suite is {payload['suite']!r}, "
-                        f"expected 'runtime'")
+                        f"expected 'runtime' or 'service'")
     if not payload.get("structures"):
         problems.append("payload: structures is empty — the sweep ran "
                         "nothing")

@@ -24,8 +24,12 @@ Commands:
   on preloaded hot-key workloads, ``--compiled`` the compiled-vs-
   interpreted admission gate, ``--seeds N`` the p50/p95 seed matrix);
   ``nogil``: the informational free-threaded scaling sweep into
-  ``BENCH_nogil.json``; verify/runtime optionally gate against a
-  checked-in baseline;
+  ``BENCH_nogil.json``; ``service``: the client/server admission bench
+  into ``BENCH_service.json`` (decision-identity, cross-process
+  latency/throughput, and /metrics gates); verify/runtime optionally
+  gate against a checked-in baseline;
+- ``serve [--host H] [--port P]`` — run the admission server (frame
+  RPCs + HTTP ``/metrics`` on one port) until SIGTERM, then drain;
 - ``tables [--table N]`` — print the paper's evaluation tables;
 - ``show --name NAME --m1 OP --m2 OP [--kind K]`` — print a condition
   and its generated testing methods (Figure 2-2 style);
@@ -208,7 +212,102 @@ def _cmd_bench(args: argparse.Namespace, registry: Registry) -> int:
         return _cmd_bench_runtime(args, registry)
     if args.suite == "nogil":
         return _cmd_bench_nogil(args, registry)
+    if args.suite == "service":
+        return _cmd_bench_service(args, registry)
     return _cmd_bench_verify(args, registry)
+
+
+def _cmd_bench_service(args: argparse.Namespace,
+                       registry: Registry) -> int:
+    """Client/server admission bench -> ``BENCH_service.json``.
+
+    Starts an admission-server subprocess, runs the decision-identity
+    leg (served digests must equal local ones), fans out
+    ``--service-workers`` client processes for the cross-process
+    throughput/latency leg, scrapes ``/metrics``, and SIGTERMs the
+    server (graceful drain).  Gated: identity divergence, a client
+    error, a missing metrics counter, or zero admission RPCs all fail
+    the bench.
+    """
+    from .reporting.tables import service_latency_table
+    from .service import bench as service_bench
+    from .service.protocol import PROTOCOL_VERSION
+    output = args.output or "BENCH_service.json"
+    workers = max(2, args.service_workers)
+    start = time.perf_counter()
+    process, port = service_bench.start_server()
+    try:
+        identity = service_bench.identity_leg(registry, "127.0.0.1",
+                                              port)
+        throughput = service_bench.throughput_leg("127.0.0.1", port,
+                                                  workers)
+        metrics = service_bench.metrics_leg("127.0.0.1", port)
+    finally:
+        service_bench.stop_server(process)
+    payload = {
+        "schema": 1,
+        "suite": "service",
+        "python": sys.version,
+        "protocol_version": PROTOCOL_VERSION,
+        "shards": service_bench.BENCH_SHARDS,
+        "service_workers": workers,
+        "identity": identity,
+        "throughput": throughput,
+        "metrics": metrics,
+        "wall_seconds": round(time.perf_counter() - start, 4),
+    }
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"bench: service suite, {workers} client processes against "
+          f"one server (shards={service_bench.BENCH_SHARDS}), wall "
+          f"{payload['wall_seconds']:.2f}s -> {output}")
+    print(service_latency_table(throughput))
+    failures = []
+    for name, entry in identity.items():
+        state = "identical" if entry["identical"] else "DIVERGED"
+        print(f"bench: service identity {name}: {state} "
+              f"({entry['admission_rpcs']} admission RPCs)")
+        if not entry["identical"]:
+            failures.append(f"{name}: served decisions diverged from "
+                            f"local ones")
+    failures += [f"client worker failed: {err}"
+                 for err in throughput["errors"]]
+    for entry in throughput["per_worker"]:
+        if not entry["serializable"]:
+            failures.append(f"worker {entry['worker']} "
+                            f"({entry['structure']}): not serializable")
+    if throughput["admission_rpcs"] == 0:
+        failures.append("no admission RPCs were measured")
+    if not metrics["ok"]:
+        failures.append(
+            f"/metrics scrape failed: status {metrics['status']}, "
+            f"missing {', '.join(metrics['missing']) or 'nothing'}")
+    else:
+        print(f"bench: service /metrics OK ({metrics['lines']} lines, "
+              f"all per-shard counters exposed)")
+    if failures:
+        print("bench: service suite failed:\n  "
+              + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, registry: Registry) -> int:
+    """Run the admission server in the foreground until SIGTERM/SIGINT
+    (then drain).  Imports the asyncio server lazily so ``serve
+    --help`` and every other subcommand stay service-free."""
+    from .service.server import run_server
+
+    def announce(port: int) -> None:
+        print(f"serve: admission server listening on "
+              f"{args.host}:{port} (frames + HTTP /metrics)",
+              flush=True)
+
+    run_server(args.host, args.port, registry=registry,
+               on_ready=announce, grace=args.grace)
+    print("serve: drained and stopped")
+    return 0
 
 
 def _cmd_bench_runtime(args: argparse.Namespace, registry: Registry) -> int:
@@ -1107,10 +1206,12 @@ def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
         "bench",
         help="regression-gated benchmarks (verification or runtime)")
     bench.add_argument("--suite", default="verify",
-                       choices=("verify", "runtime", "nogil"),
+                       choices=("verify", "runtime", "nogil", "service"),
                        help="verify: cold verification sweep; runtime: "
                             "workload-throughput sweep; nogil: "
-                            "informational free-threaded scaling sweep")
+                            "informational free-threaded scaling sweep; "
+                            "service: client/server admission bench "
+                            "(identity + latency + metrics gates)")
     bench.add_argument("--backend", default="symbolic",
                        choices=("symbolic", "bounded"))
     bench.add_argument("--max-seq-len", type=int, default=3)
@@ -1137,6 +1238,9 @@ def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
     bench.add_argument("--seeds", type=int, default=1,
                        help="--suite runtime: rerun the sweep over this "
                             "many seeds and report p50/p95 percentiles")
+    bench.add_argument("--service-workers", type=int, default=2,
+                       help="--suite service: client worker processes "
+                            "against the one server (min 2)")
     bench.add_argument("--output", default=None,
                        help="where to write the timing report (default "
                             "BENCH_<suite>.json)")
@@ -1158,6 +1262,17 @@ def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
     show.add_argument("--kind", choices=[k.value for k in Kind])
     show.add_argument("--methods", action="store_true")
     show.set_defaults(func=_cmd_show)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the admission server (frame RPCs + HTTP /metrics "
+             "on one port) until SIGTERM, then drain")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7471,
+                       help="TCP port (0 = ephemeral; default 7471)")
+    serve.add_argument("--grace", type=float, default=5.0,
+                       help="drain grace period in seconds on shutdown")
+    serve.set_defaults(func=_cmd_serve)
 
     list_cmd = sub.add_parser("list", help="list registered data structures")
     list_cmd.set_defaults(func=_cmd_list)

@@ -169,6 +169,7 @@ class Session:
                      adaptive: str | None = None,
                      stable: bool = False,
                      compiled: bool = False,
+                     backend=None,
                      max_rounds: int = 200_000, **spec_fields):
         """Generate a deterministic workload for ``name`` and execute it
         speculatively; an :class:`~repro.runtime.executor.ExecutionReport`.
@@ -189,6 +190,12 @@ class Session:
         registered; ``compiled=True`` lowers the admission vocabulary
         into closures at arm time (:mod:`repro.compiled`) — same
         decisions, faster checks.
+
+        ``backend`` selects where admission decisions come from:
+        ``None`` is the in-process path; a
+        :class:`~repro.service.client.ServiceBackend` routes every
+        decision to a remote admission server — byte-identical
+        ``decision_digest()`` either way.
         """
         from ..runtime.executor import SpeculativeExecutor
         from ..workloads import WorkloadGenerator, resolve_workload
@@ -204,7 +211,8 @@ class Session:
             workers=workers if workers is not None else workload.workers,
             batch=batch,
             shards=shards if shards is not None else workload.shards,
-            adaptive=adaptive, stable=stable, compiled=compiled)
+            adaptive=adaptive, stable=stable, compiled=compiled,
+            backend=backend)
         return executor.run(programs, setup=setup)
 
     def throughput_sweep(self, structures: Sequence[str] | None = None,

@@ -406,6 +406,37 @@ def stability_table(reports) -> str:
     return _format_table(headers, rows)
 
 
+def service_latency_table(section: dict) -> str:
+    """Admission-service latency/throughput columns from a
+    ``BENCH_service.json`` throughput section (``bench --suite
+    service``): one row per client worker process plus an aggregate
+    row — RPC round-trips, admission-latency p50/p95, and committed
+    operations over the cross-process wall clock."""
+    rows = []
+    for entry in section.get("per_worker", ()):
+        rows.append([
+            str(entry["worker"]), entry["structure"],
+            entry["workload"], str(entry["admission_rpcs"]),
+            f"{entry['latency_ms']['p50']:.3f}",
+            f"{entry['latency_ms']['p95']:.3f}",
+            str(entry["committed_operations"]),
+            f"{entry['wall_seconds']:.3f}",
+            "yes" if entry["serializable"] else "NO"])
+    if not rows:
+        return "(no service client runs to report)"
+    latency = section.get("latency_ms", {})
+    rows.append([
+        "all", "-", "-", str(section.get("admission_rpcs", 0)),
+        f"{latency.get('p50', 0.0):.3f}", f"{latency.get('p95', 0.0):.3f}",
+        str(section.get("committed_operations", 0)),
+        f"{section.get('wall_seconds', 0.0):.3f}",
+        "-"])
+    headers = ["worker", "structure", "workload", "rpcs",
+               "latency p50 ms", "latency p95 ms", "committed ops",
+               "wall s", "serializable"]
+    return _format_table(headers, rows)
+
+
 def percentile(values, q: float) -> float:
     """Nearest-rank percentile (``q`` in [0, 100]) of a non-empty
     sample — deliberately interpolation-free so tiny seed matrices

@@ -4,20 +4,23 @@ conditions and inverse operations (the paper's motivating systems)."""
 from .adaptive import (ADAPTIVE_POLICIES, AdaptiveController,
                        BackoffController, HybridController,
                        WaitDieController, make_controller)
+from .backend import (AdmissionBackend, LocalAdmissionBackend,
+                      resolve_backend)
 from .gatekeeper import (ConflictManager, Gatekeeper, LoggedOperation,
                          POLICIES, ShardedGatekeeper, conflict_manager)
 from .sharding import (FAMILY_ROUTERS, ShardRouter, single_region_router,
                        stable_hash)
 from .transaction import Transaction, TxnStatus, UndoEntry, rollback
-from .executor import ExecutionReport, SpeculativeExecutor
+from .executor import ExecutionReport, RoundsExhausted, SpeculativeExecutor
 
 __all__ = [
     "ConflictManager", "Gatekeeper", "ShardedGatekeeper",
     "conflict_manager", "LoggedOperation", "POLICIES",
+    "AdmissionBackend", "LocalAdmissionBackend", "resolve_backend",
     "ADAPTIVE_POLICIES", "AdaptiveController", "BackoffController",
     "WaitDieController", "HybridController", "make_controller",
     "FAMILY_ROUTERS", "ShardRouter", "single_region_router",
     "stable_hash",
     "Transaction", "TxnStatus", "UndoEntry", "rollback",
-    "ExecutionReport", "SpeculativeExecutor",
+    "ExecutionReport", "RoundsExhausted", "SpeculativeExecutor",
 ]

@@ -47,13 +47,25 @@ from typing import Any
 from ..eval.values import Record
 from ..impls import invoke, invoke_concrete
 from .adaptive import AdaptiveController, make_controller
-from .gatekeeper import ConflictManager, LoggedOperation, conflict_manager
+from .backend import AdmissionBackend, resolve_backend
+from .gatekeeper import ConflictManager, LoggedOperation
 from .sharding import VIRTUAL_REGIONS
 from .transaction import Transaction, TxnStatus, rollback
 
 #: Statuses of transactions that still have work to do: ABORTED
 #: transactions restart from scratch the next time they are scheduled.
 ACTIVE_STATUSES = (TxnStatus.RUNNING, TxnStatus.ABORTED)
+
+
+class RoundsExhausted(RuntimeError):
+    """The scheduling budget (``max_rounds``) ran out before every
+    transaction finished.  Raised internally and resolved by
+    :meth:`SpeculativeExecutor.run` into a liveness *report* — the
+    still-active transactions are rolled back, the committed prefix
+    stays serializable, and ``ExecutionReport.rounds_exhausted``
+    surfaces the episode — instead of crashing the run (ROADMAP 3b:
+    extreme write-heavy hot-key mixes can starve under liberal
+    admission; a server must degrade, not die)."""
 
 
 @dataclass
@@ -97,6 +109,19 @@ class ExecutionReport:
     #: (structure, m1, m2, condition, error, stable) dicts.
     eval_errors: int = 0
     eval_error_sample: list = field(default_factory=list)
+    #: Diagnostics evicted from the bounded sample rings (exact count).
+    eval_errors_dropped: int = 0
+    #: Which admission backend decided the run ("local" in-process,
+    #: "service" over the wire); never decision-changing.
+    backend: str = "local"
+    #: 1 when the run hit ``max_rounds`` and was quenched — the
+    #: committed prefix is kept (and still replay-validated), every
+    #: still-active transaction is rolled back (ROADMAP 3b liveness).
+    rounds_exhausted: int = 0
+    #: Round-trip seconds of each admission RPC (service backend only;
+    #: empty for in-process runs) — the client half of the service
+    #: latency story.
+    admission_latencies: list = field(default_factory=list)
     wall_seconds: float = 0.0
     commit_order: list[int] = field(default_factory=list)
     #: Per-transaction abort counts and final statuses (txn_id keyed),
@@ -150,6 +175,21 @@ class ExecutionReport:
         return [txn_id for txn_id, count in sorted(self.txn_aborts.items())
                 if count > 0]
 
+    @property
+    def admission_rpcs(self) -> int:
+        """Admission round-trips the service backend made (0 locally)."""
+        return len(self.admission_latencies)
+
+    def admission_latency_ms(self, q: float) -> float:
+        """The ``q``-th percentile admission RPC latency in
+        milliseconds (nearest-rank; 0.0 when the run was in-process)."""
+        if not self.admission_latencies:
+            return 0.0
+        ordered = sorted(self.admission_latencies)
+        rank = max(0, min(len(ordered) - 1,
+                          round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank] * 1000.0
+
     def summary(self) -> str:
         return (f"{self.ds_name}/{self.policy}: {self.commits} commits, "
                 f"{self.aborts} aborts, {self.operations} ops, "
@@ -195,11 +235,18 @@ class SpeculativeExecutor:
                  conflict_mode: str = "abort", registry=None,
                  workers: int = 1, batch: int = 1, shards: int = 1,
                  adaptive: str | None = None,
-                 stable: bool = False, compiled: bool = False) -> None:
+                 stable: bool = False, compiled: bool = False,
+                 backend: AdmissionBackend | None = None) -> None:
         if conflict_mode not in ("abort", "block"):
             raise ValueError(f"unknown conflict mode {conflict_mode!r}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        backend = resolve_backend(backend, registry)
+        if workers > 1 and not backend.supports_threads:
+            raise ValueError(
+                f"backend {backend.kind!r} cannot share its admission "
+                f"manager across threads; run workers=1 per process and "
+                f"scale with more client processes")
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
         if shards < 1 or shards > VIRTUAL_REGIONS \
@@ -214,6 +261,9 @@ class SpeculativeExecutor:
         registry = resolve_registry(registry)
         self.ds_name = ds_name
         self.registry = registry
+        #: Where admission decisions come from (local or service);
+        #: decision identity across backends is the service invariant.
+        self.backend = backend
         self.spec = registry.spec(ds_name)
         self.policy = policy
         self.seed = seed
@@ -247,11 +297,11 @@ class SpeculativeExecutor:
         for op_name, args in (setup or ()):
             invoke(impl, self.spec.operations[op_name], args)
         start = time.perf_counter()
-        manager = conflict_manager(self.ds_name, self.policy,
-                                   shards=self.shards,
-                                   registry=self.registry,
-                                   stable=self.stable,
-                                   compiled=self.compiled)
+        manager = self.backend.conflict_manager(self.ds_name,
+                                                policy=self.policy,
+                                                shards=self.shards,
+                                                stable=self.stable,
+                                                compiled=self.compiled)
         transactions = [Transaction(i, list(ops))
                         for i, ops in enumerate(programs)]
         report = ExecutionReport(ds_name=self.ds_name, policy=self.policy,
@@ -259,28 +309,39 @@ class SpeculativeExecutor:
                                  workers=self.workers, shards=self.shards,
                                  adaptive=self.adaptive,
                                  stable=self.stable,
-                                 compiled=self.compiled)
-        if self.workers == 1 or len(transactions) <= 1:
-            self._run_serial(transactions, impl, manager, report)
-        elif self.shards > 1:
-            self._run_threaded_sharded(transactions, impl, manager, report)
-        else:
-            self._run_threaded(transactions, impl, manager, report)
-        # Throughput covers execution only; the serial-replay
-        # serializability validation below is diagnostics, not work.
-        report.wall_seconds = time.perf_counter() - start
-        report.conflict_checks = manager.checks
-        report.conflicts = manager.conflicts
-        report.drift_checks = manager.drift_checks
-        report.stable_hits = manager.stable_hits
-        report.proved_hits = manager.proved_hits
-        report.drift_fallbacks = manager.fallbacks
-        report.fallback_admits = manager.fallback_admits
-        report.undo_refusals = manager.undo_refusals
-        report.compiled_hits = manager.compiled_hits
-        report.eval_errors = manager.eval_errors
-        report.eval_error_sample = manager.eval_error_samples()
-        report.shard_stats = manager.shard_stats()
+                                 compiled=self.compiled,
+                                 backend=self.backend.kind)
+        try:
+            try:
+                if self.workers == 1 or len(transactions) <= 1:
+                    self._run_serial(transactions, impl, manager, report)
+                elif self.shards > 1:
+                    self._run_threaded_sharded(transactions, impl,
+                                               manager, report)
+                else:
+                    self._run_threaded(transactions, impl, manager, report)
+            except RoundsExhausted:
+                self._quench(transactions, impl, manager, report)
+            # Throughput covers execution only; the serial-replay
+            # serializability validation below is diagnostics, not work.
+            report.wall_seconds = time.perf_counter() - start
+            report.conflict_checks = manager.checks
+            report.conflicts = manager.conflicts
+            report.drift_checks = manager.drift_checks
+            report.stable_hits = manager.stable_hits
+            report.proved_hits = manager.proved_hits
+            report.drift_fallbacks = manager.fallbacks
+            report.fallback_admits = manager.fallback_admits
+            report.undo_refusals = manager.undo_refusals
+            report.compiled_hits = manager.compiled_hits
+            report.eval_errors = manager.eval_errors
+            report.eval_error_sample = manager.eval_error_samples()
+            report.eval_errors_dropped = manager.eval_errors_dropped
+            report.admission_latencies = list(
+                getattr(manager, "admission_latencies", ()))
+            report.shard_stats = manager.shard_stats()
+        finally:
+            manager.close()
         report.txn_aborts = {t.txn_id: t.aborts for t in transactions}
         report.txn_statuses = {t.txn_id: t.status for t in transactions}
         report.committed_operations = sum(
@@ -303,7 +364,9 @@ class SpeculativeExecutor:
         while any(t.status in ACTIVE_STATUSES for t in transactions):
             rounds += 1
             if rounds > self.max_rounds:
-                raise RuntimeError("executor failed to converge")
+                raise RoundsExhausted(
+                    f"scheduling budget exhausted after "
+                    f"{self.max_rounds} rounds")
             candidates = [t for t in transactions
                           if t.status in ACTIVE_STATUSES
                           and t.txn_id not in blocked]
@@ -473,7 +536,7 @@ class SpeculativeExecutor:
     def _spend_budget(budget: list[int]) -> None:
         budget[0] -= 1
         if budget[0] < 0:
-            raise RuntimeError("executor failed to converge")
+            raise RoundsExhausted("scheduling budget exhausted")
 
     # -- one scheduling step ---------------------------------------------------
 
@@ -492,7 +555,7 @@ class SpeculativeExecutor:
             txn.restart()
         if txn.finished:
             txn.status = TxnStatus.COMMITTED
-            manager.release(txn.txn_id)
+            manager.release(txn.txn_id, reason="commit")
             report.commits += 1
             report.commit_order.append(txn.txn_id)
             if controller is not None:
@@ -560,7 +623,7 @@ class SpeculativeExecutor:
             txn.restart()
         if txn.finished:
             with manager.locked(manager.touched(txn.txn_id)):
-                manager.release(txn.txn_id)
+                manager.release(txn.txn_id, reason="commit")
             txn.status = TxnStatus.COMMITTED
             with cond:
                 report.commits += 1
@@ -605,7 +668,7 @@ class SpeculativeExecutor:
                     with state_lock:
                         rollback(impl, self.ds_name, txn.undo_log,
                                  registry=self.registry)
-                    manager.release(txn.txn_id)
+                    manager.release(txn.txn_id, reason="abort")
                     txn.mark_aborted()
                     outcome = "abort"
         # cond is never acquired while shard locks are held (lock order).
@@ -622,6 +685,18 @@ class SpeculativeExecutor:
             with cond:
                 blocked.add(txn.txn_id)
         return outcome == "admitted"
+
+    def _quench(self, transactions: list[Transaction], impl: Any,
+                manager: ConflictManager,
+                report: ExecutionReport) -> None:
+        """Resolve a :class:`RoundsExhausted` episode into a report:
+        roll back every transaction that still has speculative effects,
+        so the concrete structure holds exactly the committed prefix —
+        which the serial replay then validates as usual."""
+        for txn in transactions:
+            if txn.status is TxnStatus.RUNNING:
+                self._abort(txn, impl, manager, report)
+        report.rounds_exhausted = 1
 
     def _break_deadlock(self, transactions: list[Transaction],
                         blocked: set[int], impl: Any,
@@ -648,7 +723,7 @@ class SpeculativeExecutor:
         """Roll back a transaction's speculative effects; it retries from
         scratch the next time the scheduler picks it."""
         rollback(impl, self.ds_name, txn.undo_log, registry=self.registry)
-        manager.release(txn.txn_id)
+        manager.release(txn.txn_id, reason="abort")
         txn.mark_aborted()
         report.aborts += 1
 

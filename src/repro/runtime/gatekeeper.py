@@ -38,6 +38,7 @@ the per-shard breakdown.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
@@ -56,8 +57,10 @@ POLICIES = ("commutativity", "read-write", "mutex")
 
 #: How many EvalError occurrences each shard records in full (the
 #: (structure, m1, m2, condition) diagnostic sample; the count is
-#: always exact, the sample is bounded so a pathological workload
-#: cannot grow the report without bound).
+#: always exact, the sample is a fixed-size ring keeping the *most
+#: recent* occurrences — in a long-running admission server the
+#: interesting failure is the one happening now, not the one from
+#: startup — with every eviction counted in ``eval_error_dropped``).
 EVAL_ERROR_SAMPLE = 5
 
 
@@ -103,7 +106,8 @@ class _Shard:
     __slots__ = ("shard_id", "lock", "log", "checks", "conflicts",
                  "drift_checks", "stable_hits", "proved_hits",
                  "fallbacks", "fallback_admits", "undo_refusals",
-                 "compiled_hits", "eval_errors", "eval_error_sample")
+                 "compiled_hits", "eval_errors", "eval_error_sample",
+                 "eval_error_dropped")
 
     def __init__(self, shard_id: int) -> None:
         self.shard_id = shard_id
@@ -119,7 +123,12 @@ class _Shard:
         self.undo_refusals = 0
         self.compiled_hits = 0
         self.eval_errors = 0
-        self.eval_error_sample: list[dict[str, Any]] = []
+        #: Fixed-size ring of the most recent EvalError diagnostics;
+        #: a long-running server keeps a bounded, *current* sample.
+        self.eval_error_sample: deque[dict[str, Any]] = \
+            deque(maxlen=EVAL_ERROR_SAMPLE)
+        #: Diagnostics evicted from the ring (exact, never sampled).
+        self.eval_error_dropped = 0
 
 
 class ConflictManager:
@@ -360,13 +369,14 @@ class ConflictManager:
         (mutated under the shard's lock, like every other counter) so
         bench regressions are diagnosable from the uploaded artifact."""
         shard.eval_errors += 1
-        if len(shard.eval_error_sample) < EVAL_ERROR_SAMPLE:
-            shard.eval_error_sample.append({
-                "structure": self.ds_name, "m1": m1, "m2": m2,
-                "condition": (getattr(cond, "dynamic_text", None)
-                              or cond.text),
-                "error": str(exc), "stable": stable_path,
-            })
+        if len(shard.eval_error_sample) == EVAL_ERROR_SAMPLE:
+            shard.eval_error_dropped += 1  # the ring evicts the oldest
+        shard.eval_error_sample.append({
+            "structure": self.ds_name, "m1": m1, "m2": m2,
+            "condition": (getattr(cond, "dynamic_text", None)
+                          or cond.text),
+            "error": str(exc), "stable": stable_path,
+        })
 
     def _pair_commutes(self, shard: _Shard, logged: LoggedOperation,
                        op_name: str, args: tuple[Any, ...],
@@ -680,12 +690,23 @@ class ConflictManager:
         self._touched.setdefault(entry.txn_id, set()).update(shard_ids)
         return shard_ids
 
-    def release(self, txn_id: int) -> None:
-        """Drop all outstanding operations of ``txn_id`` (commit/abort)."""
+    def release(self, txn_id: int, reason: str = "commit") -> None:
+        """Drop all outstanding operations of ``txn_id``.
+
+        ``reason`` (``"commit"`` or ``"abort"``) never changes the
+        decision logic — the log is dropped either way — but lets an
+        observing layer (the admission service's metrics endpoint)
+        count transaction outcomes without a second RPC.
+        """
         for sid in sorted(self._touched.pop(txn_id, ())):
             shard = self._shards[sid]
             with shard.lock:
                 shard.log = [e for e in shard.log if e.txn_id != txn_id]
+
+    def close(self) -> None:
+        """Release backend resources; a no-op for in-process managers
+        (remote managers flush their pipelines and close their server
+        domain here)."""
 
     def outstanding(self, txn_id: int | None = None) -> list[LoggedOperation]:
         entries: list[LoggedOperation] = []
@@ -757,10 +778,17 @@ class ConflictManager:
         :class:`EvalError` and resolved conservatively."""
         return sum(s.eval_errors for s in self._shards)
 
+    @property
+    def eval_errors_dropped(self) -> int:
+        """Diagnostics evicted from the bounded per-shard sample rings
+        (the count a long-running server watches for silent churn)."""
+        return sum(s.eval_error_dropped for s in self._shards)
+
     def eval_error_samples(self) -> list[dict[str, Any]]:
         """Up to :data:`EVAL_ERROR_SAMPLE` recorded EvalError
         occurrences — (structure, m1, m2, condition, error, stable) —
-        aggregated across shards in shard order."""
+        aggregated across shards in shard order (each shard keeps the
+        most recent occurrences; see ``eval_errors_dropped``)."""
         sample: list[dict[str, Any]] = []
         for shard in self._shards:
             with shard.lock:
@@ -779,8 +807,24 @@ class ConflictManager:
                  "fallback_admits": s.fallback_admits,
                  "undo_refusals": s.undo_refusals,
                  "compiled_hits": s.compiled_hits,
-                 "eval_errors": s.eval_errors}
+                 "eval_errors": s.eval_errors,
+                 "eval_errors_dropped": s.eval_error_dropped}
                 for s in self._shards]
+
+    def counters(self) -> dict[str, int]:
+        """Every aggregate admission counter as one flat dict — the
+        transport-neutral stats surface the service's ``stats`` frame
+        and the remote manager's report plumbing share."""
+        return {"checks": self.checks, "conflicts": self.conflicts,
+                "drift_checks": self.drift_checks,
+                "stable_hits": self.stable_hits,
+                "proved_hits": self.proved_hits,
+                "fallbacks": self.fallbacks,
+                "fallback_admits": self.fallback_admits,
+                "undo_refusals": self.undo_refusals,
+                "compiled_hits": self.compiled_hits,
+                "eval_errors": self.eval_errors,
+                "eval_errors_dropped": self.eval_errors_dropped}
 
 
 class Gatekeeper(ConflictManager):

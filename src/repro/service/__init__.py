@@ -1,0 +1,21 @@
+"""repro.service — admission as a service.
+
+The verified gatekeeper leaves the process: an asyncio server
+(:mod:`.server`) owns the sharded :class:`~repro.runtime.gatekeeper`
+managers, many client worker processes (:mod:`.client`) speculate
+against it over batched admission RPCs (:mod:`.protocol`), and a live
+``/metrics`` endpoint (:mod:`.metrics`) exposes the per-shard counters
+as JSON and Prometheus text.
+
+The invariant carried over from the in-process path: served admission
+decisions are byte-identical (``decision_digest()``) to local ones for
+the same (structure, workload, policy, seed).
+
+Import discipline: this package is imported lazily by the CLI —
+``python -m repro list`` and ``serve --help`` must not pull asyncio
+machinery; keep heavyweight imports out of module scope elsewhere.
+"""
+
+from .protocol import PROTOCOL_VERSION  # noqa: F401
+
+__all__ = ["PROTOCOL_VERSION"]

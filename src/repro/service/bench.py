@@ -1,0 +1,250 @@
+"""Client/server benchmark orchestration for ``bench --suite service``.
+
+One admission-server subprocess, ≥2 client worker *processes*
+hammering it concurrently, and the parent asserting the two things the
+service must deliver:
+
+1. **Decision identity** — for each gated structure, the same
+   (workload, policy, seed) is executed twice in the parent, once with
+   local admission and once against the server; the two
+   ``decision_digest()`` values must be byte-identical.
+2. **Cross-process throughput with latency percentiles** — the client
+   workers run concurrently against one server, each reporting its
+   committed operations and per-RPC admission latencies; the parent
+   pools them into p50/p95 and committed-ops/s over the shared wall
+   clock, plus a ``/metrics`` scrape proving the per-shard counters
+   are live.
+
+Everything here is top-level (spawn-context picklable); the CLI wiring
+lives in ``repro.__main__``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import socket
+import time
+from typing import Any
+
+#: Structures the service bench drives (one set family, one list
+#: family — the two runtime-condition shapes).
+BENCH_STRUCTURES = ("HashSet", "ArrayList")
+
+#: Shard count of every served domain in this bench.
+BENCH_SHARDS = 4
+
+#: Seconds to wait for the server subprocess to report its port.
+SERVER_START_TIMEOUT = 30.0
+
+
+def _bench_workload(seed_offset: int = 0):
+    """The pinned service-bench workload: mixed ops over a shared key
+    space, serial per client, seeded so every leg is deterministic."""
+    from ..workloads import WorkloadSpec
+    return WorkloadSpec(name="service-mixed", profile="mixed",
+                        distribution="uniform", transactions=8,
+                        ops_per_transaction=6, key_space=16,
+                        value_space=3, preload=8, seed=71 + seed_offset)
+
+
+def server_entry(conn, host: str) -> None:
+    """Subprocess target: run an admission server on an ephemeral port
+    and pipe the bound port back; drains on SIGTERM."""
+    from .server import run_server
+    run_server(host, 0, on_ready=conn.send)
+
+
+def client_entry(worker_id: int, host: str, port: int,
+                 structure: str, conn) -> None:
+    """Subprocess target: one client worker process running its seeded
+    workload serially against the shared server; pipes back a plain
+    result dict."""
+    from ..workloads import ThroughputHarness
+    from .client import ServiceBackend
+    workload = _bench_workload(seed_offset=worker_id)
+    harness = ThroughputHarness(workers=1)
+    backend = ServiceBackend(host, port, label=f"bench-w{worker_id}")
+    try:
+        run = harness.run_one(structure, workload,
+                              policy="commutativity", workers=1,
+                              shards=BENCH_SHARDS, backend=backend)
+        report = run.report
+        conn.send({
+            "worker": worker_id, "structure": structure,
+            "workload": workload.label,
+            "commits": report.commits, "aborts": report.aborts,
+            "committed_operations": report.committed_operations,
+            "wall_seconds": report.wall_seconds,
+            "admission_rpcs": report.admission_rpcs,
+            "latencies": list(report.admission_latencies),
+            "serializable": report.serializable,
+            "digest": report.decision_digest(),
+        })
+    except Exception as exc:
+        conn.send({"worker": worker_id, "structure": structure,
+                   "error": f"{type(exc).__name__}: {exc}"})
+    finally:
+        conn.close()
+
+
+def start_server(host: str = "127.0.0.1"):
+    """Spawn the server subprocess; returns ``(process, port)``."""
+    ctx = mp.get_context("spawn")
+    parent, child = ctx.Pipe()
+    process = ctx.Process(target=server_entry, args=(child, host),
+                          name="repro-admission-server")
+    process.start()
+    child.close()
+    if not parent.poll(SERVER_START_TIMEOUT):
+        process.terminate()
+        process.join(5.0)
+        raise RuntimeError("admission server did not start in time")
+    port = parent.recv()
+    parent.close()
+    return process, port
+
+
+def stop_server(process) -> None:
+    """SIGTERM the server (graceful drain), escalate if it lingers."""
+    if process.is_alive():
+        process.terminate()  # SIGTERM: run_server drains on it
+        process.join(10.0)
+    if process.is_alive():
+        process.kill()
+        process.join(5.0)
+
+
+def scrape_metrics(host: str, port: int,
+                   path: str = "/metrics") -> tuple[int, str]:
+    """One plain-HTTP GET against the server's frame port; returns
+    (status code, body)."""
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        sock.sendall(f"GET {path} HTTP/1.1\r\nHost: bench\r\n"
+                     f"Connection: close\r\n\r\n".encode("latin-1"))
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks).decode("utf-8", "replace")
+    head, _, body = raw.partition("\r\n\r\n")
+    status = int(head.split(" ", 2)[1]) if " " in head else 0
+    return status, body
+
+
+def identity_leg(registry, host: str, port: int,
+                 structures=BENCH_STRUCTURES) -> dict[str, Any]:
+    """Local vs served execution of the identical workload, in this
+    process: the digests must match per structure."""
+    from ..workloads import ThroughputHarness
+    from .client import ServiceBackend
+    harness = ThroughputHarness(registry=registry, workers=1)
+    section: dict[str, Any] = {}
+    workload = _bench_workload()
+    for structure in structures:
+        local = harness.run_one(structure, workload,
+                                policy="commutativity", workers=1,
+                                shards=BENCH_SHARDS)
+        served = harness.run_one(
+            structure, workload, policy="commutativity", workers=1,
+            shards=BENCH_SHARDS,
+            backend=ServiceBackend(host, port, label="identity"))
+        section[structure] = {
+            "workload": workload.label,
+            "local_digest": local.report.decision_digest(),
+            "service_digest": served.report.decision_digest(),
+            "identical": (local.report.decision_digest()
+                          == served.report.decision_digest()),
+            "admission_rpcs": served.report.admission_rpcs,
+        }
+    return section
+
+
+def throughput_leg(host: str, port: int, workers: int,
+                   structures=BENCH_STRUCTURES) -> dict[str, Any]:
+    """``workers`` client processes against one server, concurrently;
+    pooled latency percentiles and cross-process committed-ops/s."""
+    from ..reporting.tables import percentile
+    ctx = mp.get_context("spawn")
+    jobs = []
+    started = time.perf_counter()
+    for worker_id in range(workers):
+        structure = structures[worker_id % len(structures)]
+        parent, child = ctx.Pipe()
+        process = ctx.Process(
+            target=client_entry,
+            args=(worker_id, host, port, structure, child),
+            name=f"repro-service-client-{worker_id}")
+        process.start()
+        child.close()
+        jobs.append((process, parent))
+    results = []
+    for process, parent in jobs:
+        payload = parent.recv() if parent.poll(120.0) else {
+            "error": "client worker timed out"}
+        parent.close()
+        process.join(10.0)
+        if process.is_alive():
+            process.kill()
+            process.join(5.0)
+        results.append(payload)
+    wall = time.perf_counter() - started
+    errors = [r["error"] for r in results if "error" in r]
+    latencies = [latency for r in results
+                 for latency in r.get("latencies", ())]
+    committed = sum(r.get("committed_operations", 0) for r in results)
+    return {
+        "workers": workers,
+        "errors": errors,
+        "committed_operations": committed,
+        "wall_seconds": round(wall, 4),
+        "committed_ops_per_second": round(committed / wall, 1)
+        if wall > 0 else 0.0,
+        "admission_rpcs": len(latencies),
+        "latency_ms": {
+            "p50": round(percentile(latencies, 50) * 1000, 4)
+            if latencies else 0.0,
+            "p95": round(percentile(latencies, 95) * 1000, 4)
+            if latencies else 0.0,
+        },
+        "per_worker": [
+            {"worker": r["worker"], "structure": r["structure"],
+             "workload": r["workload"],
+             "commits": r["commits"], "aborts": r["aborts"],
+             "committed_operations": r["committed_operations"],
+             "wall_seconds": round(r["wall_seconds"], 4),
+             "admission_rpcs": r["admission_rpcs"],
+             "latency_ms": {
+                 "p50": round(percentile(r["latencies"], 50) * 1000, 4)
+                 if r["latencies"] else 0.0,
+                 "p95": round(percentile(r["latencies"], 95) * 1000, 4)
+                 if r["latencies"] else 0.0,
+             },
+             "serializable": r["serializable"]}
+            for r in results if "error" not in r],
+    }
+
+
+#: Counter families the metrics scrape must surface (one name per
+#: exported per-shard stat; the gate greps the Prometheus body).
+EXPECTED_METRIC_NAMES = (
+    "repro_shard_checks", "repro_shard_conflicts",
+    "repro_shard_outstanding", "repro_shard_drift_checks",
+    "repro_shard_stable_hits", "repro_shard_proved_hits",
+    "repro_shard_fallbacks", "repro_shard_fallback_admits",
+    "repro_shard_undo_refusals", "repro_shard_compiled_hits",
+    "repro_shard_eval_errors", "repro_shard_eval_errors_dropped",
+    "repro_txn_outcomes_total", "repro_abort_rate",
+)
+
+
+def metrics_leg(host: str, port: int) -> dict[str, Any]:
+    """Scrape ``/metrics`` and check every per-shard counter family is
+    exposed in Prometheus text format."""
+    status, body = scrape_metrics(host, port)
+    missing = [name for name in EXPECTED_METRIC_NAMES
+               if name not in body]
+    return {"status": status, "lines": body.count("\n"),
+            "missing": missing,
+            "ok": status == 200 and not missing}

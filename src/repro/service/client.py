@@ -1,0 +1,244 @@
+"""Client side of the admission service.
+
+Worker processes speculate locally (each owns its concrete structure
+and scheduler) while every admission decision crosses the wire:
+:class:`RemoteConflictManager` duck-types the in-process
+:class:`~repro.runtime.gatekeeper.ConflictManager` surface the serial
+executor uses — ``shards_for`` / ``check_many`` / ``record`` /
+``release`` plus the counter surface — over one blocking TCP
+connection.
+
+Round-trips are amortized by pipelining: ``record`` and ``release``
+frames are buffered client-side and flushed inside the *next*
+``check`` as one ``batch`` frame (order preserved, so the server
+applies exactly the sequence an in-process manager would have seen —
+decision identity is free).  A transaction's final release rides with
+the next transaction's first check; anything still buffered flushes on
+stats collection or close.
+
+:class:`ServiceBackend` plugs this into
+``SpeculativeExecutor(backend=...)`` — serial per process
+(``supports_threads`` is False); cross-process parallelism comes from
+running more client processes, which is the point of the service.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any
+
+from ..runtime.backend import AdmissionBackend
+from ..runtime.gatekeeper import LoggedOperation
+from . import protocol
+
+
+class ServiceError(RuntimeError):
+    """The server answered a frame with ``ok: false``."""
+
+
+class ServiceClient:
+    """A blocking frame-RPC connection to one admission server."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._recv = self._sock.makefile("rb")
+        hello = self.call(protocol.hello_frame())
+        self.server_version = hello.get("v")
+
+    def _read_response(self) -> dict[str, Any]:
+        prefix = self._recv.read(4)
+        if len(prefix) != 4:
+            raise ConnectionError("server closed the connection")
+        length = protocol.unpack_length(prefix)
+        body = self._recv.read(length)
+        if len(body) != length:
+            raise ConnectionError("truncated response frame")
+        return protocol.decode_body(body)
+
+    @staticmethod
+    def _checked(response: dict[str, Any]) -> dict[str, Any]:
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown error"))
+        return response
+
+    def call(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """One frame, one response; raises on ``ok: false``."""
+        self._sock.sendall(protocol.pack_frame(frame))
+        return self._checked(self._read_response())
+
+    def call_batch(self, frames: list[dict[str, Any]]) \
+            -> list[dict[str, Any]]:
+        """A batch of frames in one round-trip; raises if the batch or
+        any sub-frame failed."""
+        response = self.call(protocol.batch_frame(frames))
+        return [self._checked(result)
+                for result in response["results"]]
+
+    def close(self) -> None:
+        try:
+            self._recv.close()
+        finally:
+            self._sock.close()
+
+
+class RemoteConflictManager:
+    """The executor-facing manager surface, served over the wire.
+
+    Serial use only (one in-flight RPC per connection); the executor
+    enforces this through ``ServiceBackend.supports_threads``.
+    """
+
+    def __init__(self, client: ServiceClient, domain: int,
+                 shards: int, owns_client: bool = True) -> None:
+        self._client = client
+        self._domain = domain
+        self._owns_client = owns_client
+        self.num_shards = shards
+        #: record/release frames awaiting the next check's batch.
+        self._pending: list[dict[str, Any]] = []
+        #: Stats memo; invalidated by every new frame, final after close.
+        self._stats: dict[str, Any] | None = None
+        self._closed = False
+        #: Wall seconds of each admission round-trip (one per
+        #: ``check_many``), surfaced on the report as the client half
+        #: of the service latency story.
+        self.admission_latencies: list[float] = []
+
+    # -- the admission hot path ----------------------------------------------
+
+    def shards_for(self, op_name: str,
+                   args: tuple[Any, ...]) -> tuple[int, ...]:
+        """Routing is the server's business: the empty lock set tells
+        the (serial) executor there is nothing to lock locally, and the
+        server recomputes the authoritative scan set per check."""
+        return ()
+
+    def check_many(self, txn_id: int, op_name: str,
+                   args: tuple[Any, ...], current,
+                   shard_ids=None) -> tuple[bool, int | None]:
+        frames = self._pending
+        self._pending = []
+        frames.append(protocol.check_frame(self._domain, txn_id,
+                                           op_name, args, current))
+        self._stats = None
+        started = time.perf_counter()
+        results = self._client.call_batch(frames)
+        self.admission_latencies.append(time.perf_counter() - started)
+        verdict = results[-1]
+        return bool(verdict["admitted"]), verdict["holder"]
+
+    def admits(self, txn_id: int, op_name: str, args: tuple[Any, ...],
+               current) -> bool:
+        return self.check_many(txn_id, op_name, args, current)[0]
+
+    def admits_ex(self, txn_id: int, op_name: str,
+                  args: tuple[Any, ...], current,
+                  shard_ids=None) -> tuple[bool, int | None]:
+        return self.check_many(txn_id, op_name, args, current,
+                               shard_ids=shard_ids)
+
+    def record(self, entry: LoggedOperation) -> tuple[int, ...]:
+        self._pending.append(protocol.record_frame(self._domain, entry))
+        self._stats = None
+        return ()
+
+    def release(self, txn_id: int, reason: str = "commit") -> None:
+        self._pending.append(protocol.release_frame(self._domain,
+                                                    txn_id, reason))
+        self._stats = None
+
+    def touched(self, txn_id: int) -> tuple[int, ...]:
+        return ()
+
+    # -- stats surface (mirrors ConflictManager's counters) ------------------
+
+    def _flush(self) -> None:
+        if self._pending:
+            frames, self._pending = self._pending, []
+            self._client.call_batch(frames)
+
+    def stats(self) -> dict[str, Any]:
+        """The domain's live stats payload (flushes the pipeline so
+        buffered releases are counted)."""
+        if self._stats is None:
+            self._flush()
+            response = self._client.call(
+                protocol.stats_frame(self._domain))
+            self._stats = response["stats"]
+        return self._stats
+
+    def counters(self) -> dict[str, int]:
+        return dict(self.stats()["counters"])
+
+    def _counter(self, name: str) -> int:
+        return self.stats()["counters"][name]
+
+    checks = property(lambda self: self._counter("checks"))
+    conflicts = property(lambda self: self._counter("conflicts"))
+    drift_checks = property(lambda self: self._counter("drift_checks"))
+    stable_hits = property(lambda self: self._counter("stable_hits"))
+    proved_hits = property(lambda self: self._counter("proved_hits"))
+    fallbacks = property(lambda self: self._counter("fallbacks"))
+    fallback_admits = property(
+        lambda self: self._counter("fallback_admits"))
+    undo_refusals = property(lambda self: self._counter("undo_refusals"))
+    compiled_hits = property(lambda self: self._counter("compiled_hits"))
+    eval_errors = property(lambda self: self._counter("eval_errors"))
+    eval_errors_dropped = property(
+        lambda self: self._counter("eval_errors_dropped"))
+
+    def eval_error_samples(self) -> list[dict[str, Any]]:
+        return list(self.stats()["eval_error_sample"])
+
+    def shard_stats(self) -> list[dict[str, int]]:
+        return [dict(stats) for stats in self.stats()["shard_stats"]]
+
+    def close(self) -> None:
+        """Flush the pipeline, retire the server-side domain (its final
+        stats become this manager's), and drop the connection."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._flush()
+            response = self._client.call(
+                protocol.close_frame(self._domain))
+            self._stats = response["stats"]
+        finally:
+            if self._owns_client:
+                self._client.close()
+
+
+class ServiceBackend(AdmissionBackend):
+    """Admission decisions from a remote server; one connection and
+    one server-side domain per execution."""
+
+    kind = "service"
+    supports_threads = False
+
+    def __init__(self, host: str, port: int, *, label: str = "",
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.label = label
+        self.timeout = timeout
+
+    def conflict_manager(self, ds_name: str, *,
+                         policy: str = "commutativity", shards: int = 1,
+                         stable: bool = False,
+                         compiled: bool = False) -> RemoteConflictManager:
+        client = ServiceClient(self.host, self.port,
+                               timeout=self.timeout)
+        try:
+            response = client.call(protocol.open_frame(
+                ds_name, policy=policy, shards=shards, stable=stable,
+                compiled=compiled, label=self.label))
+        except BaseException:
+            client.close()
+            raise
+        return RemoteConflictManager(client, response["domain"], shards)

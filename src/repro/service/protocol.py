@@ -1,0 +1,193 @@
+"""Wire protocol for the admission service.
+
+Frames are JSON objects prefixed by a 4-byte big-endian length — one
+frame per request, one per response, processed in order per
+connection.  JSON is the only codec the container is guaranteed to
+have (msgpack would be a drop-in: the frame surface below is
+byte-agnostic), so the semantic value types of the spec logic
+(:class:`~repro.eval.values.Record`, :class:`~repro.eval.values.FMap`,
+``frozenset``, ``tuple``) ride in a tagged form that round-trips them
+exactly — admission conditions evaluate over the *decoded* values, so
+a lossy codec would silently change decisions.
+
+Request frames (``t`` field):
+
+- ``hello``   — version handshake; the server refuses mismatches.
+- ``open``    — create a server-side admission *domain* (one manager:
+  structure, policy, shards, stable/compiled arming) → ``domain`` id.
+- ``check``   — batched admission (:meth:`ConflictManager.check_many`)
+  for one op against the domain's outstanding log → admitted/holder.
+- ``record``  — log an executed operation (wire LoggedOperation).
+- ``release`` — drop a transaction's outstanding ops (commit/abort).
+- ``stats``   — the domain's counters + per-shard stats.
+- ``close``   — retire the domain.
+- ``batch``   — a list of the above, answered with a list of results
+  in one round-trip (the client pipelines record/release frames and
+  flushes them with the next check — order preserved, so decisions
+  are identical to the unbatched sequence).
+- ``ping``    — liveness probe.
+
+Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": msg}``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from ..eval.values import FMap, Record
+from ..runtime.gatekeeper import LoggedOperation
+
+#: Bumped on any frame-shape change; ``hello`` carries it and the
+#: server refuses clients it cannot speak to.
+PROTOCOL_VERSION = 1
+
+#: Frames above this are refused outright (a corrupt length prefix
+#: must not allocate gigabytes).  Kept under 2**31 so the length
+#: prefix of a real frame can never collide with ASCII "GET " — which
+#: is how the server sniffs plain-HTTP ``/metrics`` scrapes on the
+#: same port (b"GET " as a big-endian length would be ~1.2 GiB).
+MAX_FRAME = 1 << 26
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """Malformed or out-of-contract frame traffic."""
+
+
+# -- tagged value codec ------------------------------------------------------
+#
+# Scalars (str/int/float/bool/None) pass through as themselves; the
+# four structured spec-value shapes are tagged dicts so decoding is
+# unambiguous.  Anything else is a bug worth failing loudly on.
+
+def encode_value(value: Any) -> Any:
+    """JSON-representable form of a spec-logic value."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, Record):
+        return {"#": "rec", "v": {k: encode_value(value[k]) for k in value}}
+    if isinstance(value, FMap):
+        return {"#": "map", "v": {k: encode_value(value[k]) for k in value}}
+    if isinstance(value, frozenset):
+        return {"#": "set",
+                "v": sorted((encode_value(item) for item in value),
+                            key=repr)}
+    if isinstance(value, tuple):
+        return {"#": "seq", "v": [encode_value(item) for item in value]}
+    raise ProtocolError(f"unencodable value type {type(value).__name__}")
+
+
+def decode_value(payload: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if payload is None or isinstance(payload, (str, int, float, bool)):
+        return payload
+    if isinstance(payload, dict):
+        tag, inner = payload.get("#"), payload.get("v")
+        if tag == "rec":
+            return Record(**{k: decode_value(v) for k, v in inner.items()})
+        if tag == "map":
+            return FMap({k: decode_value(v) for k, v in inner.items()})
+        if tag == "set":
+            return frozenset(decode_value(item) for item in inner)
+        if tag == "seq":
+            return tuple(decode_value(item) for item in inner)
+    raise ProtocolError(f"undecodable payload {payload!r}")
+
+
+def wire_operation(entry: LoggedOperation) -> dict[str, Any]:
+    """The wire form of one logged operation."""
+    return {"txn": entry.txn_id, "op": entry.op_name,
+            "args": encode_value(tuple(entry.args)),
+            "result": encode_value(entry.result),
+            "before": encode_value(entry.before),
+            "after": encode_value(entry.after)}
+
+
+def unwire_operation(payload: dict[str, Any]) -> LoggedOperation:
+    """Inverse of :func:`wire_operation`."""
+    return LoggedOperation(txn_id=payload["txn"], op_name=payload["op"],
+                           args=decode_value(payload["args"]),
+                           result=decode_value(payload["result"]),
+                           before=decode_value(payload["before"]),
+                           after=decode_value(payload["after"]))
+
+
+# -- framing -----------------------------------------------------------------
+
+def pack_frame(frame: dict[str, Any]) -> bytes:
+    """Length-prefixed JSON bytes of one frame."""
+    body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds cap")
+    return _LEN.pack(len(body)) + body
+
+
+def unpack_length(prefix: bytes) -> int:
+    """Decode and bounds-check a 4-byte length prefix."""
+    if len(prefix) != _LEN.size:
+        raise ProtocolError("truncated length prefix")
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds cap")
+    return length
+
+
+def decode_body(body: bytes) -> dict[str, Any]:
+    """Decode a frame body; the top level must be a JSON object."""
+    frame = json.loads(body.decode("utf-8"))
+    if not isinstance(frame, dict):
+        raise ProtocolError("frame is not an object")
+    return frame
+
+
+# -- request builders --------------------------------------------------------
+
+def hello_frame() -> dict[str, Any]:
+    return {"t": "hello", "v": PROTOCOL_VERSION}
+
+
+def open_frame(structure: str, *, policy: str = "commutativity",
+               shards: int = 1, stable: bool = False,
+               compiled: bool = False, label: str = "") -> dict[str, Any]:
+    return {"t": "open", "structure": structure, "policy": policy,
+            "shards": shards, "stable": stable, "compiled": compiled,
+            "label": label}
+
+
+def check_frame(domain: int, txn_id: int, op_name: str,
+                args: tuple[Any, ...], current: Record) -> dict[str, Any]:
+    return {"t": "check", "d": domain, "txn": txn_id, "op": op_name,
+            "args": encode_value(tuple(args)),
+            "state": encode_value(current)}
+
+
+def record_frame(domain: int, entry: LoggedOperation) -> dict[str, Any]:
+    return {"t": "record", "d": domain, "entry": wire_operation(entry)}
+
+
+def release_frame(domain: int, txn_id: int,
+                  reason: str = "commit") -> dict[str, Any]:
+    return {"t": "release", "d": domain, "txn": txn_id, "reason": reason}
+
+
+def stats_frame(domain: int) -> dict[str, Any]:
+    return {"t": "stats", "d": domain}
+
+
+def close_frame(domain: int) -> dict[str, Any]:
+    return {"t": "close", "d": domain}
+
+
+def batch_frame(frames: list[dict[str, Any]]) -> dict[str, Any]:
+    return {"t": "batch", "frames": frames}
+
+
+def ping_frame() -> dict[str, Any]:
+    return {"t": "ping"}
+
+
+def error_response(message: str) -> dict[str, Any]:
+    return {"ok": False, "error": message}

@@ -1,0 +1,437 @@
+"""The asyncio admission server.
+
+One process owns the sharded conflict managers; any number of client
+worker processes speculate against it over the frame protocol
+(:mod:`.protocol`).  Each ``open`` frame creates an admission
+*domain* — one :class:`~repro.runtime.gatekeeper.ConflictManager`
+configured like the in-process path (structure, policy, shard count,
+stable/compiled arming) — so concurrent clients never share a log
+unless they share a domain.
+
+Dispatch discipline: on the served path the managers' thread locks are
+uncontended (one event loop); serialization comes from per-domain
+per-shard ``asyncio.Lock``s acquired in ascending shard order around
+every check/record/release, exactly mirroring the in-process sharded
+lock order.  Handlers never await while holding shard locks except on
+the locks themselves, so admission for disjoint regions interleaves
+across connections while same-region traffic serializes.
+
+The same port speaks plain HTTP for observability: a connection whose
+first four bytes are ``GET `` (impossible as a frame length prefix,
+see :data:`~repro.service.protocol.MAX_FRAME`) is answered as an HTTP
+request — ``/metrics`` in Prometheus text format, ``/metrics.json``
+as JSON — and closed.
+
+Shutdown is a graceful drain: the listener closes first, every
+accepted frame is answered before its connection winds down, and only
+connections still idle after the grace period are cancelled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from typing import Any, Callable
+
+from . import protocol
+from .metrics import percentile, prometheus_text, snapshot_json
+
+#: Closed domains retained for /metrics continuity (a scrape after a
+#: bench run must still see the run's counters).
+RETAINED_DOMAINS = 256
+
+#: Upper bound on an HTTP request head; anything larger is dropped.
+MAX_HTTP_HEAD = 16 * 1024
+
+
+class _Domain:
+    """One served admission domain: a conflict manager plus the
+    asyncio-side lock array and outcome counters."""
+
+    __slots__ = ("domain_id", "manager", "structure", "policy", "shards",
+                 "stable", "compiled", "label", "locks", "touched_lock",
+                 "commits", "aborts", "closed")
+
+    def __init__(self, domain_id: int, manager, structure: str,
+                 policy: str, shards: int, stable: bool, compiled: bool,
+                 label: str) -> None:
+        self.domain_id = domain_id
+        self.manager = manager
+        self.structure = structure
+        self.policy = policy
+        self.shards = shards
+        self.stable = stable
+        self.compiled = compiled
+        self.label = label
+        self.locks = [asyncio.Lock() for _ in range(manager.num_shards)]
+        #: Guards the manager's touched-map mutations (record/release
+        #: span shards; their bookkeeping must not interleave).
+        self.touched_lock = asyncio.Lock()
+        self.commits = 0
+        self.aborts = 0
+        self.closed = False
+
+    def released(self) -> int:
+        return self.commits + self.aborts
+
+    def abort_rate(self) -> float:
+        released = self.released()
+        return self.aborts / released if released else 0.0
+
+    def stats_payload(self) -> dict[str, Any]:
+        return {"domain": self.domain_id, "structure": self.structure,
+                "policy": self.policy, "shards": self.shards,
+                "stable": self.stable, "compiled": self.compiled,
+                "label": self.label, "closed": self.closed,
+                "commits": self.commits, "aborts": self.aborts,
+                "abort_rate": self.abort_rate(),
+                "counters": self.manager.counters(),
+                "shard_stats": self.manager.shard_stats(),
+                "eval_error_sample": self.manager.eval_error_samples()}
+
+
+class AdmissionServer:
+    """The admission service: frame RPCs plus the HTTP metrics side."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 registry=None) -> None:
+        from ..api import resolve_registry
+        self.host = host
+        self.port = port
+        self.registry = resolve_registry(registry)
+        self._server: asyncio.AbstractServer | None = None
+        self._domains: dict[int, _Domain] = {}
+        self._next_domain = 0
+        self._conn_tasks: set[asyncio.Task] = set()
+        #: Structures whose drift-stable conditions were compiled and
+        #: registered on this server's registry (one compile each).
+        self._stable_ready: set[str] = set()
+        self._compile_lock = asyncio.Lock()
+        self._started = time.monotonic()
+        self.connections_total = 0
+        self.rpcs_total = 0
+        self.frames_total = 0
+        self.http_requests_total = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self, grace: float = 5.0) -> None:
+        """Graceful drain: stop accepting, let live connections finish
+        their in-flight frames (every accepted frame is answered before
+        the connection loop re-reads), cancel stragglers after
+        ``grace`` seconds."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        tasks = set(self._conn_tasks)
+        if tasks:
+            _, pending = await asyncio.wait(tasks, timeout=grace)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending, timeout=1.0)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self.connections_total += 1
+        try:
+            try:
+                prefix = await reader.readexactly(4)
+            except asyncio.IncompleteReadError:
+                return
+            if prefix == b"GET ":
+                await self._serve_http(reader, writer)
+                return
+            await self._serve_frames(prefix, reader, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _serve_frames(self, first_prefix: bytes,
+                            reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        prefix = first_prefix
+        while True:
+            try:
+                length = protocol.unpack_length(prefix)
+                body = await reader.readexactly(length)
+                frame = protocol.decode_body(body)
+            except (protocol.ProtocolError, ValueError) as exc:
+                writer.write(protocol.pack_frame(
+                    protocol.error_response(str(exc))))
+                await writer.drain()
+                return
+            except asyncio.IncompleteReadError:
+                return
+            self.rpcs_total += 1
+            response = await self._dispatch(frame)
+            writer.write(protocol.pack_frame(response))
+            await writer.drain()
+            try:
+                prefix = await reader.readexactly(4)
+            except asyncio.IncompleteReadError:
+                return
+
+    async def _dispatch(self, frame: dict[str, Any]) -> dict[str, Any]:
+        kind = frame.get("t")
+        if kind == "batch":
+            subframes = frame.get("frames", ())
+            results = []
+            for sub in subframes:
+                if sub.get("t") == "batch":
+                    results.append(protocol.error_response(
+                        "batch frames do not nest"))
+                else:
+                    results.append(await self._handle_one(sub))
+            return {"ok": True, "results": results}
+        return await self._handle_one(frame)
+
+    async def _handle_one(self, frame: dict[str, Any]) -> dict[str, Any]:
+        self.frames_total += 1
+        try:
+            handler = getattr(self, f"_frame_{frame.get('t')}", None)
+            if handler is None:
+                return protocol.error_response(
+                    f"unknown frame type {frame.get('t')!r}")
+            return await handler(frame)
+        except protocol.ProtocolError as exc:
+            return protocol.error_response(str(exc))
+        except Exception as exc:  # a bad frame must not kill the server
+            return protocol.error_response(
+                f"{type(exc).__name__}: {exc}")
+
+    def _domain(self, frame: dict[str, Any]) -> _Domain:
+        domain = self._domains.get(frame.get("d"))
+        if domain is None or domain.closed:
+            raise protocol.ProtocolError(
+                f"unknown or closed domain {frame.get('d')!r}")
+        return domain
+
+    @contextlib.asynccontextmanager
+    async def _locked(self, domain: _Domain, shard_ids):
+        """Hold the domain's asyncio shard locks in ascending order —
+        the same no-cycle discipline as the in-process sharded mode."""
+        ids = sorted(set(shard_ids))
+        for sid in ids:
+            await domain.locks[sid].acquire()
+        try:
+            yield
+        finally:
+            for sid in reversed(ids):
+                domain.locks[sid].release()
+
+    # -- frame handlers ------------------------------------------------------
+
+    async def _frame_hello(self, frame: dict[str, Any]) -> dict[str, Any]:
+        if frame.get("v") != protocol.PROTOCOL_VERSION:
+            return protocol.error_response(
+                f"protocol version mismatch: server speaks "
+                f"{protocol.PROTOCOL_VERSION}, client sent "
+                f"{frame.get('v')!r}")
+        return {"ok": True, "v": protocol.PROTOCOL_VERSION,
+                "server": "repro-admission"}
+
+    async def _frame_ping(self, frame: dict[str, Any]) -> dict[str, Any]:
+        return {"ok": True}
+
+    async def _frame_open(self, frame: dict[str, Any]) -> dict[str, Any]:
+        structure = frame["structure"]
+        stable = bool(frame.get("stable"))
+        compiled = bool(frame.get("compiled"))
+        if stable:
+            await self._ensure_stable(structure)
+        from ..runtime.gatekeeper import conflict_manager
+        manager = conflict_manager(structure,
+                                   frame.get("policy", "commutativity"),
+                                   shards=int(frame.get("shards", 1)),
+                                   registry=self.registry,
+                                   stable=stable, compiled=compiled)
+        domain_id = self._next_domain
+        self._next_domain += 1
+        self._domains[domain_id] = _Domain(
+            domain_id, manager, structure,
+            frame.get("policy", "commutativity"),
+            int(frame.get("shards", 1)), stable, compiled,
+            str(frame.get("label", "")))
+        return {"ok": True, "domain": domain_id}
+
+    async def _ensure_stable(self, structure: str) -> None:
+        """Compile + register drift-stable conditions for ``structure``
+        once per server (the engine cache makes reruns cheap); off the
+        event loop — compilation is CPU work."""
+        async with self._compile_lock:
+            if structure in self._stable_ready:
+                return
+            from ..api import Session
+
+            def compile_now() -> None:
+                Session(registry=self.registry).compile_stable([structure])
+
+            await asyncio.to_thread(compile_now)
+            self._stable_ready.add(structure)
+
+    async def _frame_check(self, frame: dict[str, Any]) -> dict[str, Any]:
+        domain = self._domain(frame)
+        args = protocol.decode_value(frame["args"])
+        current = protocol.decode_value(frame["state"])
+        manager = domain.manager
+        shard_ids = manager.shards_for(frame["op"], args)
+        async with self._locked(domain, shard_ids):
+            admitted, holder = manager.check_many(
+                frame["txn"], frame["op"], args, current,
+                shard_ids=shard_ids)
+        return {"ok": True, "admitted": admitted, "holder": holder}
+
+    async def _frame_record(self, frame: dict[str, Any]) -> dict[str, Any]:
+        domain = self._domain(frame)
+        entry = protocol.unwire_operation(frame["entry"])
+        manager = domain.manager
+        shard_ids = manager.store_regions(entry.op_name, entry.args)
+        async with self._locked(domain, shard_ids):
+            async with domain.touched_lock:
+                stored = manager.record(entry)
+        return {"ok": True, "shards": list(stored)}
+
+    async def _frame_release(self, frame: dict[str, Any]) -> dict[str, Any]:
+        domain = self._domain(frame)
+        manager = domain.manager
+        async with domain.touched_lock:
+            touched = manager.touched(frame["txn"])
+            async with self._locked(domain, touched):
+                manager.release(frame["txn"],
+                                reason=frame.get("reason", "commit"))
+        if frame.get("reason", "commit") == "abort":
+            domain.aborts += 1
+        else:
+            domain.commits += 1
+        return {"ok": True}
+
+    async def _frame_stats(self, frame: dict[str, Any]) -> dict[str, Any]:
+        domain = self._domains.get(frame.get("d"))
+        if domain is None:
+            raise protocol.ProtocolError(
+                f"unknown domain {frame.get('d')!r}")
+        return {"ok": True, "stats": domain.stats_payload()}
+
+    async def _frame_close(self, frame: dict[str, Any]) -> dict[str, Any]:
+        domain = self._domain(frame)
+        domain.closed = True
+        domain.manager.close()
+        self._prune_domains()
+        return {"ok": True, "stats": domain.stats_payload()}
+
+    def _prune_domains(self) -> None:
+        closed = [d for d in self._domains.values() if d.closed]
+        excess = len(closed) - RETAINED_DOMAINS
+        for domain in closed[:max(0, excess)]:
+            del self._domains[domain.domain_id]
+
+    # -- metrics -------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        domains = [d.stats_payload()
+                   for d in sorted(self._domains.values(),
+                                   key=lambda d: d.domain_id)]
+        rates = [d.abort_rate() for d in self._domains.values()
+                 if d.released()]
+        return {
+            "server": {
+                "uptime_seconds": time.monotonic() - self._started,
+                "connections_total": self.connections_total,
+                "rpcs_total": self.rpcs_total,
+                "frames_total": self.frames_total,
+                "http_requests_total": self.http_requests_total,
+                "domains_open": sum(1 for d in self._domains.values()
+                                    if not d.closed),
+                "domains_total": self._next_domain,
+                "protocol_version": protocol.PROTOCOL_VERSION,
+            },
+            "domains": domains,
+            "abort_rate_percentiles": {"p50": percentile(rates, 50),
+                                       "p95": percentile(rates, 95)},
+        }
+
+    async def _serve_http(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        self.http_requests_total += 1
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=5.0)
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError,
+                asyncio.LimitOverrunError):
+            return
+        if len(head) > MAX_HTTP_HEAD:
+            return
+        # The b"GET " prefix was consumed by the sniff; the head starts
+        # at the path.
+        path = head.split(b" ", 1)[0].decode("latin-1", "replace")
+        if path in ("/metrics", "/"):
+            body = prometheus_text(self.metrics_snapshot())
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+            status = "200 OK"
+        elif path == "/metrics.json":
+            body = snapshot_json(self.metrics_snapshot())
+            ctype = "application/json"
+            status = "200 OK"
+        else:
+            body = "not found\n"
+            ctype = "text/plain; charset=utf-8"
+            status = "404 Not Found"
+        payload = body.encode("utf-8")
+        writer.write(
+            f"HTTP/1.1 {status}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1") + payload)
+        await writer.drain()
+
+
+def run_server(host: str = "127.0.0.1", port: int = 0, *, registry=None,
+               on_ready: Callable[[int], None] | None = None,
+               grace: float = 5.0) -> None:
+    """Run an admission server until SIGTERM/SIGINT, then drain.
+
+    ``on_ready`` is called with the bound port once the listener is up
+    (port 0 binds an ephemeral port) — the CLI prints it, the bench
+    harness pipes it back to the parent process.
+    """
+    import signal
+
+    async def main() -> None:
+        server = AdmissionServer(host, port, registry=registry)
+        await server.start()
+        if on_ready is not None:
+            on_ready(server.port)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, stop.set)
+        serve = asyncio.ensure_future(server.serve_forever())
+        await stop.wait()
+        serve.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await serve
+        await server.shutdown(grace=grace)
+
+    asyncio.run(main())

@@ -34,6 +34,8 @@ class WorkloadRun:
     adaptive: str | None = None
     stable: bool = False
     compiled: bool = False
+    #: Which admission backend decided the run ("local" or "service").
+    backend: str = "local"
 
     @property
     def commits(self) -> int:
@@ -179,7 +181,8 @@ class ThroughputHarness:
                  shards: int | None = None,
                  adaptive: str | None = None,
                  stable: bool = False,
-                 compiled: bool = False) -> None:
+                 compiled: bool = False,
+                 backend=None) -> None:
         from ..api import resolve_registry
         self.registry = resolve_registry(registry)
         #: None defers to each workload's ``workers`` hint; an explicit
@@ -198,6 +201,10 @@ class ThroughputHarness:
         #: Lower admission conditions into closures at arm time
         #: (:mod:`repro.compiled`); same decisions, faster checks.
         self.compiled = compiled
+        #: Where admission decisions come from: None is the in-process
+        #: path; a :class:`~repro.service.client.ServiceBackend` routes
+        #: every decision to a remote admission server.
+        self.backend = backend
         self.generator = WorkloadGenerator(self.registry)
 
     def runnable_structures(self) -> list[str]:
@@ -214,7 +221,8 @@ class ThroughputHarness:
                 shards: int | None = None,
                 adaptive: str | None = None,
                 stable: bool | None = None,
-                compiled: bool | None = None) -> WorkloadRun:
+                compiled: bool | None = None,
+                backend=None) -> WorkloadRun:
         """Generate ``workload`` for ``structure`` and execute it.
 
         Worker/shard-count precedence: the argument, then the harness's
@@ -233,6 +241,8 @@ class ThroughputHarness:
             stable = self.stable
         if compiled is None:
             compiled = self.compiled
+        if backend is None:
+            backend = self.backend
         programs = self.generator.generate(structure, workload)
         setup = self.generator.generate_setup(structure, workload)
         executor = SpeculativeExecutor(
@@ -240,13 +250,14 @@ class ThroughputHarness:
             max_rounds=self.max_rounds, conflict_mode=conflict_mode,
             registry=self.registry, workers=workers, batch=self.batch,
             shards=shards, adaptive=adaptive, stable=stable,
-            compiled=compiled)
+            compiled=compiled, backend=backend)
+        report = executor.run(programs, setup=setup)
         return WorkloadRun(structure=structure, workload=workload,
                            policy=policy, conflict_mode=conflict_mode,
                            workers=workers, shards=shards,
                            adaptive=adaptive, stable=stable,
-                           compiled=compiled,
-                           report=executor.run(programs, setup=setup))
+                           compiled=compiled, backend=report.backend,
+                           report=report)
 
     def sweep(self, structures: Sequence[str] | None = None,
               workloads: Iterable[WorkloadSpec] | None = None,

@@ -1,0 +1,75 @@
+"""Liveness under an exhausted scheduling budget: hitting
+``max_rounds`` must resolve into a report — committed prefix kept and
+replay-validated, live transactions rolled back — never an exception
+escaping ``run()`` or a hung scheduler."""
+
+import pytest
+
+from repro.runtime import RoundsExhausted, SpeculativeExecutor
+from repro.runtime.executor import TxnStatus
+from repro.workloads import WorkloadGenerator, WorkloadSpec
+
+
+def _hotkey_workload(seed=43):
+    """The write-heavy hot-key shape: every transaction hammers the
+    same few keys, so conflicts (and aborted-retry churn) are the
+    common case — the shape that exhausts small budgets."""
+    return WorkloadSpec(profile="write-heavy", distribution="hot-key",
+                        transactions=6, ops_per_transaction=5,
+                        key_space=8, value_space=3, preload=6,
+                        seed=seed)
+
+
+def _generate(structure, workload):
+    generator = WorkloadGenerator()
+    return (generator.generate(structure, workload),
+            generator.generate_setup(structure, workload))
+
+
+@pytest.mark.parametrize("structure", ["HashSet", "ArrayList"])
+def test_exhausted_budget_resolves_into_a_quenched_report(structure):
+    programs, setup = _generate(structure, _hotkey_workload())
+    executor = SpeculativeExecutor(structure, max_rounds=2)
+    report = executor.run(programs, setup=setup)
+
+    assert report.rounds_exhausted == 1
+    # Nothing is left mid-flight: every transaction either committed
+    # or was rolled back.
+    assert all(status is not TxnStatus.RUNNING
+               for status in report.txn_statuses.values())
+    assert len(report.commit_order) < len(programs)
+    # The committed prefix is still serializable — the quench rolled
+    # back every speculative effect, so the concrete state equals the
+    # serial replay of the commit order.
+    assert report.serializable
+    assert report.committed_operations == sum(
+        len(programs[txn_id]) for txn_id in report.commit_order)
+
+
+def test_a_sufficient_budget_never_reports_exhaustion():
+    workload = _hotkey_workload()
+    programs, setup = _generate("HashSet", workload)
+    report = SpeculativeExecutor("HashSet").run(programs, setup=setup)
+    assert report.rounds_exhausted == 0
+    assert report.serializable
+    assert set(report.commit_order) == set(range(len(programs)))
+
+
+def test_quenched_and_clean_runs_share_the_committed_prefix_rules():
+    """The quench is a truncation, not a different execution: with the
+    same seed, the quenched run's commit order is a prefix of the
+    clean run's."""
+    workload = _hotkey_workload()
+    programs, setup = _generate("HashSet", workload)
+    quenched = SpeculativeExecutor("HashSet", max_rounds=2).run(
+        programs, setup=setup)
+    clean = SpeculativeExecutor("HashSet").run(programs, setup=setup)
+    prefix = len(quenched.commit_order)
+    assert quenched.commit_order == clean.commit_order[:prefix]
+
+
+def test_rounds_exhausted_is_an_executor_exception_type():
+    """The exception is part of the runtime API (schedulers raise it,
+    ``run()`` resolves it) and must stay a RuntimeError so existing
+    broad handlers keep working."""
+    assert issubclass(RoundsExhausted, RuntimeError)

@@ -1,0 +1,55 @@
+"""Shared fixture: one in-thread admission server per test module.
+
+The server's asyncio loop runs on a daemon thread; tests talk to it
+over real sockets (the blocking :class:`ServiceClient`, the executor's
+``ServiceBackend``, or a raw HTTP scrape) exactly like an external
+worker process would — minus the process-spawn latency.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service.server import AdmissionServer
+
+
+class LiveServer:
+    """An :class:`AdmissionServer` running on its own loop thread."""
+
+    def __init__(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self.loop.run_forever,
+                                       name="test-admission-server",
+                                       daemon=True)
+        self.thread.start()
+        self.server = AdmissionServer("127.0.0.1", 0)
+        self._call(self.server.start())
+        self._serving = asyncio.run_coroutine_threadsafe(
+            self.server.serve_forever(), self.loop)
+
+    def _call(self, coro, timeout: float = 30.0):
+        return asyncio.run_coroutine_threadsafe(
+            coro, self.loop).result(timeout)
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self) -> None:
+        self._serving.cancel()
+        self._call(self.server.shutdown(grace=1.0))
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10.0)
+        self.loop.close()
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    server = LiveServer()
+    yield server
+    server.stop()

@@ -1,0 +1,78 @@
+"""Decision identity: served admission must be byte-identical to
+in-process admission — same workload, same seed, same digest."""
+
+import pytest
+
+from repro.runtime import SpeculativeExecutor
+from repro.service.client import ServiceBackend
+from repro.workloads import ThroughputHarness, WorkloadSpec
+
+
+def _workload(seed=71):
+    return WorkloadSpec(name="identity-mixed", profile="mixed",
+                        distribution="uniform", transactions=6,
+                        ops_per_transaction=5, key_space=12,
+                        value_space=3, preload=6, seed=seed)
+
+
+@pytest.mark.parametrize("structure", ["HashSet", "ArrayList"])
+def test_served_decisions_match_local_ones(live_server, structure):
+    harness = ThroughputHarness(workers=1)
+    workload = _workload()
+    local = harness.run_one(structure, workload,
+                            policy="commutativity", workers=1, shards=4)
+    served = harness.run_one(
+        structure, workload, policy="commutativity", workers=1,
+        shards=4,
+        backend=ServiceBackend(live_server.host, live_server.port,
+                               label="identity-test"))
+    assert served.report.decision_digest() \
+        == local.report.decision_digest()
+    # The identity is decision-deep, not just digest-deep.
+    assert served.report.commit_order == local.report.commit_order
+    assert served.report.conflicts == local.report.conflicts
+    assert served.report.conflict_checks == local.report.conflict_checks
+    assert served.serializable and local.serializable
+
+
+def test_service_runs_are_labelled_and_timed(live_server):
+    harness = ThroughputHarness(workers=1)
+    run = harness.run_one(
+        "HashSet", _workload(), policy="commutativity", workers=1,
+        shards=2,
+        backend=ServiceBackend(live_server.host, live_server.port))
+    assert run.backend == "service"
+    assert run.report.backend == "service"
+    # Every check crossed the wire and was timed.
+    assert run.report.admission_rpcs > 0
+    assert len(run.report.admission_latencies) \
+        == run.report.admission_rpcs
+    assert all(latency >= 0 for latency in run.report.admission_latencies)
+    assert run.report.admission_latency_ms(50) > 0
+
+
+def test_local_runs_have_no_admission_latencies():
+    harness = ThroughputHarness(workers=1)
+    run = harness.run_one("HashSet", _workload(), workers=1)
+    assert run.backend == "local"
+    assert run.report.admission_rpcs == 0
+    assert run.report.admission_latency_ms(95) == 0.0
+
+
+def test_service_backend_refuses_threaded_executors(live_server):
+    """One in-flight RPC per connection: the serial executor is the
+    contract, cross-process fan-out is the scaling story."""
+    backend = ServiceBackend(live_server.host, live_server.port)
+    with pytest.raises(ValueError, match="across threads"):
+        SpeculativeExecutor("HashSet", workers=2, backend=backend)
+
+
+def test_session_run_workload_accepts_a_backend(live_server):
+    from repro.api import Session
+    session = Session()
+    report = session.run_workload(
+        "HashSet", _workload(),
+        backend=ServiceBackend(live_server.host, live_server.port,
+                               label="session"))
+    assert report.backend == "service"
+    assert report.serializable

@@ -1,0 +1,221 @@
+"""The admission server over real sockets: frame RPCs, batching,
+error surfaces, and the HTTP metrics side of the same port."""
+
+import json
+
+import pytest
+
+from repro.eval import Record
+from repro.runtime import LoggedOperation
+from repro.service import protocol
+from repro.service.bench import EXPECTED_METRIC_NAMES, scrape_metrics
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.metrics import prometheus_text
+
+
+def _seq_state(*elems):
+    return Record(elems=tuple(elems))
+
+
+@pytest.fixture()
+def client(live_server):
+    client = ServiceClient(live_server.host, live_server.port)
+    yield client
+    client.close()
+
+
+def _open_arraylist(client, shards=2):
+    response = client.call(protocol.open_frame("ArrayList",
+                                               shards=shards,
+                                               label="test"))
+    return response["domain"]
+
+
+# -- handshake and liveness ---------------------------------------------------
+
+def test_hello_handshake_reports_the_protocol_version(client):
+    assert client.server_version == protocol.PROTOCOL_VERSION
+
+
+def test_version_mismatch_is_refused(client):
+    with pytest.raises(ServiceError, match="version mismatch"):
+        client.call({"t": "hello", "v": protocol.PROTOCOL_VERSION + 1})
+
+
+def test_ping(client):
+    assert client.call(protocol.ping_frame())["ok"] is True
+
+
+# -- the admission RPC surface ------------------------------------------------
+
+def test_served_admission_flow(client):
+    """open → record → check (admit and conflict) → release → stats →
+    close, with the same decisions the in-process gatekeeper makes."""
+    domain = _open_arraylist(client)
+    state = _seq_state("a", "b", "c")
+    client.call(protocol.record_frame(domain, LoggedOperation(
+        txn_id=1, op_name="get", args=(0,), result="a",
+        before=state, after=state)))
+    # Reads commute: a second get is admitted.
+    verdict = client.call(protocol.check_frame(domain, 2, "get", (0,),
+                                               state))
+    assert verdict["admitted"] is True and verdict["holder"] is None
+    # A write under the outstanding read conflicts; the holder is the
+    # logging transaction (wait-die needs its id).
+    verdict = client.call(protocol.check_frame(domain, 2, "set",
+                                               (0, "x"), state))
+    assert verdict["admitted"] is False and verdict["holder"] == 1
+
+    client.call(protocol.release_frame(domain, 1, "commit"))
+    # The log is drained: the write is now admitted.
+    verdict = client.call(protocol.check_frame(domain, 2, "set",
+                                               (0, "x"), state))
+    assert verdict["admitted"] is True
+
+    stats = client.call(protocol.stats_frame(domain))["stats"]
+    assert stats["structure"] == "ArrayList"
+    assert stats["commits"] == 1 and stats["aborts"] == 0
+    assert stats["counters"]["checks"] >= 2
+    assert stats["counters"]["conflicts"] == 1
+    assert len(stats["shard_stats"]) == 2
+
+    final = client.call(protocol.close_frame(domain))["stats"]
+    assert final["closed"] is True
+    # Closed domains refuse admission traffic but keep serving stats
+    # (scrape continuity after a run).
+    with pytest.raises(ServiceError, match="closed domain"):
+        client.call(protocol.check_frame(domain, 3, "get", (0,), state))
+    retained = client.call(protocol.stats_frame(domain))["stats"]
+    assert retained["counters"] == final["counters"]
+
+
+def test_abort_release_counts_as_abort(client):
+    domain = _open_arraylist(client)
+    state = _seq_state("a")
+    client.call(protocol.record_frame(domain, LoggedOperation(
+        txn_id=1, op_name="get", args=(0,), result="a",
+        before=state, after=state)))
+    client.call(protocol.release_frame(domain, 1, "abort"))
+    stats = client.call(protocol.stats_frame(domain))["stats"]
+    assert stats["aborts"] == 1 and stats["commits"] == 0
+    assert stats["abort_rate"] == 1.0
+
+
+def test_batch_preserves_order_and_nesting_is_refused(client):
+    domain = _open_arraylist(client)
+    state = _seq_state("a")
+    entry = LoggedOperation(txn_id=1, op_name="set", args=(0, "z"),
+                            result=None, before=state,
+                            after=_seq_state("z"))
+    # record-then-check in one round-trip: the check must see the
+    # freshly recorded write (order preserved) and conflict.
+    results = client.call_batch([
+        protocol.record_frame(domain, entry),
+        protocol.check_frame(domain, 2, "set", (0, "x"),
+                             _seq_state("z")),
+    ])
+    assert results[0]["ok"] is True
+    assert results[1]["admitted"] is False and results[1]["holder"] == 1
+
+    nested = client.call(protocol.batch_frame(
+        [protocol.batch_frame([protocol.ping_frame()])]))
+    assert nested["results"][0]["ok"] is False
+    assert "nest" in nested["results"][0]["error"]
+
+
+def test_error_surfaces(client):
+    with pytest.raises(ServiceError, match="unknown frame type"):
+        client.call({"t": "frobnicate"})
+    with pytest.raises(ServiceError, match="unknown or closed domain"):
+        client.call(protocol.check_frame(999999, 1, "get", (0,),
+                                         _seq_state("a")))
+    with pytest.raises(ServiceError, match="unknown domain"):
+        client.call(protocol.stats_frame(999999))
+    with pytest.raises(ServiceError):
+        client.call(protocol.open_frame("NoSuchStructure"))
+    # A failed frame must not poison the connection.
+    assert client.call(protocol.ping_frame())["ok"] is True
+
+
+def test_malformed_body_gets_an_error_frame(live_server):
+    """A syntactically broken frame is answered (then the connection
+    closes) instead of killing the server."""
+    import socket
+    import struct
+    with socket.create_connection((live_server.host, live_server.port),
+                                  timeout=10.0) as sock:
+        sock.sendall(struct.pack(">I", 3) + b"{{{")
+        reader = sock.makefile("rb")
+        (length,) = struct.unpack(">I", reader.read(4))
+        response = json.loads(reader.read(length))
+    assert response["ok"] is False
+    # And the server still answers new connections afterwards.
+    probe = ServiceClient(live_server.host, live_server.port)
+    try:
+        assert probe.call(protocol.ping_frame())["ok"] is True
+    finally:
+        probe.close()
+
+
+# -- metrics ------------------------------------------------------------------
+
+def test_http_metrics_exposes_every_shard_counter(client, live_server):
+    domain = _open_arraylist(client)
+    state = _seq_state("a")
+    client.call(protocol.record_frame(domain, LoggedOperation(
+        txn_id=1, op_name="get", args=(0,), result="a",
+        before=state, after=state)))
+    client.call(protocol.check_frame(domain, 2, "get", (0,), state))
+    client.call(protocol.release_frame(domain, 1, "commit"))
+
+    status, body = scrape_metrics(live_server.host, live_server.port)
+    assert status == 200
+    for name in EXPECTED_METRIC_NAMES:
+        assert name in body, f"missing metric family {name}"
+    assert "repro_server_uptime_seconds" in body
+    assert 'outcome="commit"' in body and 'outcome="abort"' in body
+    assert f'domain="{domain}"' in body
+
+
+def test_http_metrics_json_is_the_snapshot(client, live_server):
+    _open_arraylist(client)
+    status, body = scrape_metrics(live_server.host, live_server.port,
+                                  path="/metrics.json")
+    assert status == 200
+    snapshot = json.loads(body)
+    assert snapshot["server"]["protocol_version"] \
+        == protocol.PROTOCOL_VERSION
+    assert snapshot["server"]["connections_total"] >= 1
+    assert snapshot["domains"]
+
+
+def test_http_unknown_path_is_404(live_server):
+    status, body = scrape_metrics(live_server.host, live_server.port,
+                                  path="/nope")
+    assert status == 404
+    assert "not found" in body
+
+
+def test_prometheus_rendering_is_pure():
+    """The text renderer works off a plain snapshot dict — no server,
+    no socket."""
+    snapshot = {
+        "server": {"connections_total": 3, "rpcs_total": 9,
+                   "frames_total": 11, "http_requests_total": 1,
+                   "uptime_seconds": 1.5, "domains_open": 1},
+        "domains": [{
+            "domain": 0, "structure": "HashSet", "label": "t",
+            "commits": 2, "aborts": 1,
+            "counters": {"checks": 5, "conflicts": 1},
+            "shard_stats": [{"shard": 0, "checks": 5, "conflicts": 1,
+                             "outstanding": 0}],
+        }],
+        "abort_rate_percentiles": {"p50": 0.25, "p95": 0.5},
+    }
+    body = prometheus_text(snapshot)
+    assert "# TYPE repro_shard_checks counter" in body
+    assert "# TYPE repro_shard_outstanding gauge" in body
+    assert 'repro_admission_checks_total{domain="0",structure="HashSet"' \
+        in body
+    assert 'repro_abort_rate{quantile="0.5"} 0.25' in body
+    assert body.endswith("\n")
