@@ -65,11 +65,86 @@ SERVICE_TOP_LEVEL_KEYS = {
     "protocol_version": int,
     "shards": int,
     "service_workers": int,
+    "cluster_axis": list,
     "identity": dict,
     "throughput": dict,
     "metrics": dict,
     "wall_seconds": numbers.Real,
 }
+
+#: Keys of one soak deployment leg (``soak.single`` / ``soak.cluster``).
+SOAK_LEG_KEYS = {
+    "structure": str,
+    "workload": str,
+    "point_seconds": numbers.Real,
+    "ramp": list,
+    "points": list,
+    "truncated": bool,
+    "errors": list,
+}
+
+#: Keys of one measured soak ramp point.
+SOAK_POINT_KEYS = {
+    "clients": int,
+    "runs": int,
+    "domain_reuses": int,
+    "committed_operations": int,
+    "wall_seconds": numbers.Real,
+    "committed_ops_per_second": numbers.Real,
+    "latency_ms": dict,
+    "errors": list,
+}
+
+#: Keys of a soak knee.
+SOAK_KNEE_KEYS = {
+    "clients": int,
+    "committed_ops_per_second": numbers.Real,
+    "latency_p95_ms": numbers.Real,
+}
+
+
+def _check_soak(soak, problems: list[str]) -> None:
+    """Validation of the ``--soak`` section: both deployment legs must
+    have measured points and a knee, and the cluster's knee must have
+    beaten the single process's."""
+    if not isinstance(soak, dict):
+        problems.append(f"soak: {type(soak).__name__}, expected object")
+        return
+    _check_keys(soak, {"cluster_workers": int,
+                       "point_seconds": numbers.Real,
+                       "single": dict, "cluster": dict,
+                       "cluster_beats_single": bool}, "soak", problems)
+    for label in ("single", "cluster"):
+        leg = soak.get(label)
+        if not isinstance(leg, dict):
+            continue
+        where = f"soak.{label}"
+        _check_keys(leg, SOAK_LEG_KEYS, where, problems)
+        points = leg.get("points")
+        if isinstance(points, list):
+            if not points:
+                problems.append(f"{where}: no ramp points were "
+                                f"measured")
+            for i, point in enumerate(points):
+                if not isinstance(point, dict):
+                    problems.append(f"{where}.points[{i}]: not an "
+                                    f"object")
+                    continue
+                _check_keys(point, SOAK_POINT_KEYS,
+                            f"{where}.points[{i}]", problems)
+        knee = leg.get("knee")
+        if not isinstance(knee, dict):
+            problems.append(f"{where}: knee is {knee!r} — the ramp "
+                            f"never measured a best point")
+        else:
+            _check_keys(knee, SOAK_KNEE_KEYS, f"{where}.knee",
+                        problems)
+        if leg.get("errors"):
+            problems.append(f"{where}: soak client errors: "
+                            + "; ".join(map(str, leg["errors"])))
+    if soak.get("cluster_beats_single") is False:
+        problems.append("soak: the cluster knee did not beat the "
+                        "single-process knee")
 
 #: Per-worker keys of the service throughput section.
 SERVICE_WORKER_KEYS = {
@@ -86,11 +161,15 @@ SERVICE_WORKER_KEYS = {
 }
 
 
-def check_service_payload(payload) -> list[str]:
+def check_service_payload(payload, require_soak: bool = False
+                          ) -> list[str]:
     """Validation of a ``BENCH_service.json`` payload: the identity
-    leg must exist and hold, the throughput leg must cover >= 2 client
-    worker processes with real latency percentiles, and the metrics
-    scrape must have exposed every counter."""
+    leg must exist and hold (across the single-process *and* cluster
+    digests), the throughput leg must cover >= 2 client worker
+    processes with real latency percentiles, the metrics scrape must
+    have exposed every counter, and — when present or required — the
+    soak section must report a knee per deployment with the cluster
+    beating the single process."""
     problems: list[str] = []
     _check_keys(payload, SERVICE_TOP_LEVEL_KEYS, "payload", problems)
     identity = payload.get("identity")
@@ -105,12 +184,17 @@ def check_service_payload(payload) -> list[str]:
                 continue
             _check_keys(entry, {"workload": str, "local_digest": str,
                                 "service_digest": str,
+                                "cluster_digests": dict,
                                 "identical": bool,
                                 "admission_rpcs": int},
                         where, problems)
+            cluster_digests = entry.get("cluster_digests")
+            if isinstance(cluster_digests, dict) and not cluster_digests:
+                problems.append(f"{where}: cluster_digests is empty — "
+                                f"the cluster legs compared nothing")
             if entry.get("identical") is False:
-                problems.append(f"{where}: served decisions diverged "
-                                f"from local ones")
+                problems.append(f"{where}: served or cluster decisions "
+                                f"diverged from local ones")
     throughput = payload.get("throughput")
     if isinstance(throughput, dict):
         _check_keys(throughput, {"workers": int,
@@ -152,17 +236,24 @@ def check_service_payload(payload) -> list[str]:
     metrics = payload.get("metrics")
     if isinstance(metrics, dict) and metrics.get("ok") is not True:
         problems.append(f"metrics: scrape not ok ({metrics})")
+    soak = payload.get("soak")
+    if soak is None:
+        if require_soak:
+            problems.append("payload: soak section is missing (leg "
+                            "ran without --soak?)")
+    else:
+        _check_soak(soak, problems)
     return problems
 
 
-def check_payload(payload, require_compiled_gate: bool = False
-                  ) -> list[str]:
+def check_payload(payload, require_compiled_gate: bool = False,
+                  require_soak: bool = False) -> list[str]:
     """Every problem found, as human-readable strings (empty = valid)."""
     problems: list[str] = []
     if not isinstance(payload, dict):
         return [f"payload is {type(payload).__name__}, expected object"]
     if payload.get("suite") == "service":
-        return check_service_payload(payload)
+        return check_service_payload(payload, require_soak=require_soak)
     _check_keys(payload, TOP_LEVEL_KEYS, "payload", problems)
     if payload.get("suite") not in (None, "runtime"):
         problems.append(f"payload: suite is {payload['suite']!r}, "
@@ -206,6 +297,9 @@ def main(argv=None) -> int:
     parser.add_argument("--require-compiled-gate", action="store_true",
                         help="fail when the compiled_gate section is "
                              "absent (legs that ran --compiled)")
+    parser.add_argument("--require-soak", action="store_true",
+                        help="fail when the service suite's soak "
+                             "section is absent (legs that ran --soak)")
     args = parser.parse_args(argv)
     try:
         with open(args.report, encoding="utf-8") as handle:
@@ -215,7 +309,8 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
     problems = check_payload(
-        payload, require_compiled_gate=args.require_compiled_gate)
+        payload, require_compiled_gate=args.require_compiled_gate,
+        require_soak=args.require_soak)
     if problems:
         print(f"check_schema: {args.report} failed validation:",
               file=sys.stderr)

@@ -25,11 +25,15 @@ Commands:
   interpreted admission gate, ``--seeds N`` the p50/p95 seed matrix);
   ``nogil``: the informational free-threaded scaling sweep into
   ``BENCH_nogil.json``; ``service``: the client/server admission bench
-  into ``BENCH_service.json`` (decision-identity, cross-process
-  latency/throughput, and /metrics gates); verify/runtime optionally
-  gate against a checked-in baseline;
-- ``serve [--host H] [--port P]`` — run the admission server (frame
-  RPCs + HTTP ``/metrics`` on one port) until SIGTERM, then drain;
+  into ``BENCH_service.json`` (four-leg decision identity across
+  local/served/cluster deployments, cross-process latency/throughput,
+  /metrics, and — with ``--soak`` — the saturation-knee gate: a
+  multi-worker cluster must out-knee the single process);
+  verify/runtime optionally gate against a checked-in baseline;
+- ``serve [--host H] [--port P] [--workers N]`` — run the admission
+  server (frame RPCs + HTTP ``/metrics`` on one port) until SIGTERM,
+  then drain; ``--workers N > 1`` spawns a shard-partitioned cluster
+  (shard ``s`` owned by worker ``s % N``) on ephemeral ports;
 - ``tables [--table N]`` — print the paper's evaluation tables;
 - ``show --name NAME --m1 OP --m2 OP [--kind K]`` — print a condition
   and its generated testing methods (Figure 2-2 style);
@@ -221,15 +225,20 @@ def _cmd_bench_service(args: argparse.Namespace,
                        registry: Registry) -> int:
     """Client/server admission bench -> ``BENCH_service.json``.
 
-    Starts an admission-server subprocess, runs the decision-identity
-    leg (served digests must equal local ones), fans out
-    ``--service-workers`` client processes for the cross-process
-    throughput/latency leg, scrapes ``/metrics``, and SIGTERMs the
-    server (graceful drain).  Gated: identity divergence, a client
-    error, a missing metrics counter, or zero admission RPCs all fail
-    the bench.
+    Starts an admission-server subprocess, runs the four-leg
+    decision-identity sweep over every runnable builtin (local,
+    single-process served, 2- and 4-worker clusters — all digests must
+    be byte-identical), fans out ``--service-workers`` client
+    processes for the cross-process throughput/latency leg, scrapes
+    ``/metrics``, and SIGTERMs the server (graceful drain).  With
+    ``--soak`` it also ramps looping client processes to the
+    saturation knee against the single process and against a
+    ``--cluster-workers`` cluster; the cluster's knee must strictly
+    beat the single process's committed-ops/s.  Gated: identity
+    divergence, a client error, a missing metrics counter, zero
+    admission RPCs, or a losing cluster knee all fail the bench.
     """
-    from .reporting.tables import service_latency_table
+    from .reporting.tables import service_latency_table, service_soak_table
     from .service import bench as service_bench
     from .service.protocol import PROTOCOL_VERSION
     output = args.output or "BENCH_service.json"
@@ -242,35 +251,63 @@ def _cmd_bench_service(args: argparse.Namespace,
         throughput = service_bench.throughput_leg("127.0.0.1", port,
                                                   workers)
         metrics = service_bench.metrics_leg("127.0.0.1", port)
+        soak_single = service_bench.soak_leg(
+            "127.0.0.1", port, point_seconds=args.soak_seconds,
+            time_budget=args.soak_budget) if args.soak else None
     finally:
         service_bench.stop_server(process)
+    soak = None
+    if args.soak:
+        from .service.cluster import start_cluster, stop_cluster
+        processes, ports = start_cluster(args.cluster_workers)
+        try:
+            soak_cluster = service_bench.soak_leg(
+                "127.0.0.1", ports[0],
+                point_seconds=args.soak_seconds,
+                time_budget=args.soak_budget)
+        finally:
+            stop_cluster(processes)
+        soak = {
+            "cluster_workers": args.cluster_workers,
+            "point_seconds": args.soak_seconds,
+            "single": soak_single,
+            "cluster": soak_cluster,
+            "cluster_beats_single": bool(
+                soak_single["knee"] and soak_cluster["knee"]
+                and soak_cluster["knee"]["committed_ops_per_second"]
+                > soak_single["knee"]["committed_ops_per_second"]),
+        }
     payload = {
-        "schema": 1,
+        "schema": 2,
         "suite": "service",
         "python": sys.version,
         "protocol_version": PROTOCOL_VERSION,
         "shards": service_bench.BENCH_SHARDS,
         "service_workers": workers,
+        "cluster_axis": list(service_bench.CLUSTER_AXIS),
         "identity": identity,
         "throughput": throughput,
         "metrics": metrics,
+        "soak": soak,
         "wall_seconds": round(time.perf_counter() - start, 4),
     }
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"bench: service suite, {workers} client processes against "
-          f"one server (shards={service_bench.BENCH_SHARDS}), wall "
+          f"one server (shards={service_bench.BENCH_SHARDS}, cluster "
+          f"axis {list(service_bench.CLUSTER_AXIS)}), wall "
           f"{payload['wall_seconds']:.2f}s -> {output}")
     print(service_latency_table(throughput))
     failures = []
     for name, entry in identity.items():
         state = "identical" if entry["identical"] else "DIVERGED"
-        print(f"bench: service identity {name}: {state} "
+        print(f"bench: service identity {name}: {state} across local, "
+              f"served, and cluster {list(service_bench.CLUSTER_AXIS)} "
               f"({entry['admission_rpcs']} admission RPCs)")
         if not entry["identical"]:
-            failures.append(f"{name}: served decisions diverged from "
-                            f"local ones")
+            failures.append(f"{name}: served or cluster decisions "
+                            f"diverged from local ones")
     failures += [f"client worker failed: {err}"
                  for err in throughput["errors"]]
     for entry in throughput["per_worker"]:
@@ -286,6 +323,31 @@ def _cmd_bench_service(args: argparse.Namespace,
     else:
         print(f"bench: service /metrics OK ({metrics['lines']} lines, "
               f"all per-shard counters exposed)")
+    if soak is not None:
+        for label, leg in (("single", soak["single"]),
+                           ("cluster", soak["cluster"])):
+            print(f"bench: soak {label} "
+                  f"({leg['structure']}, {leg['workload']}):")
+            print(service_soak_table(leg))
+            failures += [f"soak {label}: {err}"
+                         for err in leg["errors"]]
+            if leg["knee"] is None:
+                failures.append(f"soak {label}: no knee was measured")
+        if soak["single"]["knee"] and soak["cluster"]["knee"]:
+            single_ops = soak["single"]["knee"][
+                "committed_ops_per_second"]
+            cluster_ops = soak["cluster"]["knee"][
+                "committed_ops_per_second"]
+            verdict = ("beats" if soak["cluster_beats_single"]
+                       else "DOES NOT BEAT")
+            print(f"bench: soak knee: cluster "
+                  f"({soak['cluster_workers']} workers) "
+                  f"{cluster_ops:,.0f} committed ops/s {verdict} "
+                  f"single-process {single_ops:,.0f}")
+            if not soak["cluster_beats_single"]:
+                failures.append(
+                    f"soak: cluster knee {cluster_ops:,.0f} committed "
+                    f"ops/s <= single-process {single_ops:,.0f}")
     if failures:
         print("bench: service suite failed:\n  "
               + "\n  ".join(failures), file=sys.stderr)
@@ -295,8 +357,15 @@ def _cmd_bench_service(args: argparse.Namespace,
 
 def _cmd_serve(args: argparse.Namespace, registry: Registry) -> int:
     """Run the admission server in the foreground until SIGTERM/SIGINT
-    (then drain).  Imports the asyncio server lazily so ``serve
-    --help`` and every other subcommand stay service-free."""
+    (then drain).  With ``--workers N > 1`` a shard-partitioned
+    cluster is spawned instead: N worker processes on ephemeral ports
+    (each owning the shards ``s`` with ``s % N == worker``), the
+    partition map installed before any worker serves; pooled clients
+    connect to any port and learn the map from ``hello``.  Imports the
+    asyncio server lazily so ``serve --help`` and every other
+    subcommand stay service-free."""
+    if args.workers > 1:
+        return _serve_cluster(args)
     from .service.server import run_server
 
     def announce(port: int) -> None:
@@ -306,6 +375,34 @@ def _cmd_serve(args: argparse.Namespace, registry: Registry) -> int:
 
     run_server(args.host, args.port, registry=registry,
                on_ready=announce, grace=args.grace)
+    print("serve: drained and stopped")
+    return 0
+
+
+def _serve_cluster(args: argparse.Namespace) -> int:
+    """The ``serve --workers N`` foreground path: spawn the cluster,
+    block until SIGTERM/SIGINT, SIGTERM every worker (each drains with
+    its own grace period)."""
+    import signal
+    import threading
+    from .service.cluster import start_cluster, stop_cluster
+    processes, ports = start_cluster(args.workers, host=args.host)
+    stop = threading.Event()
+    handlers = {
+        signum: signal.signal(signum, lambda *_: stop.set())
+        for signum in (signal.SIGTERM, signal.SIGINT)}
+    try:
+        endpoints = ", ".join(f"{args.host}:{port}" for port in ports)
+        print(f"serve: admission cluster listening on {endpoints} "
+              f"({args.workers} workers, shard s -> worker "
+              f"s % {args.workers}; frames + HTTP /metrics per "
+              f"worker)", flush=True)
+        while not stop.is_set():
+            stop.wait(0.5)
+    finally:
+        for signum, handler in handlers.items():
+            signal.signal(signum, handler)
+        stop_cluster(processes)
     print("serve: drained and stopped")
     return 0
 
@@ -1241,6 +1338,24 @@ def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
     bench.add_argument("--service-workers", type=int, default=2,
                        help="--suite service: client worker processes "
                             "against the one server (min 2)")
+    bench.add_argument("--soak", action="store_true",
+                       help="--suite service: ramp looping client "
+                            "processes to the saturation knee, single-"
+                            "process vs --cluster-workers cluster; "
+                            "the cluster knee must strictly beat the "
+                            "single process's committed-ops/s")
+    bench.add_argument("--cluster-workers", type=int, default=2,
+                       help="--suite service, with --soak: worker "
+                            "processes in the soaked cluster "
+                            "(default 2)")
+    bench.add_argument("--soak-seconds", type=float, default=2.0,
+                       help="--suite service, with --soak: seconds "
+                            "each ramp point keeps its clients "
+                            "running (default 2.0)")
+    bench.add_argument("--soak-budget", type=float, default=300.0,
+                       help="--suite service, with --soak: wall-clock "
+                            "cap per soak ramp in seconds; the ramp "
+                            "is truncated past it (default 300)")
     bench.add_argument("--output", default=None,
                        help="where to write the timing report (default "
                             "BENCH_<suite>.json)")
@@ -1272,6 +1387,10 @@ def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
                        help="TCP port (0 = ephemeral; default 7471)")
     serve.add_argument("--grace", type=float, default=5.0,
                        help="drain grace period in seconds on shutdown")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="shard-partitioned cluster worker "
+                            "processes on ephemeral ports (1 = one "
+                            "in-process server on --port)")
     serve.set_defaults(func=_cmd_serve)
 
     list_cmd = sub.add_parser("list", help="list registered data structures")

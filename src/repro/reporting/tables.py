@@ -437,6 +437,38 @@ def service_latency_table(section: dict) -> str:
     return _format_table(headers, rows)
 
 
+def service_soak_table(leg: dict) -> str:
+    """The soak ramp of one deployment from a ``BENCH_service.json``
+    soak leg (``bench --suite service --soak``): one row per ramp
+    point — client processes, workload runs, committed-ops/s, latency
+    percentiles, pooled-domain reuses — with the knee row starred."""
+    points = leg.get("points", ())
+    if not points:
+        return "(no soak points to report)"
+    knee = leg.get("knee") or {}
+    rows = []
+    for point in points:
+        at_knee = point["clients"] == knee.get("clients")
+        rows.append([
+            f"{point['clients']}{' *' if at_knee else ''}",
+            str(point["runs"]),
+            str(point["committed_operations"]),
+            f"{point['committed_ops_per_second']:,.0f}",
+            f"{point['latency_ms']['p50']:.3f}",
+            f"{point['latency_ms']['p95']:.3f}",
+            str(point["domain_reuses"]),
+            "ERROR" if point["errors"] else "ok"])
+    headers = ["clients", "runs", "committed ops", "ops/s",
+               "latency p50 ms", "latency p95 ms", "domain reuses",
+               "status"]
+    table = _format_table(headers, rows)
+    if knee:
+        table += (f"\n(* knee: {knee['clients']} clients, "
+                  f"{knee['committed_ops_per_second']:,.0f} committed "
+                  f"ops/s, p95 {knee['latency_p95_ms']:.3f} ms)")
+    return table
+
+
 def percentile(values, q: float) -> float:
     """Nearest-rank percentile (``q`` in [0, 100]) of a non-empty
     sample — deliberately interpolation-free so tiny seed matrices

@@ -296,6 +296,21 @@ class ConflictManager:
         entry identity keeps the counters exact under multi-shard
         routing, so aggregated reports never double- or under-count.
         """
+        admitted, holder, _ = self.check_detail(txn_id, op_name, args,
+                                                current,
+                                                shard_ids=shard_ids)
+        return admitted, holder
+
+    def check_detail(self, txn_id: int, op_name: str,
+                     args: tuple[Any, ...], current: Record,
+                     shard_ids: Sequence[int] | None = None) \
+            -> tuple[bool, int | None, int | None]:
+        """:meth:`check_many` plus the shard the first conflict was
+        found in (``None`` when admitted).  The conflict shard is what
+        lets a shard-partitioned cluster merge per-worker verdicts
+        back into the single-process first-conflict order: shards are
+        scanned ascending, so the globally first conflict is the one
+        with the smallest shard id across workers."""
         if shard_ids is None:
             shard_ids = self.shards_for(op_name, args)
         seen: set[int] = set()
@@ -314,8 +329,8 @@ class ConflictManager:
                     if not self._pair_commutes(shard, logged, op_name,
                                                args, current):
                         shard.conflicts += 1
-                        return False, logged.txn_id
-        return True, None
+                        return False, logged.txn_id, sid
+        return True, None, None
 
     def _virtual_route(self, op_name: str,
                        args: tuple[Any, ...]) -> frozenset[int] | None:
@@ -679,10 +694,16 @@ class ConflictManager:
 
     # -- log maintenance ------------------------------------------------------
 
-    def record(self, entry: LoggedOperation) -> tuple[int, ...]:
+    def record(self, entry: LoggedOperation,
+               shard_ids: Sequence[int] | None = None) -> tuple[int, ...]:
         """Log an executed operation as outstanding, in every region it
-        is stored in; returns the region ids."""
-        shard_ids = self.store_regions(entry.op_name, entry.args)
+        is stored in; returns the region ids.  An explicit ``shard_ids``
+        restricts storage to that slice of the routed set — a cluster
+        worker stores only the shards it owns."""
+        if shard_ids is None:
+            shard_ids = self.store_regions(entry.op_name, entry.args)
+        else:
+            shard_ids = tuple(shard_ids)
         for sid in shard_ids:
             shard = self._shards[sid]
             with shard.lock:
@@ -702,6 +723,30 @@ class ConflictManager:
             shard = self._shards[sid]
             with shard.lock:
                 shard.log = [e for e in shard.log if e.txn_id != txn_id]
+
+    def reset(self) -> None:
+        """Back to an empty log with zeroed counters, keeping the
+        expensive admission machinery warm (memoized conditions and
+        routes, armed stable conditions, compiled closures).  Decisions
+        after a reset are identical to a freshly constructed manager's
+        — that equivalence is what makes server-side domain reuse
+        sound."""
+        for shard in self._shards:
+            with shard.lock:
+                shard.log = []
+                shard.checks = 0
+                shard.conflicts = 0
+                shard.drift_checks = 0
+                shard.stable_hits = 0
+                shard.proved_hits = 0
+                shard.fallbacks = 0
+                shard.fallback_admits = 0
+                shard.undo_refusals = 0
+                shard.compiled_hits = 0
+                shard.eval_errors = 0
+                shard.eval_error_sample.clear()
+                shard.eval_error_dropped = 0
+        self._touched.clear()
 
     def close(self) -> None:
         """Release backend resources; a no-op for in-process managers

@@ -20,6 +20,14 @@ stats collection or close.
 ``SpeculativeExecutor(backend=...)`` — serial per process
 (``supports_threads`` is False); cross-process parallelism comes from
 running more client processes, which is the point of the service.
+
+The backend is *pooled*: it keeps one persistent connection per
+cluster worker (the partition map comes from ``hello``) and a keyed
+domain cache, so repeated executions of the same (structure, policy,
+shards, arming) reuse the server-side domain through a ``reset`` frame
+— the compiled stable conditions stay warm instead of being re-armed
+per run.  :meth:`ServiceBackend.bump_epoch` invalidates the cache
+explicitly (the cached domains are closed server-side).
 """
 
 from __future__ import annotations
@@ -37,18 +45,51 @@ class ServiceError(RuntimeError):
     """The server answered a frame with ``ok: false``."""
 
 
-class ServiceClient:
-    """A blocking frame-RPC connection to one admission server."""
+#: Ceiling on one exponential-backoff sleep between connect attempts.
+MAX_BACKOFF_SECONDS = 2.0
 
-    def __init__(self, host: str, port: int,
-                 timeout: float = 30.0) -> None:
+
+class ServiceClient:
+    """A blocking frame-RPC connection to one admission server.
+
+    Connecting retries with bounded exponential backoff (a server
+    subprocess that is still binding its port looks exactly like a
+    refused connection); after the handshake every call is covered by
+    ``call_timeout`` so a hung server surfaces as ``socket.timeout``
+    instead of a silent stall."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 call_timeout: float = 60.0,
+                 connect_retries: int = 5,
+                 backoff: float = 0.05) -> None:
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port),
-                                              timeout=timeout)
+        self._sock = self._connect(host, port, timeout,
+                                   connect_retries, backoff)
+        self._sock.settimeout(call_timeout)
         self._recv = self._sock.makefile("rb")
         hello = self.call(protocol.hello_frame())
         self.server_version = hello.get("v")
+        #: The server's cluster map: worker count, this server's worker
+        #: id, and every worker's port (single-process servers report a
+        #: one-entry map).
+        self.cluster = hello.get("cluster") or {
+            "workers": 1, "worker_id": 0, "ports": [port]}
+
+    @staticmethod
+    def _connect(host: str, port: int, timeout: float, retries: int,
+                 backoff: float) -> socket.socket:
+        delay = backoff
+        for attempt in range(retries + 1):
+            try:
+                return socket.create_connection((host, port),
+                                                timeout=timeout)
+            except OSError:
+                if attempt == retries:
+                    raise
+                time.sleep(min(delay, MAX_BACKOFF_SECONDS))
+                delay *= 2
+        raise OSError("unreachable")  # pragma: no cover
 
     def _read_response(self) -> dict[str, Any]:
         prefix = self._recv.read(4)
@@ -94,10 +135,15 @@ class RemoteConflictManager:
     """
 
     def __init__(self, client: ServiceClient, domain: int,
-                 shards: int, owns_client: bool = True) -> None:
+                 shards: int, owns_client: bool = True,
+                 pooled: bool = False) -> None:
         self._client = client
         self._domain = domain
         self._owns_client = owns_client
+        #: Pooled managers belong to a backend's domain cache: close()
+        #: flushes and snapshots final stats but leaves the domain open
+        #: (the next execution resets it) and the connection up.
+        self._pooled = pooled
         self.num_shards = shards
         #: record/release frames awaiting the next check's batch.
         self._pending: list[dict[str, Any]] = []
@@ -199,11 +245,19 @@ class RemoteConflictManager:
         return [dict(stats) for stats in self.stats()["shard_stats"]]
 
     def close(self) -> None:
-        """Flush the pipeline, retire the server-side domain (its final
-        stats become this manager's), and drop the connection."""
+        """Flush the pipeline and snapshot final stats.  Owned
+        connections retire the server-side domain and drop the socket;
+        pooled ones leave both alive for the backend's domain cache to
+        reuse."""
         if self._closed:
             return
         self._closed = True
+        if self._pooled:
+            self._flush()
+            response = self._client.call(
+                protocol.stats_frame(self._domain))
+            self._stats = response["stats"]
+            return
         try:
             self._flush()
             response = self._client.call(
@@ -215,30 +269,112 @@ class RemoteConflictManager:
 
 
 class ServiceBackend(AdmissionBackend):
-    """Admission decisions from a remote server; one connection and
-    one server-side domain per execution."""
+    """Admission decisions from a remote server or cluster.
+
+    Connections are pooled (one per cluster worker, learned from the
+    ``hello`` partition map) and server-side domains are cached by
+    (structure, policy, shards, stable, compiled): a repeated
+    execution sends a ``reset`` frame instead of re-opening, so the
+    server's armed stable conditions and compiled closures stay warm.
+    ``bump_epoch()`` invalidates the cache.  Serial per process, like
+    the managers it hands out."""
 
     kind = "service"
     supports_threads = False
 
     def __init__(self, host: str, port: int, *, label: str = "",
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0, call_timeout: float = 60.0,
+                 connect_retries: int = 5, registry=None) -> None:
         self.host = host
         self.port = port
         self.label = label
         self.timeout = timeout
+        self.call_timeout = call_timeout
+        self.connect_retries = connect_retries
+        self.registry = registry
+        self._clients: list[ServiceClient] | None = None
+        self._epoch = 0
+        #: (epoch, structure, policy, shards, stable, compiled) ->
+        #: one open domain id per pooled connection.
+        self._domains: dict[tuple, list[int]] = {}
+        #: Executions served by resetting a cached domain instead of
+        #: opening one (mirrors the server's ``domain_reuse_total``).
+        self.domain_reuses = 0
+
+    def _dial(self, port: int) -> ServiceClient:
+        return ServiceClient(self.host, port, timeout=self.timeout,
+                             call_timeout=self.call_timeout,
+                             connect_retries=self.connect_retries)
+
+    def _pool(self) -> list[ServiceClient]:
+        """The pooled connections, one per cluster worker in worker-id
+        order (a single-process server pools one)."""
+        if self._clients is None:
+            first = self._dial(self.port)
+            try:
+                cluster = first.cluster
+                ports = list(cluster.get("ports") or [self.port])
+                clients: list[ServiceClient | None] = [None] * len(ports)
+                clients[int(cluster.get("worker_id", 0))] = first
+                for i, port in enumerate(ports):
+                    if clients[i] is None:
+                        clients[i] = self._dial(port)
+            except BaseException:
+                first.close()
+                raise
+            self._clients = clients
+        return self._clients
 
     def conflict_manager(self, ds_name: str, *,
                          policy: str = "commutativity", shards: int = 1,
-                         stable: bool = False,
-                         compiled: bool = False) -> RemoteConflictManager:
-        client = ServiceClient(self.host, self.port,
-                               timeout=self.timeout)
-        try:
-            response = client.call(protocol.open_frame(
+                         stable: bool = False, compiled: bool = False):
+        clients = self._pool()
+        key = (self._epoch, ds_name, policy, shards, stable, compiled)
+        domains = self._domains.get(key)
+        if domains is not None:
+            try:
+                for client, domain in zip(clients, domains):
+                    client.call(protocol.reset_frame(domain))
+                self.domain_reuses += 1
+            except ServiceError:
+                # The server evicted a retained domain; fall back to a
+                # fresh open under the same key.
+                del self._domains[key]
+                domains = None
+        if domains is None:
+            domains = [client.call(protocol.open_frame(
                 ds_name, policy=policy, shards=shards, stable=stable,
-                compiled=compiled, label=self.label))
-        except BaseException:
-            client.close()
-            raise
-        return RemoteConflictManager(client, response["domain"], shards)
+                compiled=compiled, label=self.label))["domain"]
+                for client in clients]
+            self._domains[key] = domains
+        if len(clients) == 1:
+            return RemoteConflictManager(clients[0], domains[0], shards,
+                                         owns_client=False, pooled=True)
+        from .cluster import PartitionedConflictManager
+        return PartitionedConflictManager(clients, domains, ds_name,
+                                          policy=policy, shards=shards,
+                                          registry=self.registry)
+
+    def bump_epoch(self) -> None:
+        """Explicit domain-cache invalidation: close every cached
+        domain server-side and start a fresh cache generation (the
+        next execution re-opens and re-arms)."""
+        self._epoch += 1
+        if self._clients is not None:
+            for domains in self._domains.values():
+                for client, domain in zip(self._clients, domains):
+                    try:
+                        client.call(protocol.close_frame(domain))
+                    except (ServiceError, OSError):
+                        pass
+        self._domains.clear()
+
+    def close(self) -> None:
+        """Close cached domains and drop the pooled connections."""
+        self.bump_epoch()
+        clients, self._clients = self._clients, None
+        for client in clients or ():
+            try:
+                client.close()
+            except OSError:
+                pass

@@ -1,0 +1,321 @@
+"""Shard-partitioned multi-process admission cluster.
+
+One admission server is one event loop on one core.  The cluster runs
+``N`` worker processes, each owning a disjoint slice of every domain's
+shard space — shard ``s`` belongs to worker ``s % N`` — so admission
+work for disjoint regions lands on different cores.  There is no
+server-side router: the *client* learns the partition map from
+``hello`` (every worker reports the same port list, installed before
+any worker accepts traffic), opens one pooled connection per worker,
+and splits each check/record/release by shard slice.
+
+Why the merged decisions are identical to a single-process server's
+(the digest-identity anchor that makes the deployment change safe):
+
+- Each domain has one serial client, and per-connection frame order is
+  preserved, so worker ``w``'s per-shard logs are byte-identical to
+  the single process's logs for the shards ``w`` owns.  A pending
+  (pipelined) record/release only ever matters on the workers that
+  store it, and any check that could scan those shards is routed to
+  the same workers, where it flushes the pending frames first — so no
+  check ever misses an entry that a single process would have seen.
+- A check scans shards in ascending id order and stops at the first
+  conflict.  Each worker scans its slice ascending and reports the
+  conflicting shard; the merge takes the smallest conflicting shard
+  across workers, which is exactly the shard the single process would
+  have stopped at — same verdict, same holder.
+- Globally-interacting operations (``size``, ``indexOf``, ...) route
+  to every shard, hence to every worker's slice; pair conditions are
+  pure, so replicated checks agree everywhere.  Only *counters*
+  differ (each worker checks its replica once), and counters are
+  deliberately outside :meth:`ExecutionReport.decision_digest`.
+
+The ascending-lock-order discipline needs no cross-worker coordination:
+each worker's asyncio shard locks cover exactly its own slice, and the
+client's serial per-domain traffic means there is nothing to deadlock
+against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Any, Sequence
+
+from . import protocol
+
+#: Seconds to wait for each cluster worker to report its port (and,
+#: after the map broadcast, its readiness).
+CLUSTER_START_TIMEOUT = 30.0
+
+
+# -- partitioning (pure helpers, shared by client and tests) -----------------
+
+def worker_of(shard_id: int, workers: int) -> int:
+    """The cluster worker owning ``shard_id``."""
+    return shard_id % workers
+
+
+def split_slices(shard_ids: Sequence[int],
+                 workers: int) -> dict[int, tuple[int, ...]]:
+    """Partition a routed shard set by owning worker, preserving the
+    ascending scan order within each slice (``shard_ids`` arrive
+    sorted from ``normalize_route``)."""
+    plan: dict[int, list[int]] = {}
+    for sid in shard_ids:
+        plan.setdefault(worker_of(sid, workers), []).append(sid)
+    return {w: tuple(ids) for w, ids in plan.items()}
+
+
+def merge_verdicts(verdicts: Sequence[dict[str, Any]]) \
+        -> tuple[bool, int | None, int | None]:
+    """Merge per-worker check responses into the single-process
+    verdict: admitted iff every slice admitted; otherwise the conflict
+    at the smallest shard id wins (ascending scan order means that is
+    the conflict a single process would have stopped at)."""
+    conflicts = [(int(v["shard"]), v["holder"]) for v in verdicts
+                 if not v.get("admitted")]
+    if conflicts:
+        shard, holder = min(conflicts, key=lambda pair: pair[0])
+        return False, holder, shard
+    return True, None, None
+
+
+# -- the client-side router ---------------------------------------------------
+
+class PartitionedConflictManager:
+    """The executor-facing manager surface over a shard-partitioned
+    cluster: one pooled connection and one server-side domain per
+    worker, frames split by shard slice, verdicts merged in order.
+
+    Serial use only, like :class:`~repro.service.client.
+    RemoteConflictManager`; routing is computed client-side by a
+    local manager of the same (structure, policy, shards) — the exact
+    router classes the servers run, so the split agrees with where
+    entries are stored.
+    """
+
+    def __init__(self, clients, domains: Sequence[int], ds_name: str, *,
+                 policy: str = "commutativity", shards: int = 1,
+                 registry=None) -> None:
+        from ..runtime.gatekeeper import conflict_manager
+        self._clients = list(clients)
+        self._domains = list(domains)
+        self._workers = len(self._clients)
+        self.num_shards = shards
+        #: Routing only — store/scan regions; never armed, never logs.
+        self._router = conflict_manager(ds_name, policy, shards=shards,
+                                        registry=registry)
+        #: Per-worker record/release frames awaiting that worker's next
+        #: check (order preserved per connection => decision identity).
+        self._pending: list[list[dict[str, Any]]] = \
+            [[] for _ in self._clients]
+        self._stats: dict[str, Any] | None = None
+        self._closed = False
+        self.admission_latencies: list[float] = []
+
+    # -- the admission hot path ----------------------------------------------
+
+    def shards_for(self, op_name: str,
+                   args: tuple[Any, ...]) -> tuple[int, ...]:
+        """Nothing to lock locally (the serial executor's contract);
+        the authoritative scan happens worker-side per slice."""
+        return ()
+
+    def check_many(self, txn_id: int, op_name: str,
+                   args: tuple[Any, ...], current,
+                   shard_ids=None) -> tuple[bool, int | None]:
+        route = self._router.shards_for(op_name, args)
+        plan = split_slices(route, self._workers)
+        self._stats = None
+        started = time.perf_counter()
+        verdicts = []
+        for worker in sorted(plan):
+            frames = self._pending[worker]
+            self._pending[worker] = []
+            frames.append(protocol.check_frame(
+                self._domains[worker], txn_id, op_name, args, current,
+                shards=plan[worker]))
+            verdicts.append(self._clients[worker].call_batch(frames)[-1])
+        self.admission_latencies.append(time.perf_counter() - started)
+        admitted, holder, _ = merge_verdicts(verdicts)
+        return admitted, holder
+
+    def admits(self, txn_id: int, op_name: str, args: tuple[Any, ...],
+               current) -> bool:
+        return self.check_many(txn_id, op_name, args, current)[0]
+
+    def admits_ex(self, txn_id: int, op_name: str,
+                  args: tuple[Any, ...], current,
+                  shard_ids=None) -> tuple[bool, int | None]:
+        return self.check_many(txn_id, op_name, args, current,
+                               shard_ids=shard_ids)
+
+    def record(self, entry, shard_ids=None) -> tuple[int, ...]:
+        route = self._router.store_regions(entry.op_name, entry.args)
+        for worker, slice_ids in split_slices(route,
+                                              self._workers).items():
+            self._pending[worker].append(protocol.record_frame(
+                self._domains[worker], entry, shards=slice_ids))
+        self._stats = None
+        return ()
+
+    def release(self, txn_id: int, reason: str = "commit") -> None:
+        """Released on *every* worker: a worker that logged nothing
+        for the transaction treats it as a no-op pop but still counts
+        the outcome, so per-worker commit/abort metrics agree."""
+        for worker in range(self._workers):
+            self._pending[worker].append(protocol.release_frame(
+                self._domains[worker], txn_id, reason))
+        self._stats = None
+
+    def touched(self, txn_id: int) -> tuple[int, ...]:
+        return ()
+
+    # -- stats surface (merged across workers) --------------------------------
+
+    def _flush_all(self) -> None:
+        for worker, frames in enumerate(self._pending):
+            if frames:
+                self._pending[worker] = []
+                self._clients[worker].call_batch(frames)
+
+    def stats(self) -> dict[str, Any]:
+        if self._stats is None:
+            self._flush_all()
+            per_worker = [
+                client.call(protocol.stats_frame(domain))["stats"]
+                for client, domain in zip(self._clients, self._domains)]
+            self._stats = self._merge_stats(per_worker)
+        return self._stats
+
+    def _merge_stats(self,
+                     per_worker: list[dict[str, Any]]) -> dict[str, Any]:
+        """One domain view from the per-worker slices: shard ``s``
+        comes from its owner, aggregate counters are summed (slices
+        are disjoint), and outcomes come from any worker — every
+        release is delivered to every worker, so after a flush they
+        all agree (max is robust mid-flight)."""
+        merged = dict(per_worker[0])
+        merged["counters"] = {
+            key: sum(stats["counters"].get(key, 0)
+                     for stats in per_worker)
+            for key in per_worker[0]["counters"]}
+        merged["shard_stats"] = [
+            per_worker[worker_of(sid, self._workers)]["shard_stats"][sid]
+            for sid in range(self.num_shards)]
+        merged["commits"] = max(s["commits"] for s in per_worker)
+        merged["aborts"] = max(s["aborts"] for s in per_worker)
+        released = merged["commits"] + merged["aborts"]
+        merged["abort_rate"] = (merged["aborts"] / released
+                                if released else 0.0)
+        merged["eval_error_sample"] = [
+            sample for stats in per_worker
+            for sample in stats["eval_error_sample"]]
+        merged["cluster_workers"] = self._workers
+        return merged
+
+    def counters(self) -> dict[str, int]:
+        return dict(self.stats()["counters"])
+
+    def _counter(self, name: str) -> int:
+        return self.stats()["counters"][name]
+
+    checks = property(lambda self: self._counter("checks"))
+    conflicts = property(lambda self: self._counter("conflicts"))
+    drift_checks = property(lambda self: self._counter("drift_checks"))
+    stable_hits = property(lambda self: self._counter("stable_hits"))
+    proved_hits = property(lambda self: self._counter("proved_hits"))
+    fallbacks = property(lambda self: self._counter("fallbacks"))
+    fallback_admits = property(
+        lambda self: self._counter("fallback_admits"))
+    undo_refusals = property(lambda self: self._counter("undo_refusals"))
+    compiled_hits = property(lambda self: self._counter("compiled_hits"))
+    eval_errors = property(lambda self: self._counter("eval_errors"))
+    eval_errors_dropped = property(
+        lambda self: self._counter("eval_errors_dropped"))
+
+    def eval_error_samples(self) -> list[dict[str, Any]]:
+        return list(self.stats()["eval_error_sample"])
+
+    def shard_stats(self) -> list[dict[str, int]]:
+        return [dict(stats) for stats in self.stats()["shard_stats"]]
+
+    def close(self) -> None:
+        """Flush every pipeline and snapshot merged final stats.  The
+        domains and connections belong to the backend's pool — the
+        next execution resets the domains instead of re-opening."""
+        if self._closed:
+            return
+        self._closed = True
+        self._flush_all()
+        self.stats()
+
+
+# -- cluster process management ----------------------------------------------
+
+def worker_entry(conn, host: str) -> None:
+    """Subprocess target for one cluster worker: bind an ephemeral
+    port, report it, learn the full cluster map (two-phase handshake —
+    every worker knows every port before any of them serve), then run
+    the admission server until SIGTERM."""
+    import socket as socket_mod
+    sock = socket_mod.create_server((host, 0))
+    conn.send(sock.getsockname()[1])
+    worker_id, ports = conn.recv()
+    from .server import run_server
+
+    def ready(port: int) -> None:
+        conn.send("ready")
+        conn.close()
+
+    run_server(host, 0, sock=sock, worker_id=worker_id,
+               cluster_ports=ports, on_ready=ready)
+
+
+def start_cluster(workers: int, host: str = "127.0.0.1"):
+    """Spawn ``workers`` admission-server processes, broadcast the
+    partition map, wait until every worker serves; returns
+    ``(processes, ports)`` with ports in worker-id order."""
+    ctx = mp.get_context("spawn")
+    processes, pipes = [], []
+    try:
+        for worker_id in range(workers):
+            parent, child = ctx.Pipe()
+            process = ctx.Process(
+                target=worker_entry, args=(child, host),
+                name=f"repro-admission-worker-{worker_id}")
+            process.start()
+            child.close()
+            processes.append(process)
+            pipes.append(parent)
+        ports = []
+        for parent in pipes:
+            if not parent.poll(CLUSTER_START_TIMEOUT):
+                raise RuntimeError(
+                    "cluster worker did not report its port in time")
+            ports.append(parent.recv())
+        for worker_id, parent in enumerate(pipes):
+            parent.send((worker_id, ports))
+        for parent in pipes:
+            if not parent.poll(CLUSTER_START_TIMEOUT):
+                raise RuntimeError(
+                    "cluster worker did not start serving in time")
+            parent.recv()
+            parent.close()
+    except BaseException:
+        stop_cluster(processes)
+        raise
+    return processes, ports
+
+
+def stop_cluster(processes) -> None:
+    """SIGTERM every worker (graceful drain), escalate stragglers."""
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(10.0)
+        if process.is_alive():
+            process.kill()
+            process.join(5.0)

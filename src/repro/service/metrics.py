@@ -84,6 +84,18 @@ def prometheus_text(snapshot: dict[str, Any]) -> str:
              [("", server["uptime_seconds"])])
     emit("server_domains_open", "gauge", "Admission domains open now.",
          [("", server.get("domains_open", 0))])
+    emit("server_active_connections", "gauge",
+         "Connections currently open against this server.",
+         [("", server.get("active_connections", 0))])
+    emit("server_worker_id", "gauge",
+         "This process's cluster worker id (0 when single-process); "
+         "every sample of a worker's scrape carries its label.",
+         [(_labels(worker=server.get("worker_id", 0),
+                   cluster_workers=server.get("cluster_workers", 1)), 1)])
+    emit("domain_reuse_total", "counter",
+         "Domains reset for reuse by a pooled client (the keyed "
+         "domain cache) instead of being re-opened.",
+         [("", server.get("domain_reuse_total", 0))])
 
     domains = snapshot.get("domains", [])
     for key in DOMAIN_COUNTERS:

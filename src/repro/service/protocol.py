@@ -12,13 +12,25 @@ a lossy codec would silently change decisions.
 
 Request frames (``t`` field):
 
-- ``hello``   — version handshake; the server refuses mismatches.
+- ``hello``   — version handshake; the server refuses mismatches.  The
+  response carries the server's *cluster map* (worker id, every
+  worker's port): a cluster-aware client learns the shard partition
+  from it and opens one pooled connection per worker.
 - ``open``    — create a server-side admission *domain* (one manager:
   structure, policy, shards, stable/compiled arming) → ``domain`` id.
 - ``check``   — batched admission (:meth:`ConflictManager.check_many`)
-  for one op against the domain's outstanding log → admitted/holder.
-- ``record``  — log an executed operation (wire LoggedOperation).
+  for one op against the domain's outstanding log → admitted/holder,
+  plus the shard the first conflict was found in (a cluster router
+  merges per-worker verdicts by smallest conflicting shard, which is
+  exactly the single-process first-conflict order).  An explicit
+  ``shards`` list restricts the scan to that slice of the routed set
+  (cluster workers own ``shard_id % workers == worker_id``).
+- ``record``  — log an executed operation (wire LoggedOperation); an
+  explicit ``shards`` list restricts storage to that slice.
 - ``release`` — drop a transaction's outstanding ops (commit/abort).
+- ``reset``   — clear a domain's log/counters/outcomes while keeping
+  its manager (compiled stable conditions, memoized routes) warm:
+  the domain-reuse path for repeated workload runs.
 - ``stats``   — the domain's counters + per-shard stats.
 - ``close``   — retire the domain.
 - ``batch``   — a list of the above, answered with a list of results
@@ -40,8 +52,10 @@ from ..eval.values import FMap, Record
 from ..runtime.gatekeeper import LoggedOperation
 
 #: Bumped on any frame-shape change; ``hello`` carries it and the
-#: server refuses clients it cannot speak to.
-PROTOCOL_VERSION = 1
+#: server refuses clients it cannot speak to.  v2: cluster map in the
+#: hello response, explicit ``shards`` slices on check/record, the
+#: conflicting shard in check responses, and the ``reset`` frame.
+PROTOCOL_VERSION = 2
 
 #: Frames above this are refused outright (a corrupt length prefix
 #: must not allocate gigabytes).  Kept under 2**31 so the length
@@ -158,19 +172,31 @@ def open_frame(structure: str, *, policy: str = "commutativity",
 
 
 def check_frame(domain: int, txn_id: int, op_name: str,
-                args: tuple[Any, ...], current: Record) -> dict[str, Any]:
-    return {"t": "check", "d": domain, "txn": txn_id, "op": op_name,
-            "args": encode_value(tuple(args)),
-            "state": encode_value(current)}
+                args: tuple[Any, ...], current: Record,
+                shards: tuple[int, ...] | None = None) -> dict[str, Any]:
+    frame = {"t": "check", "d": domain, "txn": txn_id, "op": op_name,
+             "args": encode_value(tuple(args)),
+             "state": encode_value(current)}
+    if shards is not None:
+        frame["shards"] = list(shards)
+    return frame
 
 
-def record_frame(domain: int, entry: LoggedOperation) -> dict[str, Any]:
-    return {"t": "record", "d": domain, "entry": wire_operation(entry)}
+def record_frame(domain: int, entry: LoggedOperation,
+                 shards: tuple[int, ...] | None = None) -> dict[str, Any]:
+    frame = {"t": "record", "d": domain, "entry": wire_operation(entry)}
+    if shards is not None:
+        frame["shards"] = list(shards)
+    return frame
 
 
 def release_frame(domain: int, txn_id: int,
                   reason: str = "commit") -> dict[str, Any]:
     return {"t": "release", "d": domain, "txn": txn_id, "reason": reason}
+
+
+def reset_frame(domain: int) -> dict[str, Any]:
+    return {"t": "reset", "d": domain}
 
 
 def stats_frame(domain: int) -> dict[str, Any]:

@@ -95,11 +95,20 @@ class AdmissionServer:
     """The admission service: frame RPCs plus the HTTP metrics side."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 registry=None) -> None:
+                 registry=None, worker_id: int = 0) -> None:
         from ..api import resolve_registry
         self.host = host
         self.port = port
         self.registry = resolve_registry(registry)
+        #: This server's position in a shard-partitioned cluster (0 in
+        #: a single-process deployment); it owns every shard id with
+        #: ``shard_id % len(cluster_ports) == worker_id``.
+        self.worker_id = worker_id
+        #: Every cluster worker's port, in worker-id order — the
+        #: partition map the ``hello`` response hands to clients.
+        #: ``None`` until the cluster handshake (single-process servers
+        #: report a one-entry map of their own port).
+        self.cluster_ports: list[int] | None = None
         self._server: asyncio.AbstractServer | None = None
         self._domains: dict[int, _Domain] = {}
         self._next_domain = 0
@@ -110,15 +119,28 @@ class AdmissionServer:
         self._compile_lock = asyncio.Lock()
         self._started = time.monotonic()
         self.connections_total = 0
+        self.active_connections = 0
         self.rpcs_total = 0
         self.frames_total = 0
         self.http_requests_total = 0
+        self.domain_reuse_total = 0
+
+    def set_cluster(self, worker_id: int, ports: list[int]) -> None:
+        """Install the cluster map (called between bind and serve: the
+        workers bind ephemeral ports first, then everyone learns the
+        full port list before accepting traffic)."""
+        self.worker_id = worker_id
+        self.cluster_ports = list(ports)
 
     # -- lifecycle -----------------------------------------------------------
 
-    async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._on_connection, self.host, self.port)
+    async def start(self, sock=None) -> None:
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._on_connection, sock=sock)
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def serve_forever(self) -> None:
@@ -151,6 +173,7 @@ class AdmissionServer:
             self._conn_tasks.add(task)
             task.add_done_callback(self._conn_tasks.discard)
         self.connections_total += 1
+        self.active_connections += 1
         try:
             try:
                 prefix = await reader.readexactly(4)
@@ -163,6 +186,7 @@ class AdmissionServer:
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
+            self.active_connections -= 1
             with contextlib.suppress(Exception):
                 writer.close()
                 await writer.wait_closed()
@@ -248,8 +272,13 @@ class AdmissionServer:
                 f"protocol version mismatch: server speaks "
                 f"{protocol.PROTOCOL_VERSION}, client sent "
                 f"{frame.get('v')!r}")
+        ports = (self.cluster_ports if self.cluster_ports is not None
+                 else [self.port])
         return {"ok": True, "v": protocol.PROTOCOL_VERSION,
-                "server": "repro-admission"}
+                "server": "repro-admission",
+                "cluster": {"workers": len(ports),
+                            "worker_id": self.worker_id,
+                            "ports": list(ports)}}
 
     async def _frame_ping(self, frame: dict[str, Any]) -> dict[str, Any]:
         return {"ok": True}
@@ -290,26 +319,46 @@ class AdmissionServer:
             await asyncio.to_thread(compile_now)
             self._stable_ready.add(structure)
 
+    @staticmethod
+    def _shard_slice(manager, raw) -> tuple[int, ...]:
+        """A client-supplied shard slice, validated and normalized to
+        the ascending scan order every admission path uses."""
+        try:
+            ids = sorted({int(sid) for sid in raw})
+        except (TypeError, ValueError):
+            raise protocol.ProtocolError(f"bad shard slice {raw!r}")
+        if ids and not 0 <= ids[0] <= ids[-1] < manager.num_shards:
+            raise protocol.ProtocolError(
+                f"shard slice {ids} outside [0, {manager.num_shards})")
+        return tuple(ids)
+
     async def _frame_check(self, frame: dict[str, Any]) -> dict[str, Any]:
         domain = self._domain(frame)
         args = protocol.decode_value(frame["args"])
         current = protocol.decode_value(frame["state"])
         manager = domain.manager
-        shard_ids = manager.shards_for(frame["op"], args)
+        if frame.get("shards") is None:
+            shard_ids = manager.shards_for(frame["op"], args)
+        else:
+            shard_ids = self._shard_slice(manager, frame["shards"])
         async with self._locked(domain, shard_ids):
-            admitted, holder = manager.check_many(
+            admitted, holder, shard = manager.check_detail(
                 frame["txn"], frame["op"], args, current,
                 shard_ids=shard_ids)
-        return {"ok": True, "admitted": admitted, "holder": holder}
+        return {"ok": True, "admitted": admitted, "holder": holder,
+                "shard": shard}
 
     async def _frame_record(self, frame: dict[str, Any]) -> dict[str, Any]:
         domain = self._domain(frame)
         entry = protocol.unwire_operation(frame["entry"])
         manager = domain.manager
-        shard_ids = manager.store_regions(entry.op_name, entry.args)
+        if frame.get("shards") is None:
+            shard_ids = manager.store_regions(entry.op_name, entry.args)
+        else:
+            shard_ids = self._shard_slice(manager, frame["shards"])
         async with self._locked(domain, shard_ids):
             async with domain.touched_lock:
-                stored = manager.record(entry)
+                stored = manager.record(entry, shard_ids=shard_ids)
         return {"ok": True, "shards": list(stored)}
 
     async def _frame_release(self, frame: dict[str, Any]) -> dict[str, Any]:
@@ -325,6 +374,20 @@ class AdmissionServer:
         else:
             domain.commits += 1
         return {"ok": True}
+
+    async def _frame_reset(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """Domain reuse: wipe the log/counters/outcomes but keep the
+        manager — its armed stable conditions and compiled closures
+        stay warm, so a repeated workload run skips the arming cost
+        while starting from a decision-identical empty log."""
+        domain = self._domain(frame)
+        async with self._locked(domain, range(domain.manager.num_shards)):
+            async with domain.touched_lock:
+                domain.manager.reset()
+        domain.commits = 0
+        domain.aborts = 0
+        self.domain_reuse_total += 1
+        return {"ok": True, "domain": domain.domain_id}
 
     async def _frame_stats(self, frame: dict[str, Any]) -> dict[str, Any]:
         domain = self._domains.get(frame.get("d"))
@@ -358,12 +421,17 @@ class AdmissionServer:
             "server": {
                 "uptime_seconds": time.monotonic() - self._started,
                 "connections_total": self.connections_total,
+                "active_connections": self.active_connections,
                 "rpcs_total": self.rpcs_total,
                 "frames_total": self.frames_total,
                 "http_requests_total": self.http_requests_total,
                 "domains_open": sum(1 for d in self._domains.values()
                                     if not d.closed),
                 "domains_total": self._next_domain,
+                "domain_reuse_total": self.domain_reuse_total,
+                "worker_id": self.worker_id,
+                "cluster_workers": (len(self.cluster_ports)
+                                    if self.cluster_ports else 1),
                 "protocol_version": protocol.PROTOCOL_VERSION,
             },
             "domains": domains,
@@ -408,18 +476,26 @@ class AdmissionServer:
 
 def run_server(host: str = "127.0.0.1", port: int = 0, *, registry=None,
                on_ready: Callable[[int], None] | None = None,
-               grace: float = 5.0) -> None:
+               grace: float = 5.0, sock=None, worker_id: int = 0,
+               cluster_ports: list[int] | None = None) -> None:
     """Run an admission server until SIGTERM/SIGINT, then drain.
 
     ``on_ready`` is called with the bound port once the listener is up
     (port 0 binds an ephemeral port) — the CLI prints it, the bench
-    harness pipes it back to the parent process.
+    harness pipes it back to the parent process.  A cluster worker
+    passes its pre-bound ``sock`` (the parent collected every worker's
+    port before any of them serve) plus its ``worker_id`` and the full
+    ``cluster_ports`` map, which the ``hello`` response hands to
+    clients.
     """
     import signal
 
     async def main() -> None:
-        server = AdmissionServer(host, port, registry=registry)
-        await server.start()
+        server = AdmissionServer(host, port, registry=registry,
+                                 worker_id=worker_id)
+        if cluster_ports is not None:
+            server.set_cluster(worker_id, cluster_ports)
+        await server.start(sock=sock)
         if on_ready is not None:
             on_ready(server.port)
         stop = asyncio.Event()

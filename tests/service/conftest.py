@@ -48,8 +48,44 @@ class LiveServer:
         self.loop.close()
 
 
+class LiveCluster:
+    """``workers`` in-thread admission servers wired into one
+    shard-partitioned cluster: every server carries the same partition
+    map (worker id + full port list), exactly what ``start_cluster``
+    installs across real processes — minus the spawn latency."""
+
+    def __init__(self, workers: int) -> None:
+        self.servers = [LiveServer() for _ in range(workers)]
+        ports = [server.port for server in self.servers]
+        for worker_id, server in enumerate(self.servers):
+            server.server.set_cluster(worker_id, ports)
+
+    @property
+    def host(self) -> str:
+        return self.servers[0].host
+
+    @property
+    def port(self) -> int:
+        return self.servers[0].port
+
+    @property
+    def ports(self) -> list[int]:
+        return [server.port for server in self.servers]
+
+    def stop(self) -> None:
+        for server in self.servers:
+            server.stop()
+
+
 @pytest.fixture(scope="module")
 def live_server():
     server = LiveServer()
     yield server
     server.stop()
+
+
+@pytest.fixture(scope="module")
+def live_cluster():
+    cluster = LiveCluster(2)
+    yield cluster
+    cluster.stop()
