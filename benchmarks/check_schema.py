@@ -46,6 +46,38 @@ TOP_LEVEL_KEYS = {
     "wall_seconds": numbers.Real,
 }
 
+#: Aggregate keys of the ``abduction_gate`` section — the armed-delta,
+#: fallback-delta, and digest-identity facts the ``--abduce`` CI leg
+#: gates on.
+ABDUCTION_GATE_KEYS = {
+    "policy": str,
+    "shards": int,
+    "compiled": dict,
+    "structures": dict,
+    "baseline_semantic_hits": int,
+    "abduced_semantic_hits": int,
+    "baseline_hit_rate": numbers.Real,
+    "abduced_hit_rate": numbers.Real,
+    "armed_hits_delta": numbers.Real,
+    "fallback_delta": int,
+    "digests_identical": bool,
+    "warm_cache_served": bool,
+}
+
+#: Per-structure keys of ``abduction_gate.structures`` entries.
+ABDUCTION_ENTRY_KEYS = {
+    "workload": str,
+    "baseline_hits": int,
+    "baseline_fallbacks": int,
+    "abduced_stable_hits": int,
+    "abduced_proved_hits": int,
+    "synthesized_hits": int,
+    "abduced_fallbacks": int,
+    "fallback_admits": int,
+    "flat_sharded_identical": bool,
+    "local_served_identical": bool,
+}
+
 
 def _check_keys(mapping, spec, where, problems):
     for key, kind in spec.items():
@@ -246,8 +278,38 @@ def check_service_payload(payload, require_soak: bool = False
     return problems
 
 
+def _check_abduction_gate(gate, problems: list[str]) -> None:
+    """Validation of the ``abduction_gate`` section: the aggregate
+    armed-delta / fallback-delta keys, the per-structure hit and digest
+    facts, and the identities themselves (a present-but-failed gate
+    must not pass the schema check)."""
+    if not isinstance(gate, dict):
+        problems.append(f"abduction_gate is {type(gate).__name__}, "
+                        f"expected object")
+        return
+    _check_keys(gate, ABDUCTION_GATE_KEYS, "abduction_gate", problems)
+    structures = gate.get("structures")
+    if not structures:
+        problems.append("abduction_gate: structures is empty — the "
+                        "gate compared nothing")
+        return
+    for name, entry in sorted(structures.items()):
+        where = f"abduction_gate.structures[{name!r}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        _check_keys(entry, ABDUCTION_ENTRY_KEYS, where, problems)
+    if gate.get("digests_identical") is False:
+        problems.append("abduction_gate: sharded or served abduced "
+                        "decisions diverged from local flat ones")
+    if gate.get("warm_cache_served") is False:
+        problems.append("abduction_gate: the warm rerun recomputed "
+                        "ABDUCTION tasks instead of serving the cache")
+
+
 def check_payload(payload, require_compiled_gate: bool = False,
-                  require_soak: bool = False) -> list[str]:
+                  require_soak: bool = False,
+                  require_abduction_gate: bool = False) -> list[str]:
     """Every problem found, as human-readable strings (empty = valid)."""
     problems: list[str] = []
     if not isinstance(payload, dict):
@@ -261,6 +323,13 @@ def check_payload(payload, require_compiled_gate: bool = False,
     if not payload.get("structures"):
         problems.append("payload: structures is empty — the sweep ran "
                         "nothing")
+    abduction = payload.get("abduction_gate")
+    if abduction is None:
+        if require_abduction_gate:
+            problems.append("payload: abduction_gate section is "
+                            "missing (leg ran without --abduce?)")
+    else:
+        _check_abduction_gate(abduction, problems)
     gate = payload.get("compiled_gate")
     if gate is None:
         if require_compiled_gate:
@@ -300,6 +369,10 @@ def main(argv=None) -> int:
     parser.add_argument("--require-soak", action="store_true",
                         help="fail when the service suite's soak "
                              "section is absent (legs that ran --soak)")
+    parser.add_argument("--require-abduction-gate", action="store_true",
+                        help="fail when the runtime suite's "
+                             "abduction_gate section is absent (legs "
+                             "that ran --abduce)")
     args = parser.parse_args(argv)
     try:
         with open(args.report, encoding="utf-8") as handle:
@@ -310,7 +383,8 @@ def main(argv=None) -> int:
         return 2
     problems = check_payload(
         payload, require_compiled_gate=args.require_compiled_gate,
-        require_soak=args.require_soak)
+        require_soak=args.require_soak,
+        require_abduction_gate=args.require_abduction_gate)
     if problems:
         print(f"check_schema: {args.report} failed validation:",
               file=sys.stderr)

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Trend-check a soak-knee artifact against the committed baseline.
+
+The bench-service leg's ``--soak`` ramp already has a *hard* gate (the
+cluster knee must beat the single process within one run); what it
+cannot gate is drift across commits — a change that costs 30% of the
+saturation knee on both deployments still passes the in-run comparison.
+This checker compares the extracted ``KNEE_service.json`` against
+``benchmarks/KNEE_service_baseline.json`` and **warns** (never fails:
+knee throughput is host-dependent and CI runners are not lab machines)
+when a leg's knee committed-ops/s fell more than ``--threshold`` below
+the baseline::
+
+    python benchmarks/trend_knee.py KNEE_service.json \
+        --baseline benchmarks/KNEE_service_baseline.json
+
+Warnings are emitted both as plain stderr lines and as GitHub
+``::warning::`` annotations so they surface on the workflow summary
+without failing the leg.  The exit code is 0 unless the *current*
+artifact itself is unreadable (exit 2) — a missing or malformed
+baseline only warns, so regenerating it is never urgent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Knee regression fraction past which the trend check warns.
+DEFAULT_THRESHOLD = 0.20
+
+#: The deployment legs a knee artifact carries.
+LEGS = ("single", "cluster")
+
+
+def _warn(message: str) -> None:
+    print(f"trend_knee: WARNING: {message}", file=sys.stderr)
+    # The GitHub annotation renders on the workflow summary; harmless
+    # noise when run locally.
+    print(f"::warning title=soak knee trend::{message}")
+
+
+def _knee(payload: dict, leg: str) -> dict | None:
+    soak = payload.get("soak")
+    if not isinstance(soak, dict):
+        return None
+    entry = soak.get(leg)
+    if not isinstance(entry, dict):
+        return None
+    knee = entry.get("knee")
+    return knee if isinstance(knee, dict) else None
+
+
+def check_trend(current: dict, baseline: dict,
+                threshold: float = DEFAULT_THRESHOLD) -> list[str]:
+    """Warning lines for every leg whose knee regressed past
+    ``threshold`` (empty = no regression worth flagging)."""
+    warnings: list[str] = []
+    for leg in LEGS:
+        now, then = _knee(current, leg), _knee(baseline, leg)
+        if now is None:
+            warnings.append(f"{leg}: current artifact has no knee — "
+                            f"the soak ramp measured nothing")
+            continue
+        if then is None:
+            continue  # baseline predates this leg; nothing to compare
+        try:
+            now_ops = float(now["committed_ops_per_second"])
+            then_ops = float(then["committed_ops_per_second"])
+        except (KeyError, TypeError, ValueError):
+            warnings.append(f"{leg}: malformed knee entry "
+                            f"(current {now!r}, baseline {then!r})")
+            continue
+        if then_ops <= 0:
+            continue
+        drop = 1.0 - now_ops / then_ops
+        if drop > threshold:
+            warnings.append(
+                f"{leg}: knee {now_ops:,.0f} committed ops/s is "
+                f"{drop:.0%} below the baseline {then_ops:,.0f} "
+                f"(threshold {threshold:.0%}, baseline knee at "
+                f"{then.get('clients')} clients, now at "
+                f"{now.get('clients')})")
+    return warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="path to KNEE_service.json")
+    parser.add_argument("--baseline",
+                        default="benchmarks/KNEE_service_baseline.json",
+                        help="committed knee baseline to compare against")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="warn past this fractional knee drop "
+                             "(default 0.20)")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.report, encoding="utf-8") as handle:
+            current = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"trend_knee: unreadable {args.report}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as exc:
+        _warn(f"unreadable baseline {args.baseline}: {exc} — "
+              f"regenerate it from a trusted KNEE_service.json")
+        return 0
+    warnings = check_trend(current, baseline, args.threshold)
+    for line in warnings:
+        _warn(line)
+    if not warnings:
+        for leg in LEGS:
+            now, then = _knee(current, leg), _knee(baseline, leg)
+            if now and then:
+                print(f"trend_knee: {leg}: knee "
+                      f"{float(now['committed_ops_per_second']):,.0f} "
+                      f"committed ops/s vs baseline "
+                      f"{float(then['committed_ops_per_second']):,.0f} "
+                      f"— within {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

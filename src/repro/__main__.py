@@ -119,13 +119,15 @@ STABILITY_SCOPE_SEQ_LEN = 3
 
 def _compile_stable(registry: Registry, names, jobs=None,
                     cache=True, max_seq_len: int = STABILITY_SCOPE_SEQ_LEN,
-                    prover: bool = False):
+                    prover: bool = False, abduce: bool = False):
     """Compile and register drift-stable conditions for ``names``."""
     from .engine import run_stability_compilation
     scope = paper_scope(max_seq_len=max_seq_len)
     reports = run_stability_compilation(scope, names=names,
                                         registry=registry, jobs=jobs,
-                                        cache=cache, prover=prover)
+                                        cache=cache,
+                                        prover=prover or abduce,
+                                        abduce=abduce)
     for name, report in reports.items():
         registry.register_stable_conditions(
             name, report.stable_conditions(registry.spec(name)),
@@ -140,7 +142,7 @@ def _cmd_stability(args: argparse.Namespace, registry: Registry) -> int:
     reports = _compile_stable(registry, names, jobs=args.jobs,
                               cache=not args.no_cache,
                               max_seq_len=args.max_seq_len,
-                              prover=args.prover)
+                              prover=args.prover, abduce=args.abduce)
     print(stability_table(reports))
     print()
     for report in reports.values():
@@ -149,7 +151,7 @@ def _cmd_stability(args: argparse.Namespace, registry: Registry) -> int:
             line += (f" [{report.cache_hits}/"
                      f"{len(report.task_timings)} groups cached]")
         print(line)
-    if args.prover:
+    if args.prover or args.abduce:
         from .prover import prover_fingerprint
         fp = prover_fingerprint()
         countermodels = sum(
@@ -158,7 +160,40 @@ def _cmd_stability(args: argparse.Namespace, registry: Registry) -> int:
         print(f"prover: backend {fp['backend']} v{fp['prover_version']}"
               f", z3 {'available' if fp['external']['z3'] else 'absent'}"
               f", {countermodels} countermodels")
+    if args.abduce:
+        _print_abduction_trace(reports)
     return 0
+
+
+def _print_abduction_trace(reports) -> None:
+    """The ``--abduce`` trace: per-structure lattice-walk statistics,
+    then one compact line per prover-refuted abduced candidate with its
+    countermodel (root state, drift, arguments, first result) — the
+    loop's debugging surface."""
+    for name, report in reports.items():
+        stats = [pair.synthesis for pair in report.pairs
+                 if pair.synthesis]
+        if not stats:
+            continue
+        print(f"abduce: {name}: "
+              f"{sum(s['checked'] for s in stats)} candidates checked, "
+              f"{sum(s['pruned'] for s in stats)} pruned by "
+              f"countermodels, "
+              f"{sum(s['refuted'] for s in stats)} prover-refuted, "
+              f"{sum(s['armed'] for s in stats)} armed over "
+              f"{sum(s['rounds'] for s in stats)} rounds")
+    for name, report in reports.items():
+        for pair in report.pairs:
+            for c in pair.candidates:
+                if c.origin != "abduced" or c.countermodel is None:
+                    continue
+                cm = c.countermodel
+                args1 = ", ".join(cm.get("args1", ()))
+                args2 = ", ".join(cm.get("args2", ()))
+                print(f"abduce: refuted {name} {pair.pair_label} "
+                      f"[{c.text}]: root={cm.get('root')} "
+                      f"drift={cm.get('drift')} "
+                      f"args=({args1});({args2}) r1={cm.get('r1')}")
 
 
 def _cmd_run(args: argparse.Namespace, registry: Registry) -> int:
@@ -174,9 +209,11 @@ def _cmd_run(args: argparse.Namespace, registry: Registry) -> int:
         transactions=args.txns, ops_per_transaction=args.ops,
         key_space=args.key_space, value_space=args.value_space,
         preload=args.preload, seed=args.seed)
-    stable = args.stable or args.prover  # --prover implies --stable
+    # --prover and --abduce both imply --stable
+    stable = args.stable or args.prover or args.abduce
     if stable:
-        _compile_stable(registry, (args.name,), prover=args.prover)
+        _compile_stable(registry, (args.name,), prover=args.prover,
+                        abduce=args.abduce)
     harness = ThroughputHarness(registry=registry, workers=args.workers,
                                 batch=args.batch, shards=args.shards,
                                 adaptive=args.adaptive,
@@ -472,6 +509,9 @@ def _cmd_bench_runtime(args: argparse.Namespace, registry: Registry) -> int:
     seeds_failed = (args.seeds > 1
                     and _bench_seed_matrix_section(payload, registry,
                                                    args))
+    abduce_failed = (args.abduce
+                     and _bench_abduction_section(payload, registry,
+                                                  args))
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -480,7 +520,7 @@ def _cmd_bench_runtime(args: argparse.Namespace, registry: Registry) -> int:
           f"workers={args.workers}, wall {wall:.2f}s -> {output}")
     print(policy_comparison_table(runs))
     failed = (adaptive_failed or scaling_failed or stability_failed
-              or compiled_failed or seeds_failed)
+              or compiled_failed or seeds_failed or abduce_failed)
     not_serializable = [r for r in runs if not r.serializable]
     if not_serializable:
         print("bench: NOT SERIALIZABLE: "
@@ -712,6 +752,206 @@ def _bench_prover_gate(section: dict, registry: Registry, harness,
             f"prover: {fallbacks} conservative fallbacks with --prover "
             f">= {base_fallbacks} with --stable alone")
     return regressions
+
+
+#: The abduction gate's custom-structure leg: hot-key write-heavy
+#: traffic over the projector-less RegisterCell — repeated same-value
+#: overwrites are exactly what the abduced ``(v1 = v2) & (v2 = r1)``
+#: conditions admit, while the routerless conservative fallback admits
+#: nothing, so the leg guarantees the aggregate gate is strict.
+def _abduction_gate_workloads(registry: Registry):
+    from .abduction.demo import DEMO_FAMILY, register_demo_structure
+    from .workloads import WorkloadSpec
+    if DEMO_FAMILY not in registry.names():
+        register_demo_structure(registry)
+    demo = WorkloadSpec(name="abduction-hotkey-register",
+                        profile="write-heavy", distribution="hot-key",
+                        transactions=12, ops_per_transaction=6,
+                        key_space=24, value_space=3, seed=9)
+    return _stability_gate_workloads() + ((DEMO_FAMILY, demo),)
+
+
+def _served_run(registry: Registry, harness, name, workload, shards):
+    """One stable workload run whose admission decisions come from an
+    in-thread admission server *sharing this registry* — so the served
+    drift guard arms exactly the locally compiled conditions, abduced
+    tiers included, and the local==served digest identity is a real
+    invariant rather than a recompilation coincidence."""
+    import asyncio
+    import threading
+    from .service.client import ServiceBackend
+    from .service.server import AdmissionServer
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever,
+                              name="abduction-gate-server", daemon=True)
+    thread.start()
+
+    def call(coro, timeout: float = 60.0):
+        return asyncio.run_coroutine_threadsafe(coro, loop).result(timeout)
+
+    server = AdmissionServer("127.0.0.1", 0, registry=registry)
+    call(server.start())
+    serving = asyncio.run_coroutine_threadsafe(server.serve_forever(),
+                                               loop)
+    try:
+        backend = ServiceBackend(server.host, server.port,
+                                 registry=registry)
+        try:
+            return harness.run_one(name, workload,
+                                   policy="commutativity", workers=1,
+                                   shards=shards, stable=True,
+                                   backend=backend)
+        finally:
+            backend.close()
+    finally:
+        serving.cancel()
+        call(server.shutdown(grace=1.0))
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10.0)
+        loop.close()
+
+
+def _bench_abduction_section(payload: dict, registry: Registry,
+                             args: argparse.Namespace) -> bool:
+    """The ``--abduce`` gate: recompile with the CEGIS abduction loop
+    and rerun the stability-gate workloads plus the projector-less
+    custom-structure leg.  Returns True on gate failure — across the
+    legs in aggregate, the abduced conditions must strictly increase
+    the armed semantic admission *rate* (``stable + proved +
+    synthesized`` hits per drift check — a rate, not a count, because
+    the weaker abduced guard admits more operations early, diverging
+    the retry trace and with it the raw check volume) and strictly
+    reduce conservative fallbacks vs ``--stable --prover``; every leg
+    must stay serializable with byte-identical decision digests
+    flat==sharded and local==served; and a warm rerun must serve every
+    ABDUCTION task from the engine cache."""
+    from .engine.tasks import ABDUCTION
+    from .reporting.tables import drift_admission_table
+    from .workloads import ThroughputHarness
+    workloads = _abduction_gate_workloads(registry)
+    names = tuple(name for name, _ in workloads)
+    harness = ThroughputHarness(registry=registry)
+    regressions: list[str] = []
+    # Baseline: the full pre-abduction pipeline (--stable --prover).
+    _compile_stable(registry, names, prover=True)
+    baselines = {name: harness.run_one(name, workload,
+                                       policy="commutativity",
+                                       workers=1, shards=args.shards,
+                                       stable=True)
+                 for name, workload in workloads}
+    # Abduced: same workloads with the CEGIS loop armed on top.
+    reports = _compile_stable(registry, names, abduce=True)
+    section: dict = {
+        "policy": "commutativity", "shards": args.shards,
+        "compiled": {name: {"synthesized": report.synthesized_count,
+                            "proved": report.proved_count,
+                            "weakened": report.weakened_count,
+                            "fragile": report.fragile_count}
+                     for name, report in reports.items()},
+        "structures": {}}
+    runs = []
+    base_hits = base_fallbacks = hits = fallbacks = 0
+    base_checks = checks = 0
+    for name, workload in workloads:
+        abduced = harness.run_one(name, workload,
+                                  policy="commutativity", workers=1,
+                                  shards=args.shards, stable=True)
+        runs += [baselines[name], abduced]
+        base = baselines[name]
+        base_hits += (base.stable_hits + base.proved_hits
+                      + base.report.synthesized_hits)
+        base_fallbacks += base.drift_fallbacks
+        base_checks += base.report.drift_checks
+        hits += (abduced.stable_hits + abduced.proved_hits
+                 + abduced.report.synthesized_hits)
+        fallbacks += abduced.drift_fallbacks
+        checks += abduced.report.drift_checks
+        # Decision-identity legs: the sharded and served guards must
+        # reproduce the local flat run's decisions byte-for-byte.
+        flat = (abduced if args.shards == 1
+                else harness.run_one(name, workload,
+                                     policy="commutativity", workers=1,
+                                     shards=1, stable=True))
+        sharded = (abduced if args.shards > 1
+                   else harness.run_one(name, workload,
+                                        policy="commutativity",
+                                        workers=1, shards=2,
+                                        stable=True))
+        served = _served_run(registry, harness, name, workload,
+                             args.shards)
+        flat_sharded = (flat.report.decision_digest()
+                        == sharded.report.decision_digest())
+        local_served = (abduced.report.decision_digest()
+                        == served.report.decision_digest())
+        section["structures"][name] = {
+            "workload": workload.label,
+            "baseline_hits": (base.stable_hits + base.proved_hits
+                              + base.report.synthesized_hits),
+            "baseline_fallbacks": base.drift_fallbacks,
+            "abduced_stable_hits": abduced.stable_hits,
+            "abduced_proved_hits": abduced.proved_hits,
+            "synthesized_hits": abduced.report.synthesized_hits,
+            "abduced_fallbacks": abduced.drift_fallbacks,
+            "fallback_admits": abduced.report.fallback_admits,
+            "flat_sharded_identical": flat_sharded,
+            "local_served_identical": local_served,
+        }
+        if not (base.serializable and abduced.serializable
+                and served.serializable):
+            regressions.append(f"{name}: not serializable")
+        if not flat_sharded:
+            regressions.append(f"{name}: flat and sharded abduced "
+                               f"decisions diverged")
+        if not local_served:
+            regressions.append(f"{name}: local and served abduced "
+                               f"decisions diverged")
+    # Warm rerun: every ABDUCTION task must come from the engine cache.
+    warm = _compile_stable(registry, names, abduce=True)
+    abduction_timings = [t for report in warm.values()
+                         for t in report.task_timings
+                         if t.kind == ABDUCTION]
+    warm_cached = bool(abduction_timings) and all(
+        t.cached for t in abduction_timings)
+    base_rate = base_hits / base_checks if base_checks else 0.0
+    rate = hits / checks if checks else 0.0
+    section["baseline_semantic_hits"] = base_hits
+    section["abduced_semantic_hits"] = hits
+    section["baseline_hit_rate"] = round(base_rate, 4)
+    section["abduced_hit_rate"] = round(rate, 4)
+    section["armed_hits_delta"] = round(rate - base_rate, 4)
+    section["fallback_delta"] = fallbacks - base_fallbacks
+    section["digests_identical"] = all(
+        entry["flat_sharded_identical"] and
+        entry["local_served_identical"]
+        for entry in section["structures"].values())
+    section["warm_cache_served"] = warm_cached
+    payload["abduction_gate"] = section
+    if rate <= base_rate:
+        regressions.append(
+            f"abduce: {rate:.2%} armed semantic admission rate with "
+            f"--abduce <= {base_rate:.2%} with --stable --prover")
+    if fallbacks >= base_fallbacks:
+        regressions.append(
+            f"abduce: {fallbacks} conservative fallbacks with --abduce "
+            f">= {base_fallbacks} with --stable --prover")
+    if not warm_cached:
+        regressions.append("abduce: warm rerun did not serve every "
+                           "ABDUCTION task from .repro-cache")
+    print(drift_admission_table(runs))
+    for name, entry in section["structures"].items():
+        print(f"bench: abduction {name}: hits "
+              f"{entry['baseline_hits']} -> "
+              f"{entry['abduced_stable_hits'] + entry['abduced_proved_hits'] + entry['synthesized_hits']} "
+              f"({entry['synthesized_hits']} synthesized), fallbacks "
+              f"{entry['baseline_fallbacks']} -> "
+              f"{entry['abduced_fallbacks']}, digests "
+              f"flat==sharded={entry['flat_sharded_identical']} "
+              f"local==served={entry['local_served_identical']}")
+    if regressions:
+        print("bench: abduction gate failed:\n  "
+              + "\n  ".join(regressions), file=sys.stderr)
+        return True
+    return False
 
 
 #: Repetitions per compiled-gate cell; the best run is kept (wall-clock
@@ -1277,6 +1517,10 @@ def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
                      help="compile with the symbolic prover (implies "
                           "--stable): proved state-reading conditions "
                           "are armed too")
+    run.add_argument("--abduce", action="store_true",
+                     help="compile with the CEGIS abduction loop "
+                          "(implies --stable and the prover): "
+                          "synthesized conditions are armed too")
     run.add_argument("--compiled", action="store_true",
                      help="lower admission conditions into closures at "
                           "arm time (same decisions, faster checks)")
@@ -1296,6 +1540,12 @@ def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
                            help="discharge symbolic proof obligations "
                                 "too: proved pairs arm state-reading "
                                 "candidates the bounded sweep refuses")
+    stability.add_argument("--abduce", action="store_true",
+                           help="run the CEGIS abduction loop too "
+                                "(implies --prover): synthesize "
+                                "brand-new stable conditions and "
+                                "print the lattice-walk trace with "
+                                "per-refutation countermodels")
     _add_engine_options(stability)
     stability.set_defaults(func=_cmd_stability)
 
@@ -1327,6 +1577,13 @@ def build_parser(registry: Registry | None = None) -> argparse.ArgumentParser:
                             "prover leg to the stability gate (proved "
                             "admissions must strictly beat --stable "
                             "alone)")
+    bench.add_argument("--abduce", action="store_true",
+                       help="--suite runtime, with --stable: add the "
+                            "abduction gate (synthesized conditions "
+                            "must strictly beat --stable --prover on "
+                            "semantic admissions and fallbacks, with "
+                            "flat==sharded and local==served decision "
+                            "digests, warm-cache served reruns)")
     bench.add_argument("--compiled", action="store_true",
                        help="--suite runtime: add the compiled-vs-"
                             "interpreted admission section and its "

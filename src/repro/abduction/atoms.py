@@ -1,0 +1,98 @@
+"""The abduction lattice's atom alphabet.
+
+The CEGIS loop (:mod:`.loop`) walks conjunctions of *state-free* atoms
+over one pair's between vocabulary — argument equalities and
+disequalities, index-order relations, and observed-``r1`` links.  The
+footprint analyzer (:mod:`repro.stability.footprint`) derives a subset
+of these, but gates them on a registered shard router: the router's
+soundness contract is what makes argument relations *candidate*
+witnesses there.  Abduction needs no such license — every conjunction
+it proposes goes through the bounded quantified re-verifier (and the
+symbolic prover) before it can arm, so the alphabet is generated for
+**any** structure, including user-registered ones with no router and no
+projector hit.  That ungating is the whole point: it is how semantic
+admission coverage grows for structures the hand-derived candidate
+machinery cannot touch.
+
+Beyond the footprint set, the alphabet adds the atom classes the
+lattice needs to express *synthesized* conditions the pool never
+contained:
+
+- **argument equalities** (``v1 = v2``, ``k1 = k2``): the write-of-
+  what-is-being-written half of value coincidence — disequality
+  separates footprints, equality pins them to the *same* projection,
+  which commutes exactly when the observed ``r1`` agrees (hence the
+  conjunctions the loop discovers);
+- **first-operation result links** (``v1 = r1``): the footprint
+  analyzer links ``r1`` only to the *incoming* operation's arguments;
+  an overwrite-style operation whose result is the overwritten value
+  commutes with a successor precisely when its *own* argument equals
+  what it displaced — expressible only with the ``p1 = r1`` class.
+
+Atoms are deliberately state-free (no ``s1``/``s2``): armed
+conjunctions must extrapolate beyond the bounded scope, and the
+prover's theory fragment covers them.
+"""
+
+from __future__ import annotations
+
+from ..logic.sorts import Sort
+from ..specs.interface import Operation
+
+#: Caps the alphabet per pair; the lattice walk's per-round sweep cost
+#: is linear in the frontier it spawns.
+MAX_ATOMS = 16
+
+
+def equality_atoms(op1: Operation, op2: Operation) -> list[str]:
+    """Argument equalities and disequalities across the pair, for every
+    same-sort parameter combination (not just the first, unlike the
+    router-derived footprint set)."""
+    atoms: list[str] = []
+    for p1 in op1.params:
+        for p2 in op2.params:
+            if p1.sort is not p2.sort:
+                continue
+            atoms.append(f"{p1.name}1 = {p2.name}2")
+            atoms.append(f"{p1.name}1 ~= {p2.name}2")
+    return atoms
+
+
+def order_atoms(op1: Operation, op2: Operation) -> list[str]:
+    """Index-order relations for integer parameter combinations (the
+    banded-footprint logic, ungated)."""
+    atoms: list[str] = []
+    for p1 in op1.params:
+        for p2 in op2.params:
+            if p1.sort is not Sort.INT or p2.sort is not Sort.INT:
+                continue
+            atoms.append(f"{p2.name}2 < {p1.name}1")
+            atoms.append(f"{p1.name}1 < {p2.name}2")
+    return atoms
+
+
+def result_link_atoms(op1: Operation, op2: Operation) -> list[str]:
+    """Atoms linking the observed ``r1`` to either operation's
+    arguments — including the ``p1 = r1`` class the footprint analyzer
+    lacks."""
+    if op1.result_sort is None:
+        return []
+    atoms: list[str] = []
+    if op1.result_sort is Sort.BOOL:
+        atoms += ["r1", "~r1"]
+    for param in op2.params:
+        if param.sort is op1.result_sort:
+            atoms.append(f"{param.name}2 = r1")
+    for param in op1.params:
+        if param.sort is op1.result_sort:
+            atoms.append(f"{param.name}1 = r1")
+    return atoms
+
+
+def atom_pool(op1: Operation, op2: Operation) -> list[str]:
+    """The pair's full atom alphabet, deduplicated in a deterministic
+    order (the order doubles as the canonical conjunct order of every
+    synthesized condition text)."""
+    atoms = (equality_atoms(op1, op2) + order_atoms(op1, op2)
+             + result_link_atoms(op1, op2))
+    return list(dict.fromkeys(atoms))[:MAX_ATOMS]

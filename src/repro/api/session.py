@@ -107,7 +107,8 @@ class Session:
     def compile_stable(self, names: Sequence[str] | None = None,
                        scope: Scope | None = None,
                        jobs: int | None = None, cache=None,
-                       register: bool = True, prover: bool = False):
+                       register: bool = True, prover: bool = False,
+                       abduce: bool = False):
         """Compile drift-stable conditions for the named structures (or
         every structure with a condition catalog) and register the
         artifacts on this session's registry.
@@ -122,19 +123,33 @@ class Session:
         them up.  ``prover=True`` additionally discharges symbolic
         proof obligations through :mod:`repro.prover`, arming proved
         state-reading candidates and promoting fully-proved pairs to
-        the ``proved`` tier.
+        the ``proved`` tier.  ``abduce=True`` (implies ``prover``) runs
+        the CEGIS synthesis loop of :mod:`repro.abduction` on top,
+        abducing brand-new stable conditions for pairs — and whole
+        structures — the projector and footprint machinery cannot
+        touch; pairs that gain one carry the ``synthesized`` tier.
         """
         from ..engine import run_stability_compilation
         reports = run_stability_compilation(
             scope or self.scope, names=names, registry=self.registry,
             jobs=self._jobs(jobs), cache=self._cache(cache),
-            prover=prover)
+            prover=prover or abduce, abduce=abduce)
         if register:
             for name, report in reports.items():
                 self.registry.register_stable_conditions(
                     name, report.stable_conditions(self.spec(name)),
                     replace=True)
         return reports
+
+    def abduce_stable(self, names: Sequence[str] | None = None,
+                      scope: Scope | None = None,
+                      jobs: int | None = None, cache=None,
+                      register: bool = True):
+        """:meth:`compile_stable` with the full pipeline armed —
+        bounded sweep, symbolic prover, and the abduction loop."""
+        return self.compile_stable(names, scope=scope, jobs=jobs,
+                                   cache=cache, register=register,
+                                   prover=True, abduce=True)
 
     # -- synthesis -----------------------------------------------------------
 

@@ -14,9 +14,9 @@ to a serial uncached run.
 """
 
 from .cache import DEFAULT_CACHE_DIR, ResultCache
-from .fingerprint import (ENGINE_VERSION, condition_fingerprint,
-                          inverse_fingerprint, spec_fingerprint,
-                          stability_fingerprint,
+from .fingerprint import (ENGINE_VERSION, abduction_fingerprint,
+                          condition_fingerprint, inverse_fingerprint,
+                          spec_fingerprint, stability_fingerprint,
                           symbolic_stability_fingerprint, stable_hash,
                           task_key)
 from .pipeline import (run_inverse_verification, run_stability_compilation,
@@ -28,7 +28,8 @@ from .tasks import (ObligationOutcome, TaskOutcome, TaskTiming, VerifyTask,
 
 __all__ = [
     "DEFAULT_CACHE_DIR", "ResultCache",
-    "ENGINE_VERSION", "condition_fingerprint", "inverse_fingerprint",
+    "ENGINE_VERSION", "abduction_fingerprint", "condition_fingerprint",
+    "inverse_fingerprint",
     "spec_fingerprint", "stability_fingerprint",
     "symbolic_stability_fingerprint", "stable_hash", "task_key",
     "run_inverse_verification", "run_stability_compilation",

@@ -154,6 +154,23 @@ def symbolic_stability_fingerprint(conditions,
     return fingerprint
 
 
+def abduction_fingerprint(conditions, has_router: bool) -> dict[str, Any]:
+    """Fingerprint of one abduction (CEGIS) group.
+
+    The symbolic group's ingredients — condition formulas, router
+    presence, compiler version, prover identity (the loop screens
+    bounded-armed candidates through the prover, so installing z3 or
+    bumping the prover must retire syntheses) — plus the abduction
+    version covering the atom alphabet and the lattice walk
+    (:data:`repro.abduction.loop.ABDUCTION_VERSION`).  Toggling any
+    layer never serves a stale synthesis from ``.repro-cache``.
+    """
+    from ..abduction.loop import ABDUCTION_VERSION
+    fingerprint = symbolic_stability_fingerprint(conditions, has_router)
+    fingerprint["abduction_version"] = ABDUCTION_VERSION
+    return fingerprint
+
+
 def compiled_admission_fingerprint(spec_fp: dict[str, Any] | str, cond,
                                    label: str,
                                    ctx) -> dict[str, Any]:

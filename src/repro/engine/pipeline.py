@@ -101,7 +101,8 @@ def run_verification(scope: Scope | None = None, backend: str = "bounded",
 def run_stability_compilation(scope: Scope | None = None,
                               names: Sequence[str] | None = None,
                               registry=None, jobs: int | None = None,
-                              cache=False, prover: bool = False):
+                              cache=False, prover: bool = False,
+                              abduce: bool = False):
     """Compile drift-stability verdicts as a sharded task graph.
 
     Returns ``{structure name: StabilityReport}``.  Verdicts for
@@ -116,9 +117,17 @@ def run_stability_compilation(scope: Scope | None = None,
     (:func:`repro.stability.compiler.merge_proofs`), arming proved
     state-reading candidates and promoting fully-proved pairs to the
     ``proved`` verdict.
+
+    With ``abduce=True`` a third cached task kind (``ABDUCTION``) runs
+    the CEGIS synthesis loop of :mod:`repro.abduction` per group;
+    syntheses merge parent-side after the proofs
+    (:func:`repro.stability.compiler.merge_synthesis`), appending
+    armed abduced candidates and promoting pairs that gained one to
+    the ``synthesized`` tier.
     """
     from ..commutativity.conditions import Kind
-    from ..stability.compiler import merge_proofs, pair_from_payload
+    from ..stability.compiler import (merge_proofs, merge_synthesis,
+                                      pair_from_payload)
     from ..stability.quantified import PairStability
     from ..stability.report import StabilityReport
     registry = _resolve(registry)
@@ -135,6 +144,10 @@ def run_stability_compilation(scope: Scope | None = None,
         from ..prover.backend import proof_from_payload
         proof_plan = planner.plan_symbolic_stability(names, scope)
         proof_outcomes = _execute_plan(proof_plan, registry, jobs, cache)
+    synth_plan = synth_outcomes = None
+    if abduce:
+        synth_plan = planner.plan_abduction(names, scope)
+        synth_outcomes = _execute_plan(synth_plan, registry, jobs, cache)
     reports: dict[str, "StabilityReport"] = {}
     for name in names:
         report = StabilityReport(name=name,
@@ -159,6 +172,19 @@ def run_stability_compilation(scope: Scope | None = None,
                                            elapsed=result.elapsed))
                 report.task_timings.append(
                     _timing(proof_plan, index, outcome))
+        if abduce:
+            from ..abduction.loop import synthesis_from_payload
+            for index in synth_plan.structure_tasks[name]:
+                outcome = synth_outcomes[index]
+                for cond, result in zip(synth_plan.payloads[index],
+                                        outcome.results):
+                    pair = (cond.m1, cond.m2)
+                    compiled[pair] = merge_synthesis(
+                        compiled[pair],
+                        synthesis_from_payload(result.payload,
+                                               elapsed=result.elapsed))
+                report.task_timings.append(
+                    _timing(synth_plan, index, outcome))
         # Report entries follow catalog order, fragile or not.
         for cond in registry.conditions(name):
             if cond.kind is not Kind.BETWEEN:

@@ -16,12 +16,12 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from ..eval.enumeration import Scope
-from .fingerprint import (ENGINE_VERSION, condition_fingerprint,
-                          inverse_fingerprint, spec_fingerprint,
-                          stability_fingerprint,
+from .fingerprint import (ENGINE_VERSION, abduction_fingerprint,
+                          condition_fingerprint, inverse_fingerprint,
+                          spec_fingerprint, stability_fingerprint,
                           symbolic_stability_fingerprint, task_key)
-from .tasks import (BACKENDS, COMMUTATIVITY, INVERSE, STABILITY,
-                    SYMBOLIC_STABILITY, VerifyTask)
+from .tasks import (ABDUCTION, BACKENDS, COMMUTATIVITY, INVERSE,
+                    STABILITY, SYMBOLIC_STABILITY, VerifyTask)
 
 
 @dataclass
@@ -148,6 +148,37 @@ class TaskPlanner:
                 plan.tasks.append(VerifyTask(
                     index=index, kind=SYMBOLIC_STABILITY, structure=name,
                     backend="native", scope=scope, group=group,
+                    key=key))
+                plan.payloads[index] = tuple(conditions)
+                indexes.append(index)
+        return plan
+
+    def plan_abduction(self, names: Sequence[str],
+                       scope: Scope) -> TaskPlan:
+        """One CEGIS-synthesis task per (structure, first-operation
+        group) of drift-fragile between conditions — mirroring
+        :meth:`plan_stability` so bounded verdicts, symbolic proofs,
+        and syntheses shard, cache, and reassemble identically."""
+        from ..commutativity.conditions import Kind
+        plan = TaskPlan()
+        for name in dict.fromkeys(names):  # dedupe, preserving order
+            indexes = plan.structure_tasks.setdefault(name, [])
+            groups: dict[str, list] = {}
+            for cond in self.registry.conditions(name):
+                if cond.kind is Kind.BETWEEN and cond.drift_fragile:
+                    groups.setdefault(cond.m1, []).append(cond)
+            has_router = self.registry.has_shard_router(name)
+            for group, conditions in groups.items():
+                index = len(plan.tasks)
+                key = task_key(
+                    kind=ABDUCTION, structure=name, backend="bounded",
+                    scope=scope, spec_fp=self._spec_fp(name),
+                    obligations=abduction_fingerprint(conditions,
+                                                      has_router),
+                    engine_version=ENGINE_VERSION)
+                plan.tasks.append(VerifyTask(
+                    index=index, kind=ABDUCTION, structure=name,
+                    backend="bounded", scope=scope, group=group,
                     key=key))
                 plan.payloads[index] = tuple(conditions)
                 indexes.append(index)

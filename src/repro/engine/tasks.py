@@ -21,6 +21,7 @@ COMMUTATIVITY = "commutativity"
 INVERSE = "inverse"
 STABILITY = "stability"
 SYMBOLIC_STABILITY = "symbolic_stability"
+ABDUCTION = "abduction"
 
 #: Verification backends for commutativity tasks.
 BACKENDS = ("bounded", "symbolic")
@@ -70,6 +71,8 @@ class VerifyTask:
             return f"{self.structure} {self.group};* stability"
         if self.kind == SYMBOLIC_STABILITY:
             return f"{self.structure} {self.group};* prover"
+        if self.kind == ABDUCTION:
+            return f"{self.structure} {self.group};* abduce"
         return f"{self.structure} {self.inverse_op}^-1"
 
 
@@ -134,6 +137,8 @@ def execute_task(task: VerifyTask, registry=None) -> TaskOutcome:
         return _execute_stability(task, registry)
     if task.kind == SYMBOLIC_STABILITY:
         return _execute_symbolic_stability(task, registry)
+    if task.kind == ABDUCTION:
+        return _execute_abduction(task, registry)
     raise ValueError(f"unknown task kind {task.kind!r}")
 
 
@@ -207,6 +212,29 @@ def _execute_symbolic_stability(task: VerifyTask, registry) -> TaskOutcome:
                                         elapsed=proof.elapsed,
                                         payload=proof_payload(proof))
                       for proof in proofs))
+
+
+def _execute_abduction(task: VerifyTask, registry) -> TaskOutcome:
+    """Run the CEGIS synthesis loop for one condition group
+    (``--abduce`` runs; same grouping as the bounded stability task)."""
+    from ..abduction.loop import synthesis_payload, synthesize_pair
+    from ..commutativity.conditions import Kind
+    spec = registry.spec(task.structure)
+    conditions = [c for c in registry.conditions(task.structure)
+                  if c.kind is Kind.BETWEEN and c.m1 == task.group
+                  and c.drift_fragile]
+    if not conditions:
+        raise ValueError(f"no fragile between conditions in group "
+                         f"{task.group!r} of {task.structure!r}")
+    syntheses = [synthesize_pair(spec, cond, task.scope)
+                 for cond in conditions]
+    return TaskOutcome(
+        index=task.index,
+        elapsed=sum(synth.elapsed for synth in syntheses),
+        results=tuple(ObligationOutcome(cases=synth.cases,
+                                        elapsed=synth.elapsed,
+                                        payload=synthesis_payload(synth))
+                      for synth in syntheses))
 
 
 def _execute_inverse(task: VerifyTask, registry) -> TaskOutcome:

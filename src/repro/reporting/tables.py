@@ -317,7 +317,8 @@ def drift_admission_table(runs) -> str:
     """The drift guard's traffic per run: how many pair checks hit the
     guard, how many a compiled drift-stable condition admitted (split
     by certificate tier — ``stable hits`` for bounded-sweep weakenings,
-    ``proved hits`` for symbolically proved conditions), how many fell
+    ``proved hits`` for symbolically proved conditions, ``synth hits``
+    for conditions the abduction loop discovered), how many fell
     back to the conservative router oracle (and how many of those the
     oracle admitted), and how many would-be admissions the
     undo-commutation guard refused."""
@@ -329,13 +330,15 @@ def drift_admission_table(runs) -> str:
             # drift_fallbacks can be nonzero with zero drift_checks:
             # the EvalError path is conservative without being drifted.
             continue
-        semantic_hits = report.stable_hits + report.proved_hits
+        semantic_hits = (report.stable_hits + report.proved_hits
+                         + report.synthesized_hits)
         stable_rate = (semantic_hits / report.drift_checks
                        if report.drift_checks else 0.0)
         rows.append([run.structure, run.workload.label, run.policy,
                      "yes" if getattr(run, "stable", False) else "no",
                      str(report.drift_checks), str(report.stable_hits),
                      str(report.proved_hits),
+                     str(report.synthesized_hits),
                      f"{stable_rate:.0%}",
                      str(report.drift_fallbacks),
                      str(report.fallback_admits),
@@ -344,7 +347,8 @@ def drift_admission_table(runs) -> str:
         return "(no drift-guarded checks: every admission was in its " \
                "verified environment)"
     headers = ["structure", "workload", "policy", "stable",
-               "drift checks", "stable hits", "proved hits", "hit rate",
+               "drift checks", "stable hits", "proved hits",
+               "synth hits", "hit rate",
                "fallbacks", "fallback admits", "undo refusals"]
     return _format_table(headers, rows)
 
@@ -386,7 +390,8 @@ def stability_table(reports) -> str:
     repro stability``).  The ``armed/reported`` column splits each
     pair's candidates into the ones compiled into its runtime guard
     versus the ones kept as report-only evidence; a ``*`` marks proved
-    candidates (``--prover`` runs)."""
+    candidates (``--prover`` runs) and a ``+`` abduced ones
+    (``--abduce`` runs)."""
     if not isinstance(reports, dict):
         reports = {reports.name: reports}
     rows = []
@@ -395,9 +400,13 @@ def stability_table(reports) -> str:
             armed = sum(1 for c in pair.candidates if c.armed)
             proved = sum(1 for c in pair.candidates
                          if c.armed and c.proved)
+            abduced = sum(1 for c in pair.candidates
+                          if c.armed and c.origin == "abduced")
             split = f"{armed}/{len(pair.candidates)}"
             if proved:
                 split += f" ({proved}*)"
+            if abduced:
+                split += f" ({abduced}+)"
             rows.append([name, pair.pair_label, pair.verdict,
                          split if pair.candidates else "-",
                          pair.stable_text or "-"])

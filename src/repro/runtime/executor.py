@@ -96,6 +96,9 @@ class ExecutionReport:
     #: The subset of drift-guard admissions certified at the ``proved``
     #: tier (symbolically proved conditions, ``--prover`` compilations).
     proved_hits: int = 0
+    #: The subset certified at the ``synthesized`` tier (conditions the
+    #: abduction loop discovered, ``--abduce`` compilations).
+    synthesized_hits: int = 0
     drift_fallbacks: int = 0
     fallback_admits: int = 0
     #: Would-be admissions refused because the incoming operation does
@@ -330,6 +333,7 @@ class SpeculativeExecutor:
             report.drift_checks = manager.drift_checks
             report.stable_hits = manager.stable_hits
             report.proved_hits = manager.proved_hits
+            report.synthesized_hits = manager.synthesized_hits
             report.drift_fallbacks = manager.fallbacks
             report.fallback_admits = manager.fallback_admits
             report.undo_refusals = manager.undo_refusals

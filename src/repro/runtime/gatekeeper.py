@@ -105,9 +105,9 @@ class _Shard:
 
     __slots__ = ("shard_id", "lock", "log", "checks", "conflicts",
                  "drift_checks", "stable_hits", "proved_hits",
-                 "fallbacks", "fallback_admits", "undo_refusals",
-                 "compiled_hits", "eval_errors", "eval_error_sample",
-                 "eval_error_dropped")
+                 "synthesized_hits", "fallbacks", "fallback_admits",
+                 "undo_refusals", "compiled_hits", "eval_errors",
+                 "eval_error_sample", "eval_error_dropped")
 
     def __init__(self, shard_id: int) -> None:
         self.shard_id = shard_id
@@ -118,6 +118,7 @@ class _Shard:
         self.drift_checks = 0
         self.stable_hits = 0
         self.proved_hits = 0
+        self.synthesized_hits = 0
         self.fallbacks = 0
         self.fallback_admits = 0
         self.undo_refusals = 0
@@ -432,9 +433,13 @@ class ConflictManager:
                 if self._undo_guard(shard, logged, op2, args, current):
                     # An *effective* admission, counted by certificate
                     # tier (proved conditions carry an unbounded
-                    # symbolic proof; tier never changes the decision).
-                    if getattr(stable, "tier", "weakened") == "proved":
+                    # symbolic proof, synthesized ones an abduced
+                    # candidate; tier never changes the decision).
+                    tier = getattr(stable, "tier", "weakened")
+                    if tier == "proved":
                         shard.proved_hits += 1
+                    elif tier == "synthesized":
+                        shard.synthesized_hits += 1
                     else:
                         shard.stable_hits += 1
                     return True
@@ -739,6 +744,7 @@ class ConflictManager:
                 shard.drift_checks = 0
                 shard.stable_hits = 0
                 shard.proved_hits = 0
+                shard.synthesized_hits = 0
                 shard.fallbacks = 0
                 shard.fallback_admits = 0
                 shard.undo_refusals = 0
@@ -797,6 +803,12 @@ class ConflictManager:
         return sum(s.proved_hits for s in self._shards)
 
     @property
+    def synthesized_hits(self) -> int:
+        """Drifted pair checks admitted by an abduced condition (the
+        ``synthesized`` tier, ``--abduce`` compilations)."""
+        return sum(s.synthesized_hits for s in self._shards)
+
+    @property
     def fallbacks(self) -> int:
         """Conservative resolutions that consulted the router oracle."""
         return sum(s.fallbacks for s in self._shards)
@@ -848,7 +860,9 @@ class ConflictManager:
                  "conflicts": s.conflicts, "outstanding": len(s.log),
                  "drift_checks": s.drift_checks,
                  "stable_hits": s.stable_hits,
-                 "proved_hits": s.proved_hits, "fallbacks": s.fallbacks,
+                 "proved_hits": s.proved_hits,
+                 "synthesized_hits": s.synthesized_hits,
+                 "fallbacks": s.fallbacks,
                  "fallback_admits": s.fallback_admits,
                  "undo_refusals": s.undo_refusals,
                  "compiled_hits": s.compiled_hits,
@@ -864,6 +878,7 @@ class ConflictManager:
                 "drift_checks": self.drift_checks,
                 "stable_hits": self.stable_hits,
                 "proved_hits": self.proved_hits,
+                "synthesized_hits": self.synthesized_hits,
                 "fallbacks": self.fallbacks,
                 "fallback_admits": self.fallback_admits,
                 "undo_refusals": self.undo_refusals,

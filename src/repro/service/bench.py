@@ -481,6 +481,7 @@ EXPECTED_METRIC_NAMES = (
     "repro_shard_checks", "repro_shard_conflicts",
     "repro_shard_outstanding", "repro_shard_drift_checks",
     "repro_shard_stable_hits", "repro_shard_proved_hits",
+    "repro_shard_synthesized_hits",
     "repro_shard_fallbacks", "repro_shard_fallback_admits",
     "repro_shard_undo_refusals", "repro_shard_compiled_hits",
     "repro_shard_eval_errors", "repro_shard_eval_errors_dropped",

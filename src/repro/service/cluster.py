@@ -226,6 +226,8 @@ class PartitionedConflictManager:
     drift_checks = property(lambda self: self._counter("drift_checks"))
     stable_hits = property(lambda self: self._counter("stable_hits"))
     proved_hits = property(lambda self: self._counter("proved_hits"))
+    synthesized_hits = property(
+        lambda self: self._counter("synthesized_hits"))
     fallbacks = property(lambda self: self._counter("fallbacks"))
     fallback_admits = property(
         lambda self: self._counter("fallback_admits"))

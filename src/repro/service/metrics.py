@@ -19,7 +19,8 @@ PREFIX = "repro"
 #: The aggregate per-domain admission counters
 #: (:meth:`ConflictManager.counters` keys) exported as counters.
 DOMAIN_COUNTERS = ("checks", "conflicts", "drift_checks", "stable_hits",
-                   "proved_hits", "fallbacks", "fallback_admits",
+                   "proved_hits", "synthesized_hits",
+                   "fallbacks", "fallback_admits",
                    "undo_refusals", "compiled_hits", "eval_errors",
                    "eval_errors_dropped")
 

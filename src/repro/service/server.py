@@ -307,9 +307,16 @@ class AdmissionServer:
     async def _ensure_stable(self, structure: str) -> None:
         """Compile + register drift-stable conditions for ``structure``
         once per server (the engine cache makes reruns cheap); off the
-        event loop — compilation is CPU work."""
+        event loop — compilation is CPU work.  A registry that already
+        carries stable conditions for the structure — an in-process
+        server sharing its caller's registry after an ``--abduce`` or
+        ``--prover`` compilation — is honoured as-is, so served
+        decisions arm exactly the caller's tiers."""
         async with self._compile_lock:
             if structure in self._stable_ready:
+                return
+            if self.registry.has_stable_conditions(structure):
+                self._stable_ready.add(structure)
                 return
             from ..api import Session
 

@@ -27,7 +27,8 @@ the router oracle.
 """
 
 from .compiler import (STABILITY_COMPILER_VERSION, StableCondition,
-                       candidate_texts, compile_group, compile_pair)
+                       candidate_texts, compile_group, compile_pair,
+                       merge_proofs, merge_synthesis)
 from .footprint import footprint_candidates
 from .projector import state_free_projection, top_level_disjuncts
 from .quantified import CandidateResult, PairStability, check_pair
@@ -36,6 +37,7 @@ from .report import StabilityReport
 __all__ = [
     "STABILITY_COMPILER_VERSION", "StableCondition", "candidate_texts",
     "compile_group", "compile_pair",
+    "merge_proofs", "merge_synthesis",
     "footprint_candidates",
     "state_free_projection", "top_level_disjuncts",
     "CandidateResult", "PairStability", "check_pair",

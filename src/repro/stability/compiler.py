@@ -40,9 +40,13 @@ from .quantified import (CandidateResult, PairStability, _disjoin,
                          check_pair)
 
 #: Bump whenever the candidate generator or the quantified check could
-#: change a compiled verdict — it is part of the engine task key, so
-#: bumping retires every cached stability outcome at once.
-STABILITY_COMPILER_VERSION = 1
+#: change a compiled verdict *or its recorded shape* — it is part of
+#: the engine task key, so bumping retires every cached stability
+#: outcome at once.  v2: candidate payload rows grew origin / proved /
+#: countermodel columns and pairs a synthesis-stats section (the
+#: abduction loop), so v1 cache entries must never deserialize into
+#: the new shape.
+STABILITY_COMPILER_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -61,11 +65,13 @@ class StableCondition:
     #: The drift-stable formula over the pair's between vocabulary.
     text: str
     spec: DataStructureSpec = field(repr=False, default=None)
-    #: ``"weakened"`` (bounded-sweep certificate) or ``"proved"``
-    #: (every armed candidate symbolically proved over all states).
-    #: The gatekeeper counts admissions through it — ``proved_hits``
-    #: vs ``stable_hits`` — so the tier is decision-visible but never
-    #: decision-changing: both tiers admit identically.
+    #: ``"weakened"`` (bounded-sweep certificate), ``"proved"`` (every
+    #: armed candidate symbolically proved over all states), or
+    #: ``"synthesized"`` (at least one armed candidate abduced by the
+    #: CEGIS loop).  The gatekeeper counts admissions through it —
+    #: ``proved_hits`` vs ``synthesized_hits`` vs ``stable_hits`` — so
+    #: the tier is decision-visible but never decision-changing: all
+    #: tiers admit identically.
     tier: str = "weakened"
 
     def __post_init__(self) -> None:
@@ -150,7 +156,8 @@ def merge_proofs(pair: PairStability, proof) -> PairStability:
         candidates.append(CandidateResult(
             text=c.text, passed=c.passed, armed=armed,
             admitted=c.admitted, violations=c.violations, proved=proved,
-            countermodel=result.countermodel if refuted else None))
+            countermodel=result.countermodel if refuted else None,
+            origin=c.origin))
         if armed:
             survivors.append(c.text)
             all_proved = all_proved and proved
@@ -165,27 +172,74 @@ def merge_proofs(pair: PairStability, proof) -> PairStability:
         m1=pair.m1, m2=pair.m2, verdict=verdict,
         stable_text=stable_text, candidates=tuple(candidates),
         cases=pair.cases + proof.cases,
-        elapsed=pair.elapsed + proof.elapsed)
+        elapsed=pair.elapsed + proof.elapsed, synthesis=pair.synthesis)
+
+
+def merge_synthesis(pair: PairStability, synth) -> PairStability:
+    """Fold a :class:`~repro.abduction.loop.PairSynthesis` into a
+    bounded (and possibly proof-merged) verdict (``--abduce`` runs;
+    parent-side, after the ``ABDUCTION`` tasks resolve).
+
+    Abduction only *adds* admission power: armed abduced candidates
+    (already bounded-certified, and prover-screened for symbolic
+    families inside the loop) are appended — deduplicated by text
+    against the existing pool — and the pair's stable condition becomes
+    the disjunction of every armed candidate, old and new.  A pair that
+    gains at least one abduced armed candidate is promoted to the
+    ``synthesized`` tier; a synthesis that found nothing changes
+    nothing.  Prover-refuted abduced candidates are kept unarmed with
+    their countermodels — the loop's debugging surface.
+    """
+    known = {c.text for c in pair.candidates}
+    candidates = list(pair.candidates)
+    gained = False
+    for c in synth.conditions:
+        if c.text in known:
+            continue
+        known.add(c.text)
+        candidates.append(c)
+        gained = gained or c.armed
+    survivors = [c.text for c in candidates if c.armed]
+    stable_text = _disjoin(survivors)
+    verdict = "synthesized" if gained else pair.verdict
+    if stable_text is None:
+        verdict = "fragile"
+    return PairStability(
+        m1=pair.m1, m2=pair.m2, verdict=verdict,
+        stable_text=stable_text, candidates=tuple(candidates),
+        cases=pair.cases + synth.cases,
+        elapsed=pair.elapsed + synth.elapsed,
+        synthesis=synth.stats())
 
 
 # -- plain-data (de)serialization for the engine cache ------------------------
 
 def pair_payload(pair: PairStability) -> dict[str, Any]:
-    """A JSON-shaped rendering of one verdict (task outcome payload)."""
+    """A JSON-shaped rendering of one verdict (task outcome payload).
+
+    v2 rows (:data:`STABILITY_COMPILER_VERSION`): ``[text, passed,
+    armed, admitted, violations, proved, countermodel, origin]``.
+    Witnesses are deliberately dropped — they are the abduction loop's
+    transient counterexample store, not part of the verdict.
+    """
     return {
         "m1": pair.m1,
         "m2": pair.m2,
         "verdict": pair.verdict,
         "stable_text": pair.stable_text,
         "candidates": [[c.text, c.passed, c.armed, c.admitted,
-                        c.violations] for c in pair.candidates],
+                        c.violations, c.proved, c.countermodel,
+                        c.origin] for c in pair.candidates],
         "cases": pair.cases,
+        "synthesis": pair.synthesis,
     }
 
 
 def pair_from_payload(payload: dict[str, Any],
                       elapsed: float = 0.0) -> PairStability:
-    """Rebuild a verdict from a cached/worker payload."""
+    """Rebuild a verdict from a cached/worker payload (v2 shape only —
+    the compiler-version bump retires every v1 cache entry, so a v1
+    row can never reach this function through the engine)."""
     from .quantified import CandidateResult
     return PairStability(
         m1=payload["m1"], m2=payload["m2"],
@@ -194,7 +248,11 @@ def pair_from_payload(payload: dict[str, Any],
         candidates=tuple(
             CandidateResult(text=text, passed=bool(passed),
                             armed=bool(armed), admitted=int(admitted),
-                            violations=int(violations))
-            for text, passed, armed, admitted, violations
-            in payload.get("candidates", ())),
-        cases=int(payload.get("cases", 0)), elapsed=elapsed)
+                            violations=int(violations),
+                            proved=bool(proved),
+                            countermodel=countermodel,
+                            origin=str(origin))
+            for text, passed, armed, admitted, violations, proved,
+            countermodel, origin in payload.get("candidates", ())),
+        cases=int(payload.get("cases", 0)), elapsed=elapsed,
+        synthesis=payload.get("synthesis"))

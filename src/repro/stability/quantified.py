@@ -93,6 +93,16 @@ class CandidateResult:
     #: The prover's refutation witness, when it found one
     #: (JSON-shaped; see :func:`repro.prover.native.prove_pair`).
     countermodel: dict | None = None
+    #: Where the candidate came from: ``"candidate"`` (projector /
+    #: footprint pool) or ``"abduced"`` (the CEGIS loop of
+    #: :mod:`repro.abduction`).  Armed abduced candidates are what
+    #: promote a pair to the ``synthesized`` tier.
+    origin: str = "candidate"
+    #: Violating observations ``(args1, args2, r1)`` recorded when the
+    #: sweep ran with ``witness_limit > 0`` — the abduction loop's
+    #: counterexample store.  Transient: never serialized into task
+    #: payloads (see :func:`repro.stability.compiler.pair_payload`).
+    witnesses: tuple = field(default=(), compare=False)
 
 
 @dataclass
@@ -104,16 +114,22 @@ class PairStability:
     #: ``"stable"`` — the original condition is arg/result-only and
     #: needs no guard; ``"proved"`` — a weakening was compiled and
     #: every armed candidate carries a symbolic proof over all states
-    #: (``--prover`` runs only); ``"weakened"`` — a drift-stable
-    #: weakening was compiled from the bounded sweep; ``"fragile"`` —
-    #: no candidate survived, the runtime keeps its conservative
-    #: fallback.
+    #: (``--prover`` runs only); ``"synthesized"`` — at least one armed
+    #: candidate was abduced by the CEGIS loop (``--abduce`` runs
+    #: only); ``"weakened"`` — a drift-stable weakening was compiled
+    #: from the bounded sweep; ``"fragile"`` — no candidate survived,
+    #: the runtime keeps its conservative fallback.
     verdict: str
     #: The drift-stable formula ('weakened' verdicts only).
     stable_text: str | None = None
     candidates: tuple[CandidateResult, ...] = ()
     cases: int = 0
     elapsed: float = field(default=0.0, compare=False)
+    #: Lattice-walk statistics when the abduction loop ran for this
+    #: pair (``--abduce``): checked / pruned / refuted candidate counts
+    #: and the number of frontier rounds — the synthesis trace the CLI
+    #: and the README example surface.
+    synthesis: dict | None = None
 
     @property
     def pair_label(self) -> str:
@@ -145,7 +161,8 @@ def _parse_candidates(spec: DataStructureSpec,
 
 
 def check_pair(spec: DataStructureSpec, cond: CommutativityCondition,
-               candidate_texts: list[str], scope: Scope) -> PairStability:
+               candidate_texts: list[str], scope: Scope,
+               witness_limit: int = 0) -> PairStability:
     """Run the quantified sweep for one drift-fragile between condition.
 
     One pass over the pair's case enumeration serves every candidate
@@ -155,6 +172,11 @@ def check_pair(spec: DataStructureSpec, cond: CommutativityCondition,
     commutes at *every* consistent root, and per candidate the
     observations under which it would admit; a candidate survives iff
     its admissions never meet a non-universally-commuting observation.
+
+    ``witness_limit > 0`` additionally records, per failed candidate,
+    up to that many violating observations on
+    :attr:`CandidateResult.witnesses` — the refuting traces the
+    abduction loop strengthens against.
     """
     start = time.perf_counter()
     op1, op2 = cond.op1, cond.op2
@@ -230,9 +252,12 @@ def check_pair(spec: DataStructureSpec, cond: CommutativityCondition,
                             admit(text, obs)
     survivors: list[str] = []
     for text, result in results.items():
-        result.violations = sum(
-            1 for obs in admitted_under[text]
-            if not always_commutes.get(obs, False))
+        violating = [obs for obs in admitted_under[text]
+                     if not always_commutes.get(obs, False)]
+        result.violations = len(violating)
+        if witness_limit > 0 and violating:
+            result.witnesses = tuple(sorted(violating,
+                                            key=repr)[:witness_limit])
         result.passed = result.violations == 0 and result.admitted > 0
         result.armed = result.passed and state_free[text]
         if result.armed:

@@ -42,6 +42,12 @@ class StabilityReport:
         return self._count("proved")
 
     @property
+    def synthesized_count(self) -> int:
+        """Pairs that gained at least one armed abduced candidate from
+        the CEGIS loop (``--abduce`` runs only)."""
+        return self._count("synthesized")
+
+    @property
     def fragile_count(self) -> int:
         """Conditions left to the conservative runtime fallback."""
         return self._count("fragile")
@@ -60,12 +66,14 @@ class StabilityReport:
                             text=pair.stable_text, spec=spec,
                             tier=pair.verdict)
             for pair in self.pairs
-            if pair.verdict in ("weakened", "proved"))
+            if pair.verdict in ("weakened", "proved", "synthesized"))
 
     def summary(self) -> str:
         proved = (f", {self.proved_count} proved"
                   if self.proved_count else "")
+        synthesized = (f", {self.synthesized_count} synthesized"
+                       if self.synthesized_count else "")
         return (f"{self.name}: {len(self.pairs)} between conditions — "
                 f"{self.stable_count} stable, {self.weakened_count} "
-                f"weakened{proved}, {self.fragile_count} fragile "
-                f"({self.elapsed:.2f}s)")
+                f"weakened{proved}{synthesized}, {self.fragile_count} "
+                f"fragile ({self.elapsed:.2f}s)")

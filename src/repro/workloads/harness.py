@@ -70,6 +70,10 @@ class WorkloadRun:
         return self.report.proved_hits
 
     @property
+    def synthesized_hits(self) -> int:
+        return self.report.synthesized_hits
+
+    @property
     def drift_fallbacks(self) -> int:
         return self.report.drift_fallbacks
 

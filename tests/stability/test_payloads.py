@@ -1,0 +1,113 @@
+"""Round-trips of the compiled-verdict payloads through the engine
+cache shape — the v2 rows that carry the synthesized tier's origin /
+proved / countermodel columns — plus the compiler-version bump that
+retires every v1 cache entry."""
+
+import json
+
+from repro.abduction import DEMO_FAMILY, make_demo_registry
+from repro.api import Session
+from repro.stability import (STABILITY_COMPILER_VERSION, CandidateResult,
+                             PairStability)
+from repro.stability.compiler import pair_from_payload, pair_payload
+
+
+def _pair(**overrides) -> PairStability:
+    """A synthesized-tier verdict exercising every payload column."""
+    fields = dict(
+        m1="write", m2="write", verdict="synthesized",
+        stable_text="(v1 = v2) | (v1 = r1)",
+        candidates=(
+            CandidateResult(text="v1 = v2", passed=True, armed=True,
+                            admitted=7, violations=0),
+            CandidateResult(text="v1 = r1", passed=True, armed=True,
+                            admitted=3, violations=0, proved=True,
+                            origin="abduced"),
+            CandidateResult(text="v2 = r1", passed=False, armed=False,
+                            admitted=2, violations=1, origin="abduced",
+                            countermodel={"family": "RegisterCell",
+                                          "root": "{value: a}",
+                                          "drift": "{value: b}",
+                                          "args1": ["'a'"],
+                                          "args2": ["'b'"],
+                                          "r1": "'init'"}),
+        ),
+        cases=42,
+        synthesis={"checked": 8, "pruned": 1, "refuted": 0,
+                   "rounds": 3, "armed": 2},
+    )
+    fields.update(overrides)
+    return PairStability(**fields)
+
+
+def test_payload_roundtrip_preserves_synthesized_tier():
+    pair = _pair()
+    rebuilt = pair_from_payload(pair_payload(pair))
+    assert rebuilt == pair
+    # The v2 columns specifically: they are what the version bump
+    # protects, so spell them out beyond dataclass equality.
+    by_text = {c.text: c for c in rebuilt.candidates}
+    assert by_text["v1 = r1"].origin == "abduced"
+    assert by_text["v1 = r1"].proved
+    assert by_text["v2 = r1"].countermodel["r1"] == "'init'"
+    assert rebuilt.synthesis == pair.synthesis
+    assert rebuilt.verdict == "synthesized"
+
+
+def test_payload_roundtrip_of_plain_verdicts():
+    for verdict, text in (("weakened", "v1 ~= v2"), ("fragile", None)):
+        pair = _pair(verdict=verdict, stable_text=text, candidates=(),
+                     synthesis=None)
+        assert pair_from_payload(pair_payload(pair)) == pair
+
+
+def test_payload_survives_json_serialization():
+    """The engine cache persists payloads as JSON text: the round-trip
+    must hold through an actual dumps/loads, not just dict identity."""
+    pair = _pair()
+    thawed = json.loads(json.dumps(pair_payload(pair)))
+    assert pair_from_payload(thawed) == pair
+
+
+def test_payload_drops_transient_witnesses():
+    """Witnesses are the abduction loop's in-memory counterexample
+    store; they never reach the cache."""
+    pair = _pair(candidates=(
+        CandidateResult(text="v1 = v2", passed=False, armed=False,
+                        admitted=1, violations=2, origin="abduced",
+                        witnesses=(("'a'",), ("'b'",), "'init'")),))
+    payload = pair_payload(pair)
+    assert "witness" not in json.dumps(payload)
+    rebuilt = pair_from_payload(payload)
+    assert rebuilt.candidates[0].witnesses == ()
+    # witnesses are compare=False, so equality still holds.
+    assert rebuilt == pair
+
+
+def test_roundtrip_of_real_abduced_verdicts():
+    """End-to-end: the demo cell's synthesized verdicts survive the
+    payload shape the ABDUCTION tasks actually persist."""
+    session = Session(registry=make_demo_registry(), cache=False)
+    report = session.abduce_stable([DEMO_FAMILY])[DEMO_FAMILY]
+    assert report.synthesized_count > 0
+    for pair in report.pairs:
+        rebuilt = pair_from_payload(pair_payload(pair))
+        assert rebuilt == pair
+        if pair.verdict == "synthesized":
+            assert any(c.origin == "abduced" and c.armed
+                       for c in rebuilt.candidates)
+            assert rebuilt.synthesis["armed"] >= 1
+
+
+def test_compiler_version_bump_retired_v1_rows():
+    """The payload rows grew origin/proved/countermodel columns and the
+    synthesis section for the abduction loop; v1 entries must never
+    deserialize into the new shape, which the version bump (part of
+    every stability task key) guarantees.  If this assertion fires
+    because the shape changed again: bump the version, don't relax the
+    test."""
+    assert STABILITY_COMPILER_VERSION == 2
+    row = pair_payload(_pair())["candidates"][0]
+    # text, passed, armed, admitted, violations, proved, countermodel,
+    # origin — the 8-column v2 row.
+    assert len(row) == 8
